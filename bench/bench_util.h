@@ -1,0 +1,54 @@
+// Shared helpers for the experiment harnesses in bench/.
+//
+// Each binary reproduces one experiment from DESIGN.md §4 / EXPERIMENTS.md
+// and prints paper-style tables to stdout. All runs are seeded and
+// deterministic.
+#pragma once
+
+#include <functional>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/metrics.h"
+#include "core/config.h"
+#include "runtime/sim_env.h"
+#include "storage/dynamic_node.h"
+#include "workload/wan_profiles.h"
+#include "workload/workload.h"
+
+namespace wrs::bench {
+
+inline void banner(const std::string& id, const std::string& title) {
+  std::cout << "\n==== " << id << ": " << title << " ====\n\n";
+}
+
+inline void note(const std::string& text) { std::cout << text << "\n"; }
+
+/// Builds a SimEnv over a WAN profile; returns the env and keeps the
+/// degradable wrapper accessible for mid-run degradation experiments.
+struct WanSim {
+  std::shared_ptr<DegradableLatency> latency;
+  std::unique_ptr<SimEnv> env;
+
+  WanSim(const WanProfile& profile, std::size_t client_site,
+         std::uint64_t seed) {
+    auto matrix = std::make_unique<SiteMatrixLatency>(
+        profile.rtt_ms, site_mapper(profile.sites.size(), client_site));
+    latency = std::make_shared<DegradableLatency>(std::move(matrix));
+    env = std::make_unique<SimEnv>(latency, seed);
+  }
+};
+
+/// A full dynamic storage deployment + one closed-loop client; returns
+/// the client's latency histograms after the run.
+struct StorageRun {
+  Histogram read_latency;
+  Histogram write_latency;
+  std::uint64_t restarts = 0;
+  Counters traffic;
+  std::size_t ops_completed = 0;
+};
+
+}  // namespace wrs::bench

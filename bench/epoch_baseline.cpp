@@ -1,0 +1,138 @@
+// EXP-E1 — Section VIII comparison with the epoch-based consensus-free
+// protocol of [11]:
+//  (a) request-to-application delay: epoch-based requests wait for the
+//      epoch boundary (so the epoch length is a hard latency floor and a
+//      tuning burden); our epochless transfer applies in ~2 deliveries.
+//  (b) total-weight preservation: competing increases in one epoch are
+//      dropped by the baseline, leaking voting power below W_{S,0}; the
+//      restricted pairwise protocol keeps the total exactly constant.
+#include "bench_util.h"
+
+#include "baselines/epoch_reassign.h"
+#include "core/reassign_node.h"
+
+namespace wrs {
+namespace {
+
+struct EpochResult {
+  Histogram delay_ms;
+  Weight final_total{0};
+  std::uint64_t dropped = 0;
+};
+
+EpochResult run_epoch(TimeNs epoch_length, std::uint64_t seed) {
+  const std::uint32_t n = 5, f = 1;
+  SystemConfig cfg = SystemConfig::uniform(n, f);
+  SimEnv env(std::make_shared<UniformLatency>(ms(1), ms(8)), seed);
+  std::vector<std::unique_ptr<EpochReassignNode>> nodes;
+  for (std::uint32_t i = 0; i < n; ++i) {
+    nodes.push_back(
+        std::make_unique<EpochReassignNode>(env, i, cfg, epoch_length));
+    env.register_process(i, nodes.back().get());
+  }
+  EpochResult res;
+  nodes[0]->set_applied_callback(
+      [&](const EpochRequest& req, const Weight&, TimeNs at) {
+        res.delay_ms.add(to_ms(at - req.issued_at));
+      });
+  env.start();
+
+  // 12 rounds; in each round two servers request transfers to DIFFERENT
+  // destinations (competing increases -> baseline drops both).
+  Rng rng(seed);
+  for (int round = 0; round < 12; ++round) {
+    TimeNs when = epoch_length / 4 + round * epoch_length;
+    env.schedule(0, when, [&, round] {
+      nodes[0]->request_transfer(1 + (round % 2), Weight(1, 100));
+    });
+    env.schedule(2, when, [&, round] {
+      nodes[2]->request_transfer(3 + (round % 2), Weight(1, 100));
+    });
+  }
+  env.run_until(14 * epoch_length + seconds(1));
+  res.final_total = nodes[0]->total_weight();
+  res.dropped = nodes[0]->dropped_increases();
+  return res;
+}
+
+struct EpochlessResult {
+  Histogram delay_ms;
+  Weight final_total{0};
+};
+
+EpochlessResult run_epochless(std::uint64_t seed) {
+  const std::uint32_t n = 5, f = 1;
+  SystemConfig cfg = SystemConfig::uniform(n, f);
+  SimEnv env(std::make_shared<UniformLatency>(ms(1), ms(8)), seed);
+  std::vector<std::unique_ptr<ReassignNode>> nodes;
+  for (std::uint32_t i = 0; i < n; ++i) {
+    nodes.push_back(std::make_unique<ReassignNode>(env, i, cfg));
+    env.register_process(i, nodes.back().get());
+  }
+  env.start();
+  EpochlessResult res;
+  // Same pattern: 12 rounds of two concurrent transfers to different
+  // destinations — all effective here, applied immediately.
+  int done = 0;
+  for (int round = 0; round < 12; ++round) {
+    TimeNs when = ms(25) + round * ms(100);
+    env.schedule(0, when, [&, round] {
+      TimeNs start = env.now();
+      nodes[0]->transfer(1 + (round % 2), Weight(1, 100),
+                         [&, start](const TransferOutcome&) {
+                           res.delay_ms.add(to_ms(env.now() - start));
+                           ++done;
+                         });
+    });
+    env.schedule(2, when, [&, round] {
+      TimeNs start = env.now();
+      nodes[2]->transfer(3 + (round % 2), Weight(1, 100),
+                         [&, start](const TransferOutcome&) {
+                           res.delay_ms.add(to_ms(env.now() - start));
+                           ++done;
+                         });
+    });
+  }
+  env.run_until_pred([&] { return done == 24; }, seconds(120));
+  env.run_to_quiescence();
+  Weight total(0);
+  for (std::uint32_t s = 0; s < n; ++s) total += nodes[0]->weight_of(s);
+  res.final_total = total;
+  return res;
+}
+
+void run() {
+  bench::banner("EXP-E1",
+                "epochless (this paper) vs epoch-based [11] "
+                "(n=5, f=1, 12 rounds of 2 concurrent transfers)");
+  Table table({"protocol", "epoch (ms)", "apply delay p50 (ms)",
+               "apply delay p99 (ms)", "final total weight",
+               "dropped increases"});
+  for (TimeNs epoch : {ms(50), ms(100), ms(200), ms(400)}) {
+    EpochResult r = run_epoch(epoch, 31337);
+    table.add_row({"epoch-based [11]", Table::fmt(to_ms(epoch), 0),
+                   Table::fmt(r.delay_ms.percentile(50)),
+                   Table::fmt(r.delay_ms.percentile(99)),
+                   r.final_total.str(), std::to_string(r.dropped)});
+  }
+  EpochlessResult ours = run_epochless(31337);
+  table.add_row({"restricted pairwise (ours)", "-",
+                 Table::fmt(ours.delay_ms.percentile(50)),
+                 Table::fmt(ours.delay_ms.percentile(99)),
+                 ours.final_total.str(), "0"});
+  table.print();
+  bench::note(
+      "\nPaper claim check (Section VIII): the epoch-based protocol's "
+      "application delay scales with the epoch length (a tuning problem "
+      "the paper calls out), and its total weight decays below W_{S,0}=5 "
+      "when increases compete; the epochless protocol applies transfers "
+      "in ~2 message delays and conserves the total exactly.");
+}
+
+}  // namespace
+}  // namespace wrs
+
+int main() {
+  wrs::run();
+  return 0;
+}

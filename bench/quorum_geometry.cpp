@@ -1,0 +1,82 @@
+// EXP-Q1 — quorum geometry under weight skew (Definition 1, Property 1):
+// how much smaller can quorums get before availability (Property 1)
+// breaks? Quantifies the "minority quorum" benefit the paper's Example 2
+// illustrates, as a sweep over skew.
+//
+// Skew model: server i gets weight proportional to 1/(i+1)^alpha
+// (Zipf-like), rescaled so the total is n; alpha=0 is uniform.
+#include "bench_util.h"
+
+#include <cmath>
+
+namespace wrs {
+namespace {
+
+WeightMap zipf_weights(std::uint32_t n, double alpha) {
+  // Build exact rational weights from a quantized Zipf shape.
+  std::vector<double> raw(n);
+  double sum = 0;
+  for (std::uint32_t i = 0; i < n; ++i) {
+    raw[i] = 1.0 / std::pow(static_cast<double>(i + 1), alpha);
+    sum += raw[i];
+  }
+  WeightMap wm;
+  for (std::uint32_t i = 0; i < n; ++i) {
+    wm.set(i, Rational::from_double(raw[i] / sum * n, 10'000));
+  }
+  return wm;
+}
+
+void run() {
+  bench::banner("EXP-Q1",
+                "quorum geometry vs weight skew (zipf exponent alpha)");
+  Table table({"n", "alpha", "min quorum", "max minimal quorum",
+               "max tolerable f", "Property 1 holds (f=1)",
+               "top weight / total"});
+  for (std::uint32_t n : {5u, 7u, 9u, 15u}) {
+    for (double alpha : {0.0, 0.25, 0.5, 0.75, 1.0, 1.5}) {
+      WeightMap wm = zipf_weights(n, alpha);
+      Wmqs q(wm);
+      double top_frac =
+          q.weights().sorted_desc()[0].second.to_double() /
+          q.total().to_double();
+      table.add_row({std::to_string(n), Table::fmt(alpha, 2),
+                     std::to_string(q.min_quorum_size()),
+                     std::to_string(q.max_minimal_quorum_size()),
+                     std::to_string(q.max_tolerable_f()),
+                     q.is_available(1) ? "yes" : "no",
+                     Table::fmt(top_frac, 3)});
+    }
+  }
+  table.print();
+  bench::note(
+      "\nShape check: mild skew shrinks the minimum quorum (latency win), "
+      "but past a point the heaviest f servers hold half the power and "
+      "Property 1 — hence availability under f crashes — collapses. This "
+      "is exactly the tension Integrity polices, and why transfers that "
+      "concentrate too much weight must be rejected.");
+
+  // RP floor headroom: how much weight a server can donate from uniform,
+  // as n and f vary (the Section V-C limitation made quantitative).
+  bench::banner("EXP-Q1b", "donatable headroom above the RP floor");
+  Table t2({"n", "f", "floor", "uniform weight", "max single donation"});
+  struct NF {
+    std::uint32_t n, f;
+  };
+  for (NF nf : {NF{4, 1}, NF{5, 1}, NF{5, 2}, NF{7, 2}, NF{7, 3}, NF{9, 4},
+                NF{13, 6}}) {
+    SystemConfig cfg = SystemConfig::uniform(nf.n, nf.f);
+    Weight headroom = Weight(1) - cfg.floor();
+    t2.add_row({std::to_string(nf.n), std::to_string(nf.f),
+                cfg.floor().str(), "1", headroom.str() + " (exclusive)"});
+  }
+  t2.print();
+}
+
+}  // namespace
+}  // namespace wrs
+
+int main() {
+  wrs::run();
+  return 0;
+}

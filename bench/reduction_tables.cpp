@@ -1,0 +1,139 @@
+// EXP-T1 / EXP-T2 — Theorems 1 and 2 as executable artifacts.
+//
+// Runs Algorithm 1 (consensus from the weight reassignment problem) and
+// Algorithm 2 (consensus from pairwise weight reassignment) against the
+// oracle service over many seeds and system sizes, and reports the three
+// consensus properties plus the mechanism invariant (exactly one
+// effective reassignment decides).
+#include "bench_util.h"
+
+#include "consensus/reduction.h"
+
+namespace wrs {
+namespace {
+
+template <typename ServerT>
+struct Row {
+  std::uint32_t n;
+  std::uint32_t f;
+  int runs = 0;
+  int agreement_ok = 0;
+  int validity_ok = 0;
+  int termination_ok = 0;
+  int mechanism_ok = 0;  // exactly-one-effective invariant
+  Histogram decide_ms;
+};
+
+template <typename ServerT>
+Row<ServerT> sweep(std::uint32_t n, std::uint32_t f, int seeds,
+                   bool is_alg2) {
+  Row<ServerT> row;
+  row.n = n;
+  row.f = f;
+  for (int s = 0; s < seeds; ++s) {
+    std::uint64_t seed = 1000 + 97 * s + n * 13 + f;
+    SystemConfig cfg = SystemConfig::make(n, f,
+                                          reduction_initial_weights(n, f));
+    SimEnv env(std::make_shared<UniformLatency>(ms(1), ms(15)), seed);
+    OracleReassignService oracle(env, cfg);
+    env.register_process(kOracleId, &oracle);
+    auto registers = std::make_shared<SharedRegisters>(n);
+    std::vector<std::unique_ptr<ServerT>> servers;
+    std::vector<std::optional<std::string>> decisions(n);
+    for (std::uint32_t i = 0; i < n; ++i) {
+      servers.push_back(std::make_unique<ServerT>(env, i, cfg, registers));
+      env.register_process(i, servers.back().get());
+    }
+    env.start();
+    for (std::uint32_t i = 0; i < n; ++i) {
+      std::uint32_t idx = i;
+      servers[i]->propose(
+          "proposal-" + std::to_string(i),
+          [&decisions, idx](const std::string& v) { decisions[idx] = v; });
+    }
+    bool terminated = env.run_until_pred(
+        [&] {
+          for (const auto& d : decisions) {
+            if (!d.has_value()) return false;
+          }
+          return true;
+        },
+        seconds(600));
+    ++row.runs;
+    if (!terminated) continue;
+    ++row.termination_ok;
+    row.decide_ms.add(to_ms(env.now()));
+    bool agree = true;
+    for (std::uint32_t i = 1; i < n; ++i) {
+      agree &= (*decisions[i] == *decisions[0]);
+    }
+    if (agree) ++row.agreement_ok;
+    if (decisions[0]->rfind("proposal-", 0) == 0) ++row.validity_ok;
+    // Mechanism invariant.
+    if (!is_alg2) {
+      if (oracle.effective_count() == 1) ++row.mechanism_ok;
+    } else {
+      std::size_t winners = 0;
+      for (const Change& ch : oracle.changes().all()) {
+        if (ch.issuer() >= f && ch.target() == 0 &&
+            ch.delta == Weight(2, 5)) {
+          ++winners;
+        }
+      }
+      if (winners == 1) ++row.mechanism_ok;
+    }
+  }
+  return row;
+}
+
+template <typename ServerT>
+void print_sweep(const std::string& id, const std::string& title,
+                 bool is_alg2) {
+  bench::banner(id, title);
+  Table table({"n", "f", "runs", "agreement", "validity", "termination",
+               "one-effective", "decide p50 (ms)", "decide max (ms)"});
+  struct NF {
+    std::uint32_t n, f;
+  };
+  for (NF nf : {NF{4, 1}, NF{5, 2}, NF{7, 2}, NF{7, 3}, NF{9, 4},
+                NF{10, 3}, NF{13, 6}}) {
+    auto row = sweep<ServerT>(nf.n, nf.f, /*seeds=*/25, is_alg2);
+    auto frac = [&](int x) {
+      return std::to_string(x) + "/" + std::to_string(row.runs);
+    };
+    table.add_row({std::to_string(row.n), std::to_string(row.f),
+                   std::to_string(row.runs), frac(row.agreement_ok),
+                   frac(row.validity_ok), frac(row.termination_ok),
+                   frac(row.mechanism_ok),
+                   Table::fmt(row.decide_ms.percentile(50)),
+                   Table::fmt(row.decide_ms.max())});
+  }
+  table.print();
+}
+
+void run() {
+  print_sweep<Alg1Server>(
+      "EXP-T1", "Theorem 1 — consensus from weight reassignment (Alg. 1)",
+      false);
+  bench::note(
+      "Paper claim check: all runs satisfy agreement/validity/termination "
+      "and exactly ONE reassign completes with a non-zero change — the "
+      "oracle's linearization power is what an asynchronous implementation "
+      "cannot have (Corollary 1).");
+
+  print_sweep<Alg2Server>(
+      "EXP-T2",
+      "Theorem 2 — consensus from pairwise weight reassignment (Alg. 2)",
+      true);
+  bench::note(
+      "Paper claim check: exactly one S\\F transfer (0.4 credit to s1) is "
+      "ever effective; its issuer's proposal is decided by every server.");
+}
+
+}  // namespace
+}  // namespace wrs
+
+int main() {
+  wrs::run();
+  return 0;
+}

@@ -1,0 +1,134 @@
+// EXP-L1 — the paper's motivating claim (Section I): weighted majority
+// quorums beat the regular MQS on heterogeneous WANs, and dynamic
+// reassignment recovers the benefit without hand-tuning.
+//
+// For each WAN profile we run the same closed-loop read/write workload
+// against three deployments:
+//   MQS       — classic ABD, uniform weights (the paper's baseline);
+//   WMQS*     — static weighted ABD with oracle-tuned weights (what WHEAT
+//               would configure offline for this topology);
+//   dynamic   — our dynamic-weighted storage starting from uniform
+//               weights with the adaptive monitoring loop enabled.
+//
+// Expected shape: on heterogeneous profiles (wan5) WMQS* < MQS latency,
+// and dynamic converges to (near) WMQS*; on the homogeneous LAN profile
+// all three coincide.
+#include "bench_util.h"
+
+#include "monitor/adaptive_node.h"
+
+namespace wrs {
+namespace {
+
+struct RunResult {
+  double read_p50 = 0, read_p99 = 0, write_p50 = 0, write_p99 = 0;
+  std::size_t ops = 0;
+};
+
+RunResult run_deployment(const WanProfile& profile, const std::string& mode,
+                         std::uint64_t seed) {
+  const std::uint32_t n = 5;
+  const std::uint32_t f = 1;
+  bench::WanSim sim(profile, /*client_site=*/0, seed);
+
+  WeightMap weights = WeightMap::uniform(n);
+  if (mode == "wmqs") {
+    // Oracle tuning: rank servers by RTT from the client's site and give
+    // the two closest more voting power (Property 1 must keep holding:
+    // top-1 weight 3/2 < total/2 = 5/2).
+    std::vector<std::pair<double, ProcessId>> by_rtt;
+    for (ProcessId s = 0; s < n; ++s) {
+      by_rtt.emplace_back(profile.rtt_ms[0][s % profile.sites.size()], s);
+    }
+    std::sort(by_rtt.begin(), by_rtt.end());
+    weights.set(by_rtt[0].second, Weight(3, 2));
+    weights.set(by_rtt[1].second, Weight(3, 2));
+    weights.set(by_rtt[2].second, Weight(1));
+    weights.set(by_rtt[3].second, Weight(1, 2));
+    weights.set(by_rtt[4].second, Weight(1, 2));
+  }
+  SystemConfig cfg = SystemConfig::make(n, f, weights);
+
+  std::vector<std::unique_ptr<Process>> processes;
+  if (mode == "dynamic") {
+    AdaptiveParams params;
+    params.probe_interval = ms(250);
+    params.eval_interval = ms(500);
+    params.step = Weight(1, 10);
+    params.slow_factor = 1.25;
+    for (std::uint32_t i = 0; i < n; ++i) {
+      auto node = std::make_unique<AdaptiveNode>(*sim.env, i, cfg, params);
+      sim.env->register_process(i, node.get());
+      processes.push_back(std::move(node));
+    }
+  } else {
+    for (std::uint32_t i = 0; i < n; ++i) {
+      auto node = std::make_unique<DynamicStorageNode>(*sim.env, i, cfg);
+      sim.env->register_process(i, node.get());
+      processes.push_back(std::move(node));
+    }
+  }
+
+  WorkloadParams wp;
+  wp.num_ops = 150;
+  wp.read_ratio = 0.5;
+  wp.think_time = ms(20);
+  wp.value_size = 64;
+  wp.seed = seed;
+  auto client = std::make_unique<ClosedLoopClient>(
+      *sim.env, client_id(0), cfg,
+      mode == "mqs" || mode == "wmqs" ? AbdClient::Mode::kStatic
+                                      : AbdClient::Mode::kDynamic,
+      wp);
+  sim.env->register_process(client_id(0), client.get());
+  sim.env->start();
+
+  if (mode == "dynamic") {
+    // Warm-up: let the monitoring loop converge before measuring.
+    sim.env->run_until(seconds(20));
+  }
+  sim.env->run_until_pred([&] { return client->done(); }, seconds(600));
+
+  RunResult r;
+  r.read_p50 = to_ms(client->read_latency().percentile(50));
+  r.read_p99 = to_ms(client->read_latency().percentile(99));
+  r.write_p50 = to_ms(client->write_latency().percentile(50));
+  r.write_p99 = to_ms(client->write_latency().percentile(99));
+  r.ops = client->completed();
+  return r;
+}
+
+void run() {
+  bench::banner("EXP-L1",
+                "read/write latency: MQS vs static WMQS vs dynamic "
+                "(client at site 0, n=5, f=1)");
+  Table table({"profile", "deployment", "read p50 (ms)", "read p99 (ms)",
+               "write p50 (ms)", "write p99 (ms)"});
+  for (const WanProfile& profile :
+       {wan5_profile(), continental_profile(), lan_profile()}) {
+    for (const std::string& mode : {"mqs", "wmqs", "dynamic"}) {
+      RunResult r = run_deployment(profile, mode, 777);
+      std::string label = mode == "mqs"      ? "MQS (uniform)"
+                          : mode == "wmqs"   ? "WMQS* (tuned static)"
+                                             : "dynamic (adaptive)";
+      table.add_row({profile.name, label, Table::fmt(r.read_p50),
+                     Table::fmt(r.read_p99), Table::fmt(r.write_p50),
+                     Table::fmt(r.write_p99)});
+    }
+  }
+  table.print();
+  bench::note(
+      "\nPaper claim check (Section I / [20]): weighted quorums cut "
+      "latency on heterogeneous WANs because a light-majority quorum of "
+      "nearby servers suffices; the dynamic deployment approaches the "
+      "hand-tuned WMQS without offline knowledge. On the homogeneous LAN "
+      "profile the three deployments coincide (weights cannot help).");
+}
+
+}  // namespace
+}  // namespace wrs
+
+int main() {
+  wrs::run();
+  return 0;
+}

@@ -1,0 +1,36 @@
+// Minimal leveled logging. Disabled by default (benches and tests stay
+// quiet); enable with WRS_LOG=debug|info|warn in the environment or
+// set_log_level() programmatically. Thread-safe line-at-a-time output.
+#pragma once
+
+#include <mutex>
+#include <sstream>
+#include <string>
+
+namespace wrs {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+LogLevel log_level();
+void set_log_level(LogLevel level);
+
+namespace detail {
+void log_line(LogLevel level, const std::string& line);
+}
+
+#define WRS_LOG(level, expr)                                    \
+  do {                                                          \
+    if (static_cast<int>(level) >=                              \
+        static_cast<int>(::wrs::log_level())) {                 \
+      std::ostringstream wrs_log_os_;                           \
+      wrs_log_os_ << expr;                                      \
+      ::wrs::detail::log_line(level, wrs_log_os_.str());        \
+    }                                                           \
+  } while (0)
+
+#define WRS_DEBUG(expr) WRS_LOG(::wrs::LogLevel::kDebug, expr)
+#define WRS_INFO(expr) WRS_LOG(::wrs::LogLevel::kInfo, expr)
+#define WRS_WARN(expr) WRS_LOG(::wrs::LogLevel::kWarn, expr)
+#define WRS_ERROR(expr) WRS_LOG(::wrs::LogLevel::kError, expr)
+
+}  // namespace wrs

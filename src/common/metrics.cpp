@@ -1,0 +1,128 @@
+#include "common/metrics.h"
+
+#include <cmath>
+#include <cstdio>
+#include <iostream>
+#include <numeric>
+#include <sstream>
+#include <stdexcept>
+
+namespace wrs {
+
+void Histogram::ensure_sorted() const {
+  if (sorted_) return;
+  sorted_samples_ = samples_;
+  std::sort(sorted_samples_.begin(), sorted_samples_.end());
+  sorted_ = true;
+}
+
+double Histogram::sum() const {
+  return std::accumulate(samples_.begin(), samples_.end(), 0.0);
+}
+
+double Histogram::mean() const {
+  if (samples_.empty()) return 0.0;
+  return sum() / static_cast<double>(samples_.size());
+}
+
+double Histogram::min() const {
+  ensure_sorted();
+  return sorted_samples_.empty() ? 0.0 : sorted_samples_.front();
+}
+
+double Histogram::max() const {
+  ensure_sorted();
+  return sorted_samples_.empty() ? 0.0 : sorted_samples_.back();
+}
+
+double Histogram::stddev() const {
+  if (samples_.size() < 2) return 0.0;
+  double m = mean();
+  double acc = 0.0;
+  for (double s : samples_) acc += (s - m) * (s - m);
+  return std::sqrt(acc / static_cast<double>(samples_.size() - 1));
+}
+
+double Histogram::percentile(double p) const {
+  if (p < 0.0 || p > 100.0) {
+    throw std::invalid_argument("percentile out of range");
+  }
+  ensure_sorted();
+  if (sorted_samples_.empty()) return 0.0;
+  auto rank = static_cast<std::size_t>(
+      std::ceil(p / 100.0 * static_cast<double>(sorted_samples_.size())));
+  if (rank == 0) rank = 1;
+  return sorted_samples_[rank - 1];
+}
+
+std::string Histogram::summary(double scale) const {
+  std::ostringstream os;
+  os << "n=" << count();
+  if (!empty()) {
+    char buf[160];
+    std::snprintf(buf, sizeof(buf),
+                  " mean=%.3f p50=%.3f p90=%.3f p99=%.3f max=%.3f",
+                  mean() * scale, percentile(50) * scale,
+                  percentile(90) * scale, percentile(99) * scale,
+                  max() * scale);
+    os << buf;
+  }
+  return os.str();
+}
+
+double TimeSeries::mean_in(TimeNs from, TimeNs to) const {
+  double acc = 0.0;
+  std::size_t n = 0;
+  for (const auto& [t, v] : points_) {
+    if (t >= from && t < to) {
+      acc += v;
+      ++n;
+    }
+  }
+  return n == 0 ? 0.0 : acc / static_cast<double>(n);
+}
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {}
+
+void Table::add_row(std::vector<std::string> cells) {
+  if (cells.size() != headers_.size()) {
+    throw std::invalid_argument("Table row width mismatch");
+  }
+  rows_.push_back(std::move(cells));
+}
+
+std::string Table::fmt(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+std::string Table::str() const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t i = 0; i < headers_.size(); ++i) {
+    widths[i] = headers_[i].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      widths[i] = std::max(widths[i], row[i].size());
+    }
+  }
+  std::ostringstream os;
+  auto emit_row = [&](const std::vector<std::string>& cells) {
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      os << (i == 0 ? "| " : " | ");
+      os << cells[i] << std::string(widths[i] - cells[i].size(), ' ');
+    }
+    os << " |\n";
+  };
+  emit_row(headers_);
+  os << "|";
+  for (std::size_t w : widths) os << std::string(w + 2, '-') << "|";
+  os << "\n";
+  for (const auto& row : rows_) emit_row(row);
+  return os.str();
+}
+
+void Table::print() const { std::cout << str() << std::flush; }
+
+}  // namespace wrs

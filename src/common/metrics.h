@@ -1,0 +1,107 @@
+// Lightweight metrics: counters, latency histograms with percentile
+// queries, and time series. All benches and integration tests report
+// through these types so output formats stay uniform.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace wrs {
+
+/// Collects scalar samples (latencies in ns, sizes in bytes, ...) and
+/// answers summary queries. Storage is the raw sample vector; percentile
+/// queries sort a copy lazily.
+class Histogram {
+ public:
+  void add(double sample) {
+    samples_.push_back(sample);
+    sorted_ = false;
+  }
+  void add_time(TimeNs t) { add(static_cast<double>(t)); }
+
+  std::size_t count() const { return samples_.size(); }
+  bool empty() const { return samples_.empty(); }
+  double sum() const;
+  double mean() const;
+  double min() const;
+  double max() const;
+  double stddev() const;
+  /// p in [0, 100]; nearest-rank percentile.
+  double percentile(double p) const;
+  double median() const { return percentile(50.0); }
+
+  void clear() {
+    samples_.clear();
+    sorted_ = false;
+  }
+
+  const std::vector<double>& samples() const { return samples_; }
+
+  /// "n=__ mean=__ p50=__ p99=__ max=__" with values scaled by `scale`
+  /// (e.g. 1/1e6 to print milliseconds from nanosecond samples).
+  std::string summary(double scale = 1.0) const;
+
+ private:
+  void ensure_sorted() const;
+
+  std::vector<double> samples_;
+  mutable std::vector<double> sorted_samples_;
+  mutable bool sorted_ = false;
+};
+
+/// (time, value) series; used for adaptation experiments.
+class TimeSeries {
+ public:
+  void add(TimeNs t, double value) { points_.emplace_back(t, value); }
+  const std::vector<std::pair<TimeNs, double>>& points() const {
+    return points_;
+  }
+  bool empty() const { return points_.empty(); }
+
+  /// Mean of values with t in [from, to).
+  double mean_in(TimeNs from, TimeNs to) const;
+
+ private:
+  std::vector<std::pair<TimeNs, double>> points_;
+};
+
+/// Named counters; cheap to copy, merge, and print.
+class Counters {
+ public:
+  void inc(const std::string& name, std::int64_t by = 1) { map_[name] += by; }
+  std::int64_t get(const std::string& name) const {
+    auto it = map_.find(name);
+    return it == map_.end() ? 0 : it->second;
+  }
+  void merge(const Counters& other) {
+    for (const auto& [k, v] : other.map_) map_[k] += v;
+  }
+  const std::map<std::string, std::int64_t>& map() const { return map_; }
+  void clear() { map_.clear(); }
+
+ private:
+  std::map<std::string, std::int64_t> map_;
+};
+
+/// Fixed-width table printer for benchmark outputs ("the rows the paper
+/// would report").
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+  void add_row(std::vector<std::string> cells);
+  std::string str() const;
+  void print() const;
+
+  static std::string fmt(double v, int precision = 2);
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace wrs

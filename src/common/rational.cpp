@@ -1,0 +1,142 @@
+#include "common/rational.h"
+
+#include <cmath>
+#include <cstdlib>
+#include <numeric>
+#include <ostream>
+
+namespace wrs {
+
+namespace {
+
+using Int128 = __int128;
+
+std::int64_t checked_narrow(Int128 v) {
+  if (v > std::numeric_limits<std::int64_t>::max() ||
+      v < std::numeric_limits<std::int64_t>::min()) {
+    throw RationalOverflow();
+  }
+  return static_cast<std::int64_t>(v);
+}
+
+Int128 abs128(Int128 v) { return v < 0 ? -v : v; }
+
+Int128 gcd128(Int128 a, Int128 b) {
+  a = abs128(a);
+  b = abs128(b);
+  while (b != 0) {
+    Int128 t = a % b;
+    a = b;
+    b = t;
+  }
+  return a;
+}
+
+}  // namespace
+
+Rational::Rational(std::int64_t num, std::int64_t den) {
+  if (den == 0) throw std::invalid_argument("wrs::Rational: zero denominator");
+  Int128 n = num;
+  Int128 d = den;
+  if (d < 0) {
+    n = -n;
+    d = -d;
+  }
+  Int128 g = gcd128(n, d);
+  if (g > 1) {
+    n /= g;
+    d /= g;
+  }
+  num_ = checked_narrow(n);
+  den_ = checked_narrow(d);
+}
+
+Rational Rational::parse(const std::string& text) {
+  auto slash = text.find('/');
+  if (slash == std::string::npos) {
+    return Rational(std::stoll(text), 1);
+  }
+  return Rational(std::stoll(text.substr(0, slash)),
+                  std::stoll(text.substr(slash + 1)));
+}
+
+Rational Rational::from_double(double v, std::int64_t den) {
+  if (!std::isfinite(v)) {
+    throw std::invalid_argument("wrs::Rational::from_double: non-finite");
+  }
+  double scaled = v * static_cast<double>(den);
+  if (std::fabs(scaled) >
+      static_cast<double>(std::numeric_limits<std::int64_t>::max()) / 2) {
+    throw RationalOverflow();
+  }
+  return Rational(static_cast<std::int64_t>(std::llround(scaled)), den);
+}
+
+std::string Rational::str() const {
+  if (den_ == 1) return std::to_string(num_);
+  return std::to_string(num_) + "/" + std::to_string(den_);
+}
+
+Rational Rational::operator-() const {
+  Rational r;
+  r.num_ = checked_narrow(-Int128{num_});
+  r.den_ = den_;
+  return r;
+}
+
+namespace {
+
+Rational make_normalized(Int128 n, Int128 d) {
+  // d > 0 guaranteed by callers.
+  Int128 g = gcd128(n, d);
+  if (g > 1) {
+    n /= g;
+    d /= g;
+  }
+  return Rational(checked_narrow(n), checked_narrow(d));
+}
+
+}  // namespace
+
+Rational operator+(const Rational& a, const Rational& b) {
+  Int128 n = Int128{a.num_} * b.den_ + Int128{b.num_} * a.den_;
+  Int128 d = Int128{a.den_} * b.den_;
+  return make_normalized(n, d);
+}
+
+Rational operator-(const Rational& a, const Rational& b) {
+  Int128 n = Int128{a.num_} * b.den_ - Int128{b.num_} * a.den_;
+  Int128 d = Int128{a.den_} * b.den_;
+  return make_normalized(n, d);
+}
+
+Rational operator*(const Rational& a, const Rational& b) {
+  Int128 n = Int128{a.num_} * b.num_;
+  Int128 d = Int128{a.den_} * b.den_;
+  return make_normalized(n, d);
+}
+
+Rational operator/(const Rational& a, const Rational& b) {
+  if (b.num_ == 0) throw std::invalid_argument("wrs::Rational: divide by 0");
+  Int128 n = Int128{a.num_} * b.den_;
+  Int128 d = Int128{a.den_} * b.num_;
+  if (d < 0) {
+    n = -n;
+    d = -d;
+  }
+  return make_normalized(n, d);
+}
+
+std::strong_ordering operator<=>(const Rational& a, const Rational& b) {
+  Int128 lhs = Int128{a.num_} * b.den_;
+  Int128 rhs = Int128{b.num_} * a.den_;
+  if (lhs < rhs) return std::strong_ordering::less;
+  if (lhs > rhs) return std::strong_ordering::greater;
+  return std::strong_ordering::equal;
+}
+
+std::ostream& operator<<(std::ostream& os, const Rational& r) {
+  return os << r.str();
+}
+
+}  // namespace wrs

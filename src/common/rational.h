@@ -1,0 +1,81 @@
+// Exact rational arithmetic for server weights.
+//
+// The paper models weights as real numbers and states Integrity properties
+// with strict inequalities against quantities such as W_{S,0} / (2(n-f)).
+// Floating point would make those boundary comparisons unreliable (the
+// reductions in Algorithms 1-2 sit *exactly* on the boundary), so weights
+// are exact rationals: int64 numerator / int64 denominator, always
+// normalized (gcd == 1, denominator > 0). Intermediate products use
+// __int128; overflow after normalization throws.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <iosfwd>
+#include <stdexcept>
+#include <string>
+
+namespace wrs {
+
+class RationalOverflow : public std::overflow_error {
+ public:
+  RationalOverflow() : std::overflow_error("wrs::Rational overflow") {}
+};
+
+class Rational {
+ public:
+  constexpr Rational() : num_(0), den_(1) {}
+  constexpr Rational(std::int64_t value) : num_(value), den_(1) {}  // NOLINT
+  Rational(std::int64_t num, std::int64_t den);
+
+  /// Parses "a/b" or "a" (used by workload config files and tests).
+  static Rational parse(const std::string& text);
+
+  /// Nearest rational with denominator `den` (used when converting measured
+  /// doubles, e.g. monitoring outputs, into exact weights).
+  static Rational from_double(double v, std::int64_t den = 1'000'000);
+
+  std::int64_t num() const { return num_; }
+  std::int64_t den() const { return den_; }
+
+  double to_double() const {
+    return static_cast<double>(num_) / static_cast<double>(den_);
+  }
+  std::string str() const;
+
+  bool is_zero() const { return num_ == 0; }
+  bool is_negative() const { return num_ < 0; }
+  bool is_positive() const { return num_ > 0; }
+
+  Rational operator-() const;
+  Rational& operator+=(const Rational& o) { return *this = *this + o; }
+  Rational& operator-=(const Rational& o) { return *this = *this - o; }
+  Rational& operator*=(const Rational& o) { return *this = *this * o; }
+  Rational& operator/=(const Rational& o) { return *this = *this / o; }
+
+  friend Rational operator+(const Rational& a, const Rational& b);
+  friend Rational operator-(const Rational& a, const Rational& b);
+  friend Rational operator*(const Rational& a, const Rational& b);
+  friend Rational operator/(const Rational& a, const Rational& b);
+
+  friend bool operator==(const Rational& a, const Rational& b) {
+    return a.num_ == b.num_ && a.den_ == b.den_;
+  }
+  friend std::strong_ordering operator<=>(const Rational& a,
+                                          const Rational& b);
+
+  friend std::ostream& operator<<(std::ostream& os, const Rational& r);
+
+  /// Absolute value.
+  Rational abs() const { return num_ < 0 ? -*this : *this; }
+
+ private:
+  // Normalized invariant: den_ > 0, gcd(|num_|, den_) == 1.
+  std::int64_t num_;
+  std::int64_t den_;
+};
+
+/// Weights are exact rationals throughout the library.
+using Weight = Rational;
+
+}  // namespace wrs

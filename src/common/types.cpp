@@ -1,0 +1,19 @@
+#include "common/types.h"
+
+#include <numeric>
+
+namespace wrs {
+
+std::vector<ProcessId> all_servers(std::uint32_t n) {
+  std::vector<ProcessId> out(n);
+  std::iota(out.begin(), out.end(), ProcessId{0});
+  return out;
+}
+
+std::string process_name(ProcessId id) {
+  if (id == kNoProcess) return "none";
+  if (is_server(id)) return "s" + std::to_string(id);
+  return "c" + std::to_string(id - kClientIdBase);
+}
+
+}  // namespace wrs

@@ -1,0 +1,53 @@
+// Basic identifiers and time types shared by every module.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace wrs {
+
+/// Identifies a process (server or client). Servers are numbered
+/// 0..n-1; clients use ids >= kClientIdBase so the two ranges never
+/// collide (the paper's S and Pi are disjoint sets).
+using ProcessId = std::uint32_t;
+
+inline constexpr ProcessId kClientIdBase = 1u << 16;
+inline constexpr ProcessId kNoProcess = std::numeric_limits<ProcessId>::max();
+
+/// True iff `id` denotes a server (member of S).
+constexpr bool is_server(ProcessId id) { return id < kClientIdBase; }
+
+/// True iff `id` denotes a client (member of Pi).
+constexpr bool is_client(ProcessId id) {
+  return id >= kClientIdBase && id != kNoProcess;
+}
+
+/// Makes the id of the k-th client.
+constexpr ProcessId client_id(std::uint32_t k) { return kClientIdBase + k; }
+
+/// Simulated / wall-clock time in nanoseconds. The simulator starts at 0;
+/// the thread runtime reports nanoseconds since its construction.
+using TimeNs = std::int64_t;
+
+inline constexpr TimeNs kNsPerUs = 1'000;
+inline constexpr TimeNs kNsPerMs = 1'000'000;
+inline constexpr TimeNs kNsPerSec = 1'000'000'000;
+
+constexpr TimeNs ms(double v) { return static_cast<TimeNs>(v * kNsPerMs); }
+constexpr TimeNs us(double v) { return static_cast<TimeNs>(v * kNsPerUs); }
+constexpr TimeNs seconds(double v) {
+  return static_cast<TimeNs>(v * kNsPerSec);
+}
+constexpr double to_ms(TimeNs t) {
+  return static_cast<double>(t) / static_cast<double>(kNsPerMs);
+}
+
+/// The set of server ids {0, 1, ..., n-1}.
+std::vector<ProcessId> all_servers(std::uint32_t n);
+
+/// Human-readable process name ("s3" / "c1").
+std::string process_name(ProcessId id);
+
+}  // namespace wrs

@@ -1,0 +1,66 @@
+#include "consensus/oracle.h"
+
+#include <memory>
+
+#include "quorum/wmqs.h"
+
+namespace wrs {
+
+OracleReassignService::OracleReassignService(Env& env,
+                                             const SystemConfig& config)
+    : env_(env),
+      config_(config),
+      changes_(ChangeSet::initial(config.initial_weights)) {}
+
+bool OracleReassignService::integrity_holds_after(
+    const std::vector<Change>& candidate) const {
+  ChangeSet next = changes_;
+  for (const Change& c : candidate) next.add(c);
+  Wmqs q(next.to_weight_map(config_.servers()));
+  return q.is_available(config_.f);
+}
+
+void OracleReassignService::on_message(ProcessId from, const Message& msg) {
+  if (const auto* req = msg_cast<OracleReassignReq>(msg)) {
+    // Validity-I: create the requested change if Integrity survives,
+    // otherwise a null change.
+    Change c(from, req->counter(), req->target(), req->delta());
+    if (integrity_holds_after({c})) {
+      changes_.add(c);
+      ++effective_;
+    } else {
+      c.delta = Weight(0);
+      changes_.add(c);
+    }
+    env_.send(kOracleId, from, std::make_shared<OracleComplete>(c));
+    return;
+  }
+
+  if (const auto* req = msg_cast<OracleTransferReq>(msg)) {
+    // P-Validity-I: both changes non-zero iff P-Integrity survives.
+    Change neg(from, req->counter(), req->src(), -req->delta());
+    Change pos(from, req->counter(), req->dst(), req->delta());
+    if (integrity_holds_after({neg, pos})) {
+      changes_.add(neg);
+      changes_.add(pos);
+      ++effective_;
+      env_.send(kOracleId, from, std::make_shared<OracleComplete>(neg));
+    } else {
+      Change null_neg(from, req->counter(), req->src(), Weight(0));
+      Change null_pos(from, req->counter(), req->dst(), Weight(0));
+      changes_.add(null_neg);
+      changes_.add(null_pos);
+      env_.send(kOracleId, from, std::make_shared<OracleComplete>(null_neg));
+    }
+    return;
+  }
+
+  if (const auto* req = msg_cast<OracleReadReq>(msg)) {
+    env_.send(kOracleId, from,
+              std::make_shared<OracleReadAck>(
+                  req->op_id(), changes_.subset_for(req->target())));
+    return;
+  }
+}
+
+}  // namespace wrs

@@ -1,0 +1,157 @@
+#include "consensus/reduction.h"
+
+#include "common/logging.h"
+
+namespace wrs {
+
+ReductionServerBase::ReductionServerBase(
+    Env& env, ProcessId self, const SystemConfig& config,
+    std::shared_ptr<SharedRegisters> registers)
+    : env_(env),
+      self_(self),
+      config_(config),
+      registers_(std::move(registers)) {}
+
+void ReductionServerBase::propose(std::string value, DecideCallback cb) {
+  my_value_ = std::move(value);
+  cb_ = std::move(cb);
+  // Line 1: R[i] <- v_i.
+  registers_->write(self_, self_, my_value_);
+  // Lines 2-6: issue the variant's reassignment request. The polling loop
+  // (lines 7-12) starts right away — the decision may come from another
+  // server's request.
+  issue_request();
+  start_polling();
+}
+
+void ReductionServerBase::on_message(ProcessId from, const Message& msg) {
+  if (from == kOracleId) {
+    if (const auto* comp = msg_cast<OracleComplete>(msg)) {
+      if (comp->change().is_null() && !decided_.has_value()) {
+        on_null_completion();
+      }
+      return;
+    }
+    if (const auto* ack = msg_cast<OracleReadAck>(msg)) {
+      if (outstanding_reads_.erase(ack->op_id()) == 0) return;  // stale
+      if (decided_.has_value()) return;
+      auto winner = winning_issuer(
+          /*target inferred by variant from contents*/ kNoProcess,
+          ack->changes());
+      if (winner.has_value()) {
+        decide(*winner);
+        return;
+      }
+      if (outstanding_reads_.empty()) {
+        // Round exhausted without a decision: poll again shortly.
+        env_.schedule(self_, poll_interval_, [this] { poll_round(); });
+      }
+      return;
+    }
+  }
+  WRS_DEBUG("ReductionServer " << process_name(self_) << ": unhandled "
+                               << msg.type_name());
+}
+
+void ReductionServerBase::start_polling() {
+  if (polling_) return;
+  polling_ = true;
+  poll_round();
+}
+
+void ReductionServerBase::poll_round() {
+  if (decided_.has_value()) return;
+  for (ProcessId target : poll_targets()) {
+    std::uint64_t op = next_op_id_++;
+    outstanding_reads_.insert(op);
+    env_.send(self_, kOracleId, std::make_shared<OracleReadReq>(op, target));
+  }
+}
+
+void ReductionServerBase::decide(ProcessId winner) {
+  const auto& slot = registers_->read(winner);
+  if (!slot.has_value()) {
+    // Cannot happen: the winner wrote R[winner] before issuing its
+    // request, and the oracle only created the change afterwards.
+    throw std::logic_error("reduction: winner register unwritten");
+  }
+  decided_ = *slot;
+  outstanding_reads_.clear();
+  if (cb_) cb_(*decided_);
+}
+
+// --- Algorithm 1 -------------------------------------------------------------
+
+bool Alg1Server::issue_request() {
+  // Lines 2-5: s_i ∈ F asks +1/2; s_i ∈ S∖F asks -1/2.
+  Weight delta = self_ < config_.f ? Weight(1, 2) : Weight(-1, 2);
+  env_.send(self_, kOracleId,
+            std::make_shared<OracleReassignReq>(lc_++, self_, delta));
+  return true;
+}
+
+std::vector<ProcessId> Alg1Server::poll_targets() const {
+  return config_.servers();  // lines 8-9: read_changes(s_j) for every j
+}
+
+std::optional<ProcessId> Alg1Server::winning_issuer(
+    ProcessId, const ChangeSet& cs) const {
+  // Line 10: a change <s_j, lc, s_j, delta != 0> (lc >= kFirstCounter —
+  // i.e. not the initial weight change).
+  for (const Change& c : cs.all()) {
+    if (c.counter() >= kFirstCounter && c.issuer() == c.target() &&
+        !c.is_null()) {
+      return c.issuer();
+    }
+  }
+  return std::nullopt;
+}
+
+// --- Algorithm 2 -------------------------------------------------------------
+
+bool Alg2Server::issue_request() {
+  if (self_ < config_.f) {
+    // Ring transfer inside F (line 3-4); degenerate when f == 1.
+    if (config_.f < 2) return false;
+    ProcessId dst = (self_ + 1) % config_.f;
+    env_.send(self_, kOracleId,
+              std::make_shared<OracleTransferReq>(lc_++, self_, dst,
+                                                  Weight(1, 10)));
+  } else {
+    // Line 6: transfer(s_i, s_0, 0.4).
+    env_.send(self_, kOracleId,
+              std::make_shared<OracleTransferReq>(lc_++, self_, ProcessId{0},
+                                                  Weight(2, 5)));
+  }
+  return true;
+}
+
+void Alg2Server::on_null_completion() {
+  // Retry (see class comment). Only S∖F servers retry — an aborted ring
+  // transfer implies a winner already exists, so there is no point.
+  if (self_ < config_.f) return;
+  env_.schedule(self_, poll_interval_, [this] {
+    if (decided_.has_value()) return;
+    issue_request();
+  });
+}
+
+std::vector<ProcessId> Alg2Server::poll_targets() const {
+  // Poll s_0's changes: the effective S∖F transfer deposits
+  // <s_j, 2, s_0, 0.4> there (lines 9-10 of the paper, reformulated on
+  // the destination side).
+  return {ProcessId{0}};
+}
+
+std::optional<ProcessId> Alg2Server::winning_issuer(
+    ProcessId, const ChangeSet& cs) const {
+  for (const Change& c : cs.all()) {
+    if (c.counter() >= kFirstCounter && c.issuer() >= config_.f &&
+        c.target() == ProcessId{0} && c.delta == Weight(2, 5)) {
+      return c.issuer();
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace wrs

@@ -1,0 +1,48 @@
+// The shared array R of SWMR registers used by the reduction algorithms
+// (Algorithms 1 and 2, line 1).
+//
+// The paper assumes atomic SWMR registers as given (they are implementable
+// from message passing with f < n/2 via ABD, so assuming them does not
+// weaken the reduction). In the simulator every event runs serially, so a
+// plain in-memory array *is* linearizable; writes are restricted to each
+// process's own slot to honor the single-writer discipline.
+#pragma once
+
+#include <cassert>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace wrs {
+
+class SharedRegisters {
+ public:
+  explicit SharedRegisters(std::size_t n) : slots_(n) {}
+
+  /// R[i] <- value; only process i may write slot i (SWMR).
+  void write(ProcessId writer, std::size_t index, std::string value) {
+    if (index >= slots_.size()) throw std::out_of_range("SharedRegisters");
+    if (static_cast<std::size_t>(writer) != index) {
+      throw std::logic_error(
+          "SharedRegisters: single-writer violation — " +
+          process_name(writer) + " writing R[" + std::to_string(index) + "]");
+    }
+    slots_[index] = std::move(value);
+  }
+
+  /// Read R[index]; nullopt when never written.
+  const std::optional<std::string>& read(std::size_t index) const {
+    if (index >= slots_.size()) throw std::out_of_range("SharedRegisters");
+    return slots_[index];
+  }
+
+  std::size_t size() const { return slots_.size(); }
+
+ private:
+  std::vector<std::optional<std::string>> slots_;
+};
+
+}  // namespace wrs

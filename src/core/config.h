@@ -1,0 +1,84 @@
+// Static system configuration: the set of servers S, the fault threshold
+// f, and the initial weight assignment (the paper's model fixes all three
+// for the lifetime of the system).
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+#include "quorum/wmqs.h"
+
+namespace wrs {
+
+struct SystemConfig {
+  std::uint32_t n = 0;
+  std::uint32_t f = 0;
+  WeightMap initial_weights;
+
+  /// Uniform initial weights (weight 1 each): the MQS starting point.
+  static SystemConfig uniform(std::uint32_t n, std::uint32_t f) {
+    return make(n, f, WeightMap::uniform(n));
+  }
+
+  static SystemConfig make(std::uint32_t n, std::uint32_t f,
+                           WeightMap initial) {
+    SystemConfig cfg;
+    cfg.n = n;
+    cfg.f = f;
+    cfg.initial_weights = std::move(initial);
+    cfg.validate();
+    return cfg;
+  }
+
+  std::vector<ProcessId> servers() const { return all_servers(n); }
+
+  /// W_{S,0}.
+  Weight initial_total() const { return initial_weights.total(); }
+
+  /// The RP-Integrity floor W_{S,0}/(2(n-f)).
+  Weight floor() const { return rp_integrity_floor(initial_total(), n, f); }
+
+  /// Checks the model's standing assumptions:
+  ///  * 0 <= f, n >= 2f+1 (a weighted quorum of correct servers must exist
+  ///    even in the uniform case),
+  ///  * one weight per server,
+  ///  * Property 1 (availability) holds initially.
+  void validate() const {
+    if (n == 0) throw std::invalid_argument("SystemConfig: n == 0");
+    if (n < 2 * f + 1) {
+      throw std::invalid_argument("SystemConfig: need n >= 2f+1");
+    }
+    if (initial_weights.size() != n) {
+      throw std::invalid_argument("SystemConfig: weights/servers mismatch");
+    }
+    for (ProcessId s : servers()) {
+      if (!initial_weights.contains(s)) {
+        throw std::invalid_argument("SystemConfig: missing weight for " +
+                                    process_name(s));
+      }
+      if (!initial_weights.of(s).is_positive()) {
+        throw std::invalid_argument("SystemConfig: non-positive weight for " +
+                                    process_name(s));
+      }
+    }
+    Wmqs q(initial_weights);
+    if (f > 0 && !q.is_available(f)) {
+      throw std::invalid_argument(
+          "SystemConfig: Property 1 (availability) violated by initial "
+          "weights");
+    }
+  }
+
+  /// True iff the initial weights additionally satisfy the RP-Integrity
+  /// floor (required to *start* the restricted pairwise protocol).
+  bool satisfies_rp_floor() const {
+    Weight fl = floor();
+    for (const auto& [s, w] : initial_weights.entries()) {
+      if (!(w > fl)) return false;
+    }
+    return true;
+  }
+};
+
+}  // namespace wrs

@@ -1,0 +1,45 @@
+#include "core/read_changes_engine.h"
+
+namespace wrs {
+
+void ReadChangesEngine::start(ProcessId target, Callback cb) {
+  std::uint64_t op_id = next_op_id_++;
+  Pending& p = pending_[op_id];
+  p.target = target;
+  p.cb = std::move(cb);
+  env_.broadcast_to_servers(self_, std::make_shared<RcReq>(op_id, target));
+}
+
+bool ReadChangesEngine::handle(ProcessId from, const Message& msg) {
+  if (const auto* ack = msg_cast<RcAck>(msg)) {
+    auto it = pending_.find(ack->op_id());
+    if (it == pending_.end() || it->second.phase != 1) return true;  // stale
+    Pending& p = it->second;
+    if (!p.phase1_acks.insert(from).second) return true;  // duplicate
+    p.acc.join(ack->changes());
+    maybe_finish_phase1(ack->op_id(), p);
+    return true;
+  }
+  if (const auto* ack = msg_cast<WcAck>(msg)) {
+    auto it = pending_.find(ack->op_id());
+    if (it == pending_.end() || it->second.phase != 2) return true;  // stale
+    Pending& p = it->second;
+    if (!p.phase2_acks.insert(from).second) return true;
+    if (p.phase2_acks.size() >= config_.n - config_.f) {
+      auto cb = std::move(p.cb);
+      ChangeSet result = std::move(p.acc);
+      pending_.erase(it);
+      cb(result);
+    }
+    return true;
+  }
+  return false;
+}
+
+void ReadChangesEngine::maybe_finish_phase1(std::uint64_t op_id, Pending& p) {
+  if (p.phase1_acks.size() < config_.f + 1) return;
+  p.phase = 2;
+  env_.broadcast_to_servers(self_, std::make_shared<WcReq>(op_id, p.acc));
+}
+
+}  // namespace wrs

@@ -1,0 +1,61 @@
+// Client-side state machine of read_changes (Algorithm 3, lines 1-9).
+//
+// Phase 1: broadcast <RC, target>; union the RC_Ack change sets until
+//          acks from f+1 distinct servers arrived (the appendix proof's
+//          reading of line 6 — at least one ack is then from a correct
+//          server that stores every completed change).
+// Phase 2: broadcast <WC, C>; wait for WC_Ack from n-f distinct servers
+//          so the returned set is durable, then return C.
+//
+// Usable by any process (servers run it too). Multiple concurrent
+// invocations are supported and correlated by op_id.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <set>
+
+#include "core/config.h"
+#include "core/reassign_messages.h"
+#include "runtime/env.h"
+
+namespace wrs {
+
+class ReadChangesEngine {
+ public:
+  using Callback = std::function<void(const ChangeSet&)>;
+
+  ReadChangesEngine(Env& env, ProcessId self, const SystemConfig& config)
+      : env_(env), self_(self), config_(config) {}
+
+  /// Starts a read_changes(target) invocation; `cb` fires exactly once
+  /// with the returned set. (If more than f servers are faulty, liveness
+  /// is forfeit — as in the paper.)
+  void start(ProcessId target, Callback cb);
+
+  /// Routes RC_Ack / WC_Ack messages; true iff consumed.
+  bool handle(ProcessId from, const Message& msg);
+
+  std::size_t in_flight() const { return pending_.size(); }
+
+ private:
+  struct Pending {
+    ProcessId target = kNoProcess;
+    int phase = 1;
+    std::set<ProcessId> phase1_acks;
+    std::set<ProcessId> phase2_acks;
+    ChangeSet acc;
+    Callback cb;
+  };
+
+  void maybe_finish_phase1(std::uint64_t op_id, Pending& p);
+
+  Env& env_;
+  ProcessId self_;
+  SystemConfig config_;
+  std::uint64_t next_op_id_ = 1;
+  std::map<std::uint64_t, Pending> pending_;
+};
+
+}  // namespace wrs

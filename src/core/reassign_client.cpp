@@ -1,0 +1,24 @@
+#include "core/reassign_client.h"
+
+#include <memory>
+
+namespace wrs {
+
+void ReassignClient::read_all_weights(
+    const SystemConfig& config, std::function<void(const WeightMap&)> cb) {
+  auto servers = config.servers();
+  auto acc = std::make_shared<ChangeSet>();
+  auto remaining = std::make_shared<std::size_t>(servers.size());
+  auto done = std::make_shared<std::function<void(const WeightMap&)>>(
+      std::move(cb));
+  for (ProcessId s : servers) {
+    engine_.start(s, [servers, acc, remaining, done](const ChangeSet& cs) {
+      acc->join(cs);
+      if (--*remaining == 0) {
+        (*done)(acc->to_weight_map(servers));
+      }
+    });
+  }
+}
+
+}  // namespace wrs

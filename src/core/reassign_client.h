@@ -1,0 +1,35 @@
+// A client process (member of Pi) of the reassignment service: may invoke
+// read_changes but never transfer (only servers reassign weights).
+#pragma once
+
+#include "core/read_changes_engine.h"
+
+namespace wrs {
+
+class ReassignClient : public Process {
+ public:
+  ReassignClient(Env& env, ProcessId self, const SystemConfig& config)
+      : self_(self), engine_(env, self, config) {}
+
+  void read_changes(ProcessId target, ReadChangesEngine::Callback cb) {
+    engine_.start(target, std::move(cb));
+  }
+
+  /// Convenience: read the changes for every server and derive the weight
+  /// map (used by monitoring dashboards and tests).
+  void read_all_weights(
+      const SystemConfig& config,
+      std::function<void(const WeightMap&)> cb);
+
+  void on_message(ProcessId from, const Message& msg) override {
+    engine_.handle(from, msg);
+  }
+
+  ProcessId id() const { return self_; }
+
+ private:
+  ProcessId self_;
+  ReadChangesEngine engine_;
+};
+
+}  // namespace wrs

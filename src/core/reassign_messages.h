@@ -1,0 +1,105 @@
+// Wire messages of the restricted pairwise weight reassignment protocol
+// (Algorithms 3 and 4).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "core/change_set.h"
+#include "runtime/message.h"
+
+namespace wrs {
+
+/// <RC, s> — phase 1 of read_changes: asks a server for the changes it
+/// stores for target `s`. op_id correlates responses with invocations.
+class RcReq : public Message {
+ public:
+  RcReq(std::uint64_t op_id, ProcessId target)
+      : op_id_(op_id), target_(target) {}
+  std::uint64_t op_id() const { return op_id_; }
+  ProcessId target() const { return target_; }
+  std::string type_name() const override { return "RC"; }
+  std::size_t wire_size() const override { return kHeaderBytes + 12; }
+
+ private:
+  std::uint64_t op_id_;
+  ProcessId target_;
+};
+
+/// <RC_Ack, C_s> — a server's stored changes for the requested target.
+class RcAck : public Message {
+ public:
+  RcAck(std::uint64_t op_id, ChangeSet changes)
+      : op_id_(op_id), changes_(std::move(changes)) {}
+  std::uint64_t op_id() const { return op_id_; }
+  const ChangeSet& changes() const { return changes_; }
+  std::string type_name() const override { return "RC_ACK"; }
+  std::size_t wire_size() const override {
+    return kHeaderBytes + 8 + changes_.wire_size();
+  }
+
+ private:
+  std::uint64_t op_id_;
+  ChangeSet changes_;
+};
+
+/// <WC, C> — phase 2 of read_changes: write back the unioned set so that
+/// n-f servers store it before the invocation returns.
+class WcReq : public Message {
+ public:
+  WcReq(std::uint64_t op_id, ChangeSet changes)
+      : op_id_(op_id), changes_(std::move(changes)) {}
+  std::uint64_t op_id() const { return op_id_; }
+  const ChangeSet& changes() const { return changes_; }
+  std::string type_name() const override { return "WC"; }
+  std::size_t wire_size() const override {
+    return kHeaderBytes + 8 + changes_.wire_size();
+  }
+
+ private:
+  std::uint64_t op_id_;
+  ChangeSet changes_;
+};
+
+/// <WC_Ack>.
+class WcAck : public Message {
+ public:
+  explicit WcAck(std::uint64_t op_id) : op_id_(op_id) {}
+  std::uint64_t op_id() const { return op_id_; }
+  std::string type_name() const override { return "WC_ACK"; }
+  std::size_t wire_size() const override { return kHeaderBytes + 8; }
+
+ private:
+  std::uint64_t op_id_;
+};
+
+/// <T, c, c'> — the transfer announcement, reliably broadcast by the
+/// issuer (Algorithm 4 line 14). Carries both changes of the pair.
+class TransferMsg : public Message {
+ public:
+  TransferMsg(Change neg, Change pos)
+      : neg_(std::move(neg)), pos_(std::move(pos)) {}
+  const Change& neg() const { return neg_; }
+  const Change& pos() const { return pos_; }
+  std::string type_name() const override { return "T"; }
+  std::size_t wire_size() const override { return kHeaderBytes + 2 * 32; }
+
+ private:
+  Change neg_;
+  Change pos_;
+};
+
+/// <T_Ack, lc> — acknowledgment that a server stored both changes of the
+/// transfer identified by (issuer, counter).
+class TAck : public Message {
+ public:
+  explicit TAck(std::uint64_t counter) : counter_(counter) {}
+  std::uint64_t counter() const { return counter_; }
+  std::string type_name() const override { return "T_ACK"; }
+  std::size_t wire_size() const override { return kHeaderBytes + 8; }
+
+ private:
+  std::uint64_t counter_;
+};
+
+}  // namespace wrs

@@ -1,0 +1,199 @@
+#include "core/reassign_node.h"
+
+#include <cassert>
+#include <memory>
+#include <stdexcept>
+
+#include "common/logging.h"
+
+namespace wrs {
+
+ReassignNode::ReassignNode(Env& env, ProcessId self,
+                           const SystemConfig& config)
+    : env_(env),
+      self_(self),
+      config_(config),
+      floor_(config.floor()),
+      changes_(ChangeSet::initial(config.initial_weights)),
+      rb_(env, self,
+          [this](ProcessId origin, const Message& payload) {
+            on_rb_deliver(origin, payload);
+          }),
+      read_engine_(env, self, config),
+      refresh_hook_([](std::function<void()> done) { done(); }) {
+  // The paper's model assumes RP-Integrity at t=0. Starting below the
+  // floor voids Lemma 1 (the floor would no longer imply Property 1
+  // after transfers), so flag it loudly; deployments that never transfer
+  // (static WMQS baselines reusing this node) may ignore the warning.
+  if (!config_.satisfies_rp_floor()) {
+    WRS_WARN("ReassignNode " << process_name(self)
+                             << ": initial weights violate the RP-Integrity "
+                                "floor "
+                             << floor_.str()
+                             << "; transfers may not preserve Property 1");
+  }
+}
+
+void ReassignNode::transfer(ProcessId to, const Weight& delta,
+                            TransferCallback cb) {
+  if (pending_transfer_.has_value()) {
+    throw std::logic_error(
+        "ReassignNode: processes are sequential — previous transfer still "
+        "in flight");
+  }
+  if (!(delta.is_positive())) {
+    throw std::invalid_argument("ReassignNode::transfer: delta must be > 0");
+  }
+  if (to == self_ || !is_server(to) || to >= config_.n) {
+    throw std::invalid_argument("ReassignNode::transfer: bad destination");
+  }
+
+  std::uint64_t counter = lc_++;
+  // Algorithm 4 line 12: C2 — remain strictly above the floor.
+  if (weight() > delta + floor_) {
+    Change neg(self_, counter, self_, -delta);
+    Change pos(self_, counter, to, delta);
+    changes_.add(neg);
+    changes_.add(pos);
+    if (on_changes_grown_) on_changes_grown_();
+    PendingTransfer p;
+    p.counter = counter;
+    p.neg = neg;
+    p.cb = std::move(cb);
+    pending_transfer_ = std::move(p);
+    rb_.broadcast(std::make_shared<TransferMsg>(neg, pos));
+    // Completion once n-f-1 other servers acked (line 15). With n-f-1 == 0
+    // (n = f+1 is excluded by SystemConfig, so this cannot happen) the
+    // transfer would complete immediately.
+    if (config_.n - config_.f - 1 == 0) complete_transfer();
+  } else {
+    // Null transfer: <Complete, <s, lc, s, 0>> with nothing stored.
+    TransferOutcome out;
+    out.effective = false;
+    out.completion_change = Change(self_, counter, self_, Weight(0));
+    cb(out);
+  }
+}
+
+void ReassignNode::read_changes(ProcessId target, ReadChangesCallback cb) {
+  read_engine_.start(target, std::move(cb));
+}
+
+void ReassignNode::on_message(ProcessId from, const Message& msg) {
+  if (!handle(from, msg)) {
+    WRS_DEBUG("ReassignNode " << process_name(self_)
+                              << ": unhandled message " << msg.type_name());
+  }
+}
+
+bool ReassignNode::handle(ProcessId from, const Message& msg) {
+  // Reliable-broadcast traffic (T messages travel inside).
+  if (rb_.handle(from, msg)) return true;
+  // Our own read_changes invocations.
+  if (read_engine_.handle(from, msg)) return true;
+
+  if (const auto* rc = msg_cast<RcReq>(msg)) {
+    // Algorithm 3 line 12-13: reply with the changes stored for target.
+    env_.send(self_, from,
+              std::make_shared<RcAck>(rc->op_id(),
+                                      changes_.subset_for(rc->target())));
+    return true;
+  }
+  if (const auto* wc = msg_cast<WcReq>(msg)) {
+    // Algorithm 3 line 14-15: store, then acknowledge.
+    std::uint64_t op_id = wc->op_id();
+    write_changes(wc->changes(), [this, from, op_id] {
+      env_.send(self_, from, std::make_shared<WcAck>(op_id));
+    });
+    return true;
+  }
+  if (const auto* ack = msg_cast<TAck>(msg)) {
+    if (pending_transfer_.has_value() &&
+        pending_transfer_->counter == ack->counter() && from != self_) {
+      pending_transfer_->acks.insert(from);
+      if (pending_transfer_->acks.size() >= config_.n - config_.f - 1) {
+        complete_transfer();
+      }
+    }
+    return true;
+  }
+  return false;
+}
+
+void ReassignNode::complete_transfer() {
+  assert(pending_transfer_.has_value());
+  TransferOutcome out;
+  out.effective = true;
+  out.completion_change = pending_transfer_->neg;
+  auto cb = std::move(pending_transfer_->cb);
+  pending_transfer_.reset();
+  cb(out);
+}
+
+void ReassignNode::on_rb_deliver(ProcessId /*origin*/,
+                                 const Message& payload) {
+  const auto* t = msg_cast<TransferMsg>(payload);
+  if (t == nullptr) {
+    WRS_WARN("ReassignNode " << process_name(self_)
+                             << ": unexpected RB payload "
+                             << payload.type_name());
+    return;
+  }
+  ChangeSet pair;
+  pair.add(t->neg());
+  pair.add(t->pos());
+  write_changes(pair, [] {});
+}
+
+void ReassignNode::write_changes(const ChangeSet& incoming,
+                                 std::function<void()> done) {
+  std::vector<Change> missing = changes_.missing_from(incoming);
+  // Drop the ones already being applied (refresh hook in flight).
+  std::erase_if(missing, [this](const Change& c) {
+    return applying_.count(c.id) != 0;
+  });
+  if (missing.empty()) {
+    done();
+    return;
+  }
+  auto remaining = std::make_shared<std::size_t>(missing.size());
+  auto all_done = std::make_shared<std::function<void()>>(std::move(done));
+  for (const Change& c : missing) {
+    auto finish_one = [this, remaining, all_done] {
+      if (--*remaining == 0) (*all_done)();
+    };
+    const bool is_gain_for_self =
+        c.target() == self_ && c.issuer() != self_ && c.delta.is_positive();
+    if (is_gain_for_self) {
+      // Algorithm 4 lines 8-9: refresh the local register (via the hook)
+      // before the gain becomes visible.
+      applying_.insert(c.id);
+      Change copy = c;
+      refresh_hook_([this, copy, finish_one] {
+        applying_.erase(copy.id);
+        apply_change(copy);
+        finish_one();
+      });
+    } else {
+      apply_change(c);
+      finish_one();
+    }
+  }
+}
+
+void ReassignNode::apply_change(const Change& c) {
+  if (!changes_.add(c)) return;  // lost a race with another path
+  if (on_changes_grown_) on_changes_grown_();
+  maybe_ack_issuer(c.issuer(), c.counter());
+}
+
+void ReassignNode::maybe_ack_issuer(ProcessId issuer, std::uint64_t counter) {
+  if (issuer == self_) return;  // the issuer does not ack itself
+  if (counter == kInitialChangeCounter) return;  // initial changes
+  if (changes_.count_pair(issuer, counter) < 2) return;  // wait for pair
+  auto key = std::make_pair(issuer, counter);
+  if (!acked_pairs_.insert(key).second) return;  // already acked
+  env_.send(self_, issuer, std::make_shared<TAck>(counter));
+}
+
+}  // namespace wrs

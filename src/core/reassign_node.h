@@ -1,0 +1,129 @@
+// Server node of the restricted pairwise weight reassignment protocol:
+// Algorithm 4 (transfer) plus the server part of Algorithm 3
+// (read_changes service).
+//
+// Faithfulness notes (deviations recorded in DESIGN.md §2):
+//  * transfer() checks C2 locally: weight() > delta + W_{S,0}/(2(n-f));
+//    effective transfers store both changes locally, reliably broadcast
+//    <T, c, c'>, and complete after T_Acks from n-f-1 *other* servers.
+//    Null (aborted) transfers complete immediately and store nothing.
+//  * C1 is structural: transfer() only ever moves *this* server's weight.
+//  * A server acknowledges a transfer (T_Ack) only once BOTH changes of
+//    the (issuer, counter) pair are stored — slightly stronger than the
+//    paper's per-change ack, closing a race where write-backs of a single
+//    half could count toward completion.
+//  * Before applying a weight *gain*, the node runs the registered
+//    refresh hook (Algorithm 4 line 9: "register <- read()"); the dynamic
+//    storage layer uses this to complete a read before its quorum power
+//    grows. Standalone deployments leave the default no-op hook.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
+#include <set>
+
+#include "broadcast/reliable_broadcast.h"
+#include "core/config.h"
+#include "core/read_changes_engine.h"
+#include "core/reassign_messages.h"
+#include "runtime/env.h"
+
+namespace wrs {
+
+/// Outcome of a completed transfer invocation: the <Complete, c> message
+/// of the paper, where c is the negative (source) change — zero-weight
+/// when the invocation was null (aborted by the C2 check).
+struct TransferOutcome {
+  bool effective = false;
+  Change completion_change;
+};
+
+class ReassignNode : public Process {
+ public:
+  using TransferCallback = std::function<void(const TransferOutcome&)>;
+  using ReadChangesCallback = ReadChangesEngine::Callback;
+  /// Called before a weight gain is applied; must invoke `done` (possibly
+  /// asynchronously) when the pre-gain work (storage register refresh)
+  /// finished.
+  using RefreshHook = std::function<void(std::function<void()> done)>;
+
+  ReassignNode(Env& env, ProcessId self, const SystemConfig& config);
+
+  // --- public API (the problem's operations) ------------------------------
+  /// transfer(self, to, delta): moves `delta` (> 0) of this server's
+  /// weight to `to`. Processes are sequential: at most one outstanding
+  /// transfer per node (throws std::logic_error otherwise).
+  void transfer(ProcessId to, const Weight& delta, TransferCallback cb);
+
+  /// read_changes(target) — any process may invoke; servers included.
+  void read_changes(ProcessId target, ReadChangesCallback cb);
+
+  /// Current weight of this server per its local change set.
+  Weight weight() const { return changes_.weight_of(self_); }
+
+  /// Weight of any server per the local change set.
+  Weight weight_of(ProcessId server) const {
+    return changes_.weight_of(server);
+  }
+
+  /// Snapshot of the local change set (tests, storage piggybacking).
+  const ChangeSet& changes() const { return changes_; }
+
+  const SystemConfig& config() const { return config_; }
+  ProcessId id() const { return self_; }
+
+  bool transfer_in_flight() const { return pending_transfer_.has_value(); }
+
+  void set_refresh_hook(RefreshHook hook) { refresh_hook_ = std::move(hook); }
+
+  /// Observer invoked whenever the local change set grows (monitoring,
+  /// storage invalidation, tests).
+  void set_on_changes_grown(std::function<void()> fn) {
+    on_changes_grown_ = std::move(fn);
+  }
+
+  // --- Process interface ---------------------------------------------------
+  void on_message(ProcessId from, const Message& msg) override;
+
+  /// Component-style dispatch for composition with the storage server in
+  /// one Process; returns true iff the message belonged to this protocol.
+  bool handle(ProcessId from, const Message& msg);
+
+ private:
+  struct PendingTransfer {
+    std::uint64_t counter = 0;
+    Change neg;
+    std::set<ProcessId> acks;
+    TransferCallback cb;
+  };
+
+  /// Algorithm 4 write_changes: stores every missing change from `incoming`
+  /// (running the refresh hook before gains) and T_Acks issuers whose pair
+  /// completed. `done` fires when all changes are applied locally.
+  void write_changes(const ChangeSet& incoming, std::function<void()> done);
+
+  void apply_change(const Change& c);
+  void maybe_ack_issuer(ProcessId issuer, std::uint64_t counter);
+  void on_rb_deliver(ProcessId origin, const Message& payload);
+  void complete_transfer();
+
+  Env& env_;
+  ProcessId self_;
+  SystemConfig config_;
+  Weight floor_;
+
+  ChangeSet changes_;
+  std::uint64_t lc_ = kFirstCounter;
+  ReliableBroadcast rb_;
+  ReadChangesEngine read_engine_;
+
+  std::optional<PendingTransfer> pending_transfer_;
+  std::set<std::pair<ProcessId, std::uint64_t>> acked_pairs_;
+  std::set<ChangeId> applying_;  // gains waiting on the refresh hook
+  RefreshHook refresh_hook_;
+  std::function<void()> on_changes_grown_;
+};
+
+}  // namespace wrs

@@ -1,0 +1,170 @@
+// AdaptiveNode: a DynamicStorageNode plus the monitoring/adaptation loop.
+//
+//   * every `probe_interval` the node pings all other servers, records
+//     RTTs, and gossips its RTT vector to the other servers;
+//   * from the gossiped vectors each node derives a *perceived latency*
+//     per server k: the median of RTT_i[k] over reporters i != k. This
+//     makes "server 4 is slow" visible to server 4 itself (its own pings
+//     cannot distinguish "I am slow" from "everyone else is slow");
+//   * every `eval_interval` the node consults the WeightPolicy and, when
+//     the policy says so (and no transfer is in flight), invokes
+//     transfer(fastest, step) on the embedded ReassignNode.
+//
+// This closes the loop the paper sketches: monitoring system -> weight
+// reassignment -> dynamic-weighted quorums. Per C1, a node only ever
+// moves its own weight.
+#pragma once
+
+#include <map>
+#include <memory>
+
+#include "monitor/latency_monitor.h"
+#include "monitor/weight_policy.h"
+#include "storage/dynamic_node.h"
+
+namespace wrs {
+
+/// Probe messages.
+class PingMsg : public Message {
+ public:
+  explicit PingMsg(TimeNs sent_at) : sent_at_(sent_at) {}
+  TimeNs sent_at() const { return sent_at_; }
+  std::string type_name() const override { return "PING"; }
+  std::size_t wire_size() const override { return kHeaderBytes + 8; }
+
+ private:
+  TimeNs sent_at_;
+};
+
+class PongMsg : public Message {
+ public:
+  explicit PongMsg(TimeNs sent_at) : sent_at_(sent_at) {}
+  TimeNs sent_at() const { return sent_at_; }
+  std::string type_name() const override { return "PONG"; }
+  std::size_t wire_size() const override { return kHeaderBytes + 8; }
+
+ private:
+  TimeNs sent_at_;
+};
+
+/// Gossiped RTT vector: the reporter's EWMA estimate per server.
+class RttReportMsg : public Message {
+ public:
+  explicit RttReportMsg(std::map<ProcessId, double> rtts)
+      : rtts_(std::move(rtts)) {}
+  const std::map<ProcessId, double>& rtts() const { return rtts_; }
+  std::string type_name() const override { return "RTT_REPORT"; }
+  std::size_t wire_size() const override {
+    return kHeaderBytes + 4 + rtts_.size() * 12;
+  }
+
+ private:
+  std::map<ProcessId, double> rtts_;
+};
+
+struct AdaptiveParams {
+  TimeNs probe_interval = ms(50);
+  TimeNs eval_interval = ms(200);
+  Weight step = Weight(1, 10);
+  double slow_factor = 1.3;
+  /// Adaptation can be disabled to build a "static WMQS" control group
+  /// that still answers pings.
+  bool adaptation_enabled = true;
+};
+
+class AdaptiveNode : public Process {
+ public:
+  AdaptiveNode(Env& env, ProcessId self, const SystemConfig& config,
+               AdaptiveParams params)
+      : env_(env),
+        self_(self),
+        config_(config),
+        params_(std::move(params)),
+        node_(env, self, config),
+        policy_(params_.step, params_.slow_factor) {}
+
+  DynamicStorageNode& storage() { return node_; }
+  ReassignNode& reassign() { return node_.reassign(); }
+  const LatencyMonitor& monitor() const { return monitor_; }
+  std::uint64_t transfers_issued() const { return transfers_issued_; }
+
+  /// Perceived latency of server k: median of the gossiped RTT_i[k] over
+  /// reporters i != k (plus our own measurement). Empty until reports
+  /// arrive.
+  std::map<ProcessId, double> perceived_latencies() const {
+    std::map<ProcessId, double> out;
+    for (ProcessId k : config_.servers()) {
+      std::vector<double> obs;
+      for (const auto& [reporter, rtts] : reports_) {
+        if (reporter == k) continue;
+        auto it = rtts.find(k);
+        if (it != rtts.end()) obs.push_back(it->second);
+      }
+      if (obs.empty()) continue;
+      std::sort(obs.begin(), obs.end());
+      out[k] = obs[obs.size() / 2];
+    }
+    return out;
+  }
+
+  void on_start() override {
+    env_.schedule(self_, params_.probe_interval, [this] { probe(); });
+    env_.schedule(self_, params_.eval_interval, [this] { evaluate(); });
+  }
+
+  void on_message(ProcessId from, const Message& msg) override {
+    if (const auto* ping = msg_cast<PingMsg>(msg)) {
+      env_.send(self_, from, std::make_shared<PongMsg>(ping->sent_at()));
+      return;
+    }
+    if (const auto* pong = msg_cast<PongMsg>(msg)) {
+      monitor_.add_sample(from, env_.now() - pong->sent_at());
+      return;
+    }
+    if (const auto* report = msg_cast<RttReportMsg>(msg)) {
+      reports_[from] = report->rtts();
+      return;
+    }
+    node_.handle(from, msg);
+  }
+
+ private:
+  void probe() {
+    for (ProcessId s : config_.servers()) {
+      if (s == self_) continue;
+      env_.send(self_, s, std::make_shared<PingMsg>(env_.now()));
+    }
+    // Gossip what we currently believe (our EWMA vector).
+    if (!monitor_.estimates().empty()) {
+      auto snapshot = monitor_.estimates();
+      reports_[self_] = snapshot;  // include ourselves as a reporter
+      env_.broadcast_to_servers(
+          self_, std::make_shared<RttReportMsg>(std::move(snapshot)));
+    }
+    env_.schedule(self_, params_.probe_interval, [this] { probe(); });
+  }
+
+  void evaluate() {
+    env_.schedule(self_, params_.eval_interval, [this] { evaluate(); });
+    if (!params_.adaptation_enabled) return;
+    if (node_.reassign().transfer_in_flight()) return;
+    auto decision = policy_.decide(self_, node_.reassign().weight(),
+                                   config_.floor(), perceived_latencies());
+    if (!decision.has_value()) return;
+    ++transfers_issued_;
+    node_.reassign().transfer(decision->dst, decision->delta,
+                              [](const TransferOutcome&) {});
+  }
+
+  Env& env_;
+  ProcessId self_;
+  SystemConfig config_;
+  AdaptiveParams params_;
+  DynamicStorageNode node_;
+  LatencyMonitor monitor_;
+  WeightPolicy policy_;
+  std::map<ProcessId, std::map<ProcessId, double>> reports_;
+  std::uint64_t transfers_issued_ = 0;
+};
+
+}  // namespace wrs

@@ -1,0 +1,63 @@
+#include "quorum/weight_map.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace wrs {
+
+WeightMap::WeightMap(std::map<ProcessId, Weight> weights)
+    : weights_(std::move(weights)) {}
+
+WeightMap WeightMap::uniform(std::uint32_t n, Weight w) {
+  std::map<ProcessId, Weight> m;
+  for (std::uint32_t i = 0; i < n; ++i) m[i] = w;
+  return WeightMap(std::move(m));
+}
+
+Weight WeightMap::of(ProcessId server) const {
+  auto it = weights_.find(server);
+  return it == weights_.end() ? Weight(0) : it->second;
+}
+
+Weight WeightMap::total() const {
+  Weight sum(0);
+  for (const auto& [_, w] : weights_) sum += w;
+  return sum;
+}
+
+Weight WeightMap::weight_of(const std::vector<ProcessId>& subset) const {
+  Weight sum(0);
+  for (ProcessId s : subset) sum += of(s);
+  return sum;
+}
+
+std::vector<ProcessId> WeightMap::servers() const {
+  std::vector<ProcessId> out;
+  out.reserve(weights_.size());
+  for (const auto& [s, _] : weights_) out.push_back(s);
+  return out;
+}
+
+std::vector<std::pair<ProcessId, Weight>> WeightMap::sorted_desc() const {
+  std::vector<std::pair<ProcessId, Weight>> v(weights_.begin(),
+                                              weights_.end());
+  std::stable_sort(v.begin(), v.end(), [](const auto& a, const auto& b) {
+    return a.second > b.second;
+  });
+  return v;
+}
+
+std::string WeightMap::str() const {
+  std::ostringstream os;
+  os << "{";
+  bool first = true;
+  for (const auto& [s, w] : weights_) {
+    if (!first) os << ", ";
+    first = false;
+    os << process_name(s) << ":" << w.str();
+  }
+  os << "}";
+  return os.str();
+}
+
+}  // namespace wrs

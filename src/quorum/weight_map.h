@@ -1,0 +1,52 @@
+// Server -> weight assignment.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/rational.h"
+#include "common/types.h"
+
+namespace wrs {
+
+/// An immutable-by-convention assignment of voting weights to servers.
+/// The quorum logic (Wmqs) and every protocol consume this type; the
+/// reassignment protocol produces fresh ones from change sets.
+class WeightMap {
+ public:
+  WeightMap() = default;
+  explicit WeightMap(std::map<ProcessId, Weight> weights);
+
+  /// n servers, all weight 1 — the regular majority quorum system.
+  static WeightMap uniform(std::uint32_t n, Weight w = Weight(1));
+
+  void set(ProcessId server, Weight w) { weights_[server] = w; }
+  Weight of(ProcessId server) const;
+  bool contains(ProcessId server) const {
+    return weights_.count(server) != 0;
+  }
+
+  std::size_t size() const { return weights_.size(); }
+  Weight total() const;
+
+  /// Weight of a subset of servers (ids not in the map contribute 0).
+  Weight weight_of(const std::vector<ProcessId>& subset) const;
+
+  std::vector<ProcessId> servers() const;
+  const std::map<ProcessId, Weight>& entries() const { return weights_; }
+
+  /// Weights sorted descending (for Property-1 checks and min-quorum).
+  std::vector<std::pair<ProcessId, Weight>> sorted_desc() const;
+
+  std::string str() const;
+
+  friend bool operator==(const WeightMap& a, const WeightMap& b) {
+    return a.weights_ == b.weights_;
+  }
+
+ private:
+  std::map<ProcessId, Weight> weights_;
+};
+
+}  // namespace wrs

@@ -1,0 +1,83 @@
+#include "quorum/wmqs.h"
+
+#include <stdexcept>
+
+namespace wrs {
+
+Wmqs::Wmqs(WeightMap weights)
+    : weights_(std::move(weights)), total_(weights_.total()) {}
+
+bool Wmqs::is_quorum(const std::vector<ProcessId>& subset) const {
+  return is_quorum_against(subset, total_);
+}
+
+bool Wmqs::is_quorum_against(const std::vector<ProcessId>& subset,
+                             const Weight& total) const {
+  // W(Q) > total/2  <=>  2*W(Q) > total (exact rational arithmetic).
+  return weights_.weight_of(subset) * Weight(2) > total;
+}
+
+bool Wmqs::is_available(std::size_t f) const {
+  auto sorted = weights_.sorted_desc();
+  if (f > sorted.size()) return false;
+  Weight heaviest(0);
+  for (std::size_t i = 0; i < f; ++i) heaviest += sorted[i].second;
+  return heaviest * Weight(2) < total_;
+}
+
+std::size_t Wmqs::min_quorum_size() const { return smallest_quorum().size(); }
+
+std::vector<ProcessId> Wmqs::smallest_quorum() const {
+  auto sorted = weights_.sorted_desc();
+  std::vector<ProcessId> q;
+  Weight acc(0);
+  for (const auto& [s, w] : sorted) {
+    q.push_back(s);
+    acc += w;
+    if (acc * Weight(2) > total_) return q;
+  }
+  throw std::logic_error("Wmqs: no quorum exists (empty system?)");
+}
+
+std::size_t Wmqs::max_minimal_quorum_size() const {
+  auto sorted = weights_.sorted_desc();
+  Weight acc(0);
+  std::size_t count = 0;
+  for (auto it = sorted.rbegin(); it != sorted.rend(); ++it) {
+    acc += it->second;
+    ++count;
+    if (acc * Weight(2) > total_) return count;
+  }
+  throw std::logic_error("Wmqs: no quorum exists (empty system?)");
+}
+
+std::size_t Wmqs::max_tolerable_f() const {
+  std::size_t f = 0;
+  while (f + 1 <= weights_.size() && is_available(f + 1)) ++f;
+  return f;
+}
+
+Weight rp_integrity_floor(const Weight& initial_total, std::size_t n,
+                          std::size_t f) {
+  if (n <= f) throw std::invalid_argument("rp_integrity_floor: n <= f");
+  return initial_total / Weight(2 * static_cast<std::int64_t>(n - f));
+}
+
+WeightMap reduction_initial_weights(std::uint32_t n, std::uint32_t f) {
+  if (f == 0 || n <= f) {
+    throw std::invalid_argument("reduction_initial_weights: need 0 < f < n");
+  }
+  WeightMap wm;
+  for (std::uint32_t i = 0; i < n; ++i) {
+    if (i < f) {
+      wm.set(i, Weight(static_cast<std::int64_t>(n) - 1,
+                       2 * static_cast<std::int64_t>(f)));
+    } else {
+      wm.set(i, Weight(static_cast<std::int64_t>(n) + 1,
+                       2 * static_cast<std::int64_t>(n - f)));
+    }
+  }
+  return wm;
+}
+
+}  // namespace wrs

@@ -1,0 +1,61 @@
+// Weighted majority quorum system (Definition 1) and Property 1.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "quorum/weight_map.h"
+
+namespace wrs {
+
+/// The WMQS induced by a weight map: a set of servers Q is a quorum iff
+/// W(Q) > W(S)/2. With uniform weights this degenerates to the regular
+/// majority quorum system (MQS).
+class Wmqs {
+ public:
+  explicit Wmqs(WeightMap weights);
+
+  const WeightMap& weights() const { return weights_; }
+  Weight total() const { return total_; }
+
+  /// Definition 1: total weight of `subset` strictly above half the total.
+  bool is_quorum(const std::vector<ProcessId>& subset) const;
+
+  /// Quorum check against an explicit threshold total (Algorithm 5 checks
+  /// against W_{S,0}/2, the *initial* total, which equals the current one
+  /// under pairwise reassignment).
+  bool is_quorum_against(const std::vector<ProcessId>& subset,
+                         const Weight& total) const;
+
+  /// Property 1: the f heaviest servers weigh strictly less than half the
+  /// total. Guarantees a quorum of correct servers survives any f crashes.
+  bool is_available(std::size_t f) const;
+
+  /// Size of the smallest quorum (greedily take heaviest servers).
+  std::size_t min_quorum_size() const;
+
+  /// The smallest quorum itself (heaviest servers first).
+  std::vector<ProcessId> smallest_quorum() const;
+
+  /// Size of the largest *minimal* quorum (greedily take lightest servers
+  /// until the majority tips) — the worst case a client may need.
+  std::size_t max_minimal_quorum_size() const;
+
+  /// Largest f such that Property 1 still holds (max tolerable crashes).
+  std::size_t max_tolerable_f() const;
+
+ private:
+  WeightMap weights_;
+  Weight total_;
+};
+
+/// RP-Integrity floor of Definition 5: W_{S,0} / (2(n-f)). Every server's
+/// weight must stay strictly above this at all times.
+Weight rp_integrity_floor(const Weight& initial_total, std::size_t n,
+                          std::size_t f);
+
+/// The paper's initial-weight scheme for the reductions (Algorithms 1-2):
+/// servers s_0..s_{f-1} get (n-1)/(2f), the rest get (n+1)/(2(n-f)).
+WeightMap reduction_initial_weights(std::uint32_t n, std::uint32_t f);
+
+}  // namespace wrs

@@ -1,0 +1,11 @@
+#include "runtime/env.h"
+
+namespace wrs {
+
+void Env::broadcast_to_servers(ProcessId from, const MsgPtr& msg) {
+  for (ProcessId sid : server_ids()) {
+    send(from, sid, msg);
+  }
+}
+
+}  // namespace wrs

@@ -1,0 +1,73 @@
+// Runtime interface shared by the discrete-event simulator (SimEnv) and
+// the thread-per-process runtime (ThreadEnv).
+//
+// Execution model (both runtimes guarantee it):
+//  * Each process's handlers (`on_message`, scheduled callbacks,
+//    `on_start`) run serially — never two at once for the same process.
+//  * Links are reliable: a message from a correct process to a correct
+//    process is eventually delivered exactly once; delivery order between
+//    a pair of processes is NOT guaranteed (asynchrony).
+//  * Crashing a process silently drops its queued and future messages.
+//
+// Protocols are event-driven state machines written only against this
+// interface, so every protocol runs unmodified on both substrates.
+#pragma once
+
+#include <functional>
+#include <memory>
+
+#include "common/metrics.h"
+#include "common/types.h"
+#include "runtime/message.h"
+
+namespace wrs {
+
+/// A deployed process (server or client role is up to the protocol).
+class Process {
+ public:
+  virtual ~Process() = default;
+
+  /// Called once before any message is delivered.
+  virtual void on_start() {}
+
+  /// Called for each delivered message, serialized per process.
+  virtual void on_message(ProcessId from, const Message& msg) = 0;
+};
+
+class Env {
+ public:
+  virtual ~Env() = default;
+
+  /// Current time (simulated or wall-clock ns since construction).
+  virtual TimeNs now() const = 0;
+
+  /// Sends `msg` from `from` to `to`. Never blocks.
+  virtual void send(ProcessId from, ProcessId to, MsgPtr msg) = 0;
+
+  /// Runs `fn` in `pid`'s execution context after `delay`. Used for
+  /// timeouts, retries, and workload pacing. If `pid` crashes before the
+  /// deadline the callback is dropped.
+  virtual void schedule(ProcessId pid, TimeNs delay,
+                        std::function<void()> fn) = 0;
+
+  /// Registers the handler for `pid`. The process must outlive the Env run.
+  virtual void register_process(ProcessId pid, Process* process) = 0;
+
+  /// Crash-stops `pid`: queued and future messages/callbacks are dropped.
+  virtual void crash(ProcessId pid) = 0;
+
+  virtual bool is_crashed(ProcessId pid) const = 0;
+
+  /// Message traffic counters ("msgs", "bytes", per-type counts).
+  virtual const Counters& traffic() const = 0;
+
+  /// Broadcast helper: sends to every registered *server* id (< base),
+  /// including `from` itself when it is a server — matching the paper's
+  /// "broadcast to all servers" which includes the sender.
+  void broadcast_to_servers(ProcessId from, const MsgPtr& msg);
+
+  /// All currently registered server ids (sorted).
+  virtual std::vector<ProcessId> server_ids() const = 0;
+};
+
+}  // namespace wrs

@@ -1,0 +1,57 @@
+#include "runtime/latency_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace wrs {
+
+TimeNs HeavyTailLatency::sample(ProcessId, ProcessId, Rng& rng) {
+  // Inverse-CDF Pareto: scale * U^(-1/alpha), U in (0,1].
+  double u = 1.0 - rng.uniform();  // (0, 1]
+  double tail = static_cast<double>(scale_) * std::pow(u, -1.0 / alpha_);
+  auto delay = base_ + static_cast<TimeNs>(tail);
+  return std::min(delay, cap_);
+}
+
+SiteMatrixLatency::SiteMatrixLatency(
+    std::vector<std::vector<double>> rtt_ms,
+    std::function<std::size_t(ProcessId)> site_of, double jitter_frac)
+    : rtt_ms_(std::move(rtt_ms)),
+      site_of_(std::move(site_of)),
+      jitter_frac_(jitter_frac) {}
+
+TimeNs SiteMatrixLatency::sample(ProcessId from, ProcessId to, Rng& rng) {
+  std::size_t a = site_of_(from);
+  std::size_t b = site_of_(to);
+  double one_way_ms = rtt_ms_[a][b] / 2.0;
+  // Symmetric jitter plus a small always-positive processing delay so
+  // same-site messages are never instantaneous.
+  double jitter = one_way_ms * jitter_frac_ * (2.0 * rng.uniform() - 1.0);
+  double total_ms = std::max(0.05, one_way_ms + jitter + 0.1);
+  return ms(total_ms);
+}
+
+void DegradableLatency::set_factor(ProcessId pid, double factor) {
+  for (auto& [p, f] : factors_) {
+    if (p == pid) {
+      f = factor;
+      return;
+    }
+  }
+  factors_.emplace_back(pid, factor);
+}
+
+void DegradableLatency::clear_factor(ProcessId pid) {
+  std::erase_if(factors_, [pid](const auto& pf) { return pf.first == pid; });
+}
+
+TimeNs DegradableLatency::sample(ProcessId from, ProcessId to, Rng& rng) {
+  TimeNs base = inner_->sample(from, to, rng);
+  double factor = 1.0;
+  for (const auto& [p, f] : factors_) {
+    if (p == from || p == to) factor = std::max(factor, f);
+  }
+  return static_cast<TimeNs>(static_cast<double>(base) * factor);
+}
+
+}  // namespace wrs

@@ -1,0 +1,103 @@
+// Message latency models for the simulator.
+//
+// The paper's system model is fully asynchronous: message delays are
+// finite but unbounded. The simulator approximates adversarial asynchrony
+// with seeded random delays; tests sweep seeds to explore schedules.
+// Benches use WAN-profile matrices so latency numbers are geo-realistic.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/types.h"
+
+namespace wrs {
+
+class LatencyModel {
+ public:
+  virtual ~LatencyModel() = default;
+
+  /// Delay for one message from `from` to `to`.
+  virtual TimeNs sample(ProcessId from, ProcessId to, Rng& rng) = 0;
+};
+
+/// Fixed delay for every message.
+class ConstantLatency : public LatencyModel {
+ public:
+  explicit ConstantLatency(TimeNs delay) : delay_(delay) {}
+  TimeNs sample(ProcessId, ProcessId, Rng&) override { return delay_; }
+
+ private:
+  TimeNs delay_;
+};
+
+/// Uniform in [lo, hi).
+class UniformLatency : public LatencyModel {
+ public:
+  UniformLatency(TimeNs lo, TimeNs hi) : lo_(lo), hi_(hi) {}
+  TimeNs sample(ProcessId, ProcessId, Rng& rng) override {
+    return lo_ + static_cast<TimeNs>(
+                     rng.below(static_cast<std::uint64_t>(hi_ - lo_)));
+  }
+
+ private:
+  TimeNs lo_;
+  TimeNs hi_;
+};
+
+/// Heavy-tailed delays: base + Pareto(alpha, scale) tail, capped.
+/// A good stand-in for adversarial asynchrony — some messages arrive
+/// "much later" than most.
+class HeavyTailLatency : public LatencyModel {
+ public:
+  HeavyTailLatency(TimeNs base, TimeNs scale, double alpha, TimeNs cap)
+      : base_(base), scale_(scale), alpha_(alpha), cap_(cap) {}
+  TimeNs sample(ProcessId from, ProcessId to, Rng& rng) override;
+
+ private:
+  TimeNs base_;
+  TimeNs scale_;
+  double alpha_;
+  TimeNs cap_;
+};
+
+/// Per-site round-trip matrix: each process is mapped to a site; the
+/// one-way delay between sites is half the RTT plus lognormal-ish jitter.
+/// Used with the geo profiles in src/workload/wan_profiles.h.
+class SiteMatrixLatency : public LatencyModel {
+ public:
+  /// `rtt_ms[i][j]` is the RTT between site i and site j in milliseconds;
+  /// `site_of(pid)` maps processes to sites.
+  SiteMatrixLatency(std::vector<std::vector<double>> rtt_ms,
+                    std::function<std::size_t(ProcessId)> site_of,
+                    double jitter_frac = 0.05);
+
+  TimeNs sample(ProcessId from, ProcessId to, Rng& rng) override;
+
+ private:
+  std::vector<std::vector<double>> rtt_ms_;
+  std::function<std::size_t(ProcessId)> site_of_;
+  double jitter_frac_;
+};
+
+/// Wraps another model and slows traffic to/from selected processes by a
+/// multiplicative factor — models a degraded replica for the adaptation
+/// experiments. Factors can be changed mid-run.
+class DegradableLatency : public LatencyModel {
+ public:
+  explicit DegradableLatency(std::unique_ptr<LatencyModel> inner)
+      : inner_(std::move(inner)) {}
+
+  void set_factor(ProcessId pid, double factor);
+  void clear_factor(ProcessId pid);
+
+  TimeNs sample(ProcessId from, ProcessId to, Rng& rng) override;
+
+ private:
+  std::unique_ptr<LatencyModel> inner_;
+  std::vector<std::pair<ProcessId, double>> factors_;
+};
+
+}  // namespace wrs

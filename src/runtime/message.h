@@ -1,0 +1,49 @@
+// Typed messages with wire-size accounting.
+//
+// Protocols define message structs deriving from Message. The runtime
+// passes shared_ptr<const Message> between processes (zero-copy in both
+// runtimes); wire_size() reports what the message would occupy if
+// serialized, so experiments can account for bytes on the wire (the
+// piggybacked change sets of Algorithm 5/6 are the interesting case).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "common/types.h"
+
+namespace wrs {
+
+class Message {
+ public:
+  virtual ~Message() = default;
+
+  /// Short type name for logging/metrics ("RC", "T_ACK", "W", ...).
+  virtual std::string type_name() const = 0;
+
+  /// Estimated serialized size in bytes (header included).
+  virtual std::size_t wire_size() const = 0;
+
+ protected:
+  /// Fixed per-message header: type tag, from, to, length.
+  static constexpr std::size_t kHeaderBytes = 16;
+};
+
+using MsgPtr = std::shared_ptr<const Message>;
+
+/// An addressed message in flight.
+struct Envelope {
+  ProcessId from = kNoProcess;
+  ProcessId to = kNoProcess;
+  MsgPtr msg;
+};
+
+/// Safe downcast helper: returns nullptr when the runtime delivered a
+/// different message type.
+template <typename T>
+const T* msg_cast(const Message& m) {
+  return dynamic_cast<const T*>(&m);
+}
+
+}  // namespace wrs

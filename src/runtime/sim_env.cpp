@@ -1,0 +1,144 @@
+#include "runtime/sim_env.h"
+
+#include <cassert>
+#include <stdexcept>
+
+#include "common/logging.h"
+
+namespace wrs {
+
+SimEnv::SimEnv(std::shared_ptr<LatencyModel> latency, std::uint64_t seed)
+    : latency_(std::move(latency)), rng_(seed) {
+  if (!latency_) throw std::invalid_argument("SimEnv: null latency model");
+}
+
+void SimEnv::register_process(ProcessId pid, Process* process) {
+  if (process == nullptr) {
+    throw std::invalid_argument("SimEnv: null process");
+  }
+  processes_[pid] = process;
+  if (started_) {
+    push_event(now_, pid, [process] { process->on_start(); });
+  }
+}
+
+void SimEnv::start() {
+  if (started_) return;
+  started_ = true;
+  for (auto& [pid, proc] : processes_) {
+    Process* p = proc;
+    push_event(now_, pid, [p] { p->on_start(); });
+  }
+}
+
+void SimEnv::send(ProcessId from, ProcessId to, MsgPtr msg) {
+  if (!msg) throw std::invalid_argument("SimEnv::send: null message");
+  if (crashed_.count(from) != 0) return;  // a crashed process sends nothing
+  traffic_.inc("msgs");
+  traffic_.inc("bytes", static_cast<std::int64_t>(msg->wire_size()));
+  traffic_.inc("msg." + msg->type_name());
+  Envelope env{from, to, std::move(msg)};
+  if (held_.count(from) != 0 || held_.count(to) != 0) {
+    ProcessId key = held_.count(to) != 0 ? to : from;
+    held_messages_[key].push_back(std::move(env));
+    return;
+  }
+  deliver(std::move(env));
+}
+
+void SimEnv::deliver(Envelope env) {
+  TimeNs delay = latency_->sample(env.from, env.to, rng_);
+  ProcessId to = env.to;
+  ProcessId from = env.from;
+  MsgPtr msg = std::move(env.msg);
+  push_event(now_ + delay, to, [this, from, to, msg] {
+    auto it = processes_.find(to);
+    if (it == processes_.end()) return;  // never registered: drop
+    it->second->on_message(from, *msg);
+  });
+}
+
+void SimEnv::schedule(ProcessId pid, TimeNs delay, std::function<void()> fn) {
+  push_event(now_ + delay, pid, std::move(fn));
+}
+
+void SimEnv::push_event(TimeNs at, ProcessId pid, std::function<void()> fn) {
+  queue_.push(Event{at, next_seq_++, pid, std::move(fn)});
+}
+
+void SimEnv::crash(ProcessId pid) {
+  crashed_.insert(pid);
+  held_messages_.erase(pid);
+}
+
+bool SimEnv::is_crashed(ProcessId pid) const {
+  return crashed_.count(pid) != 0;
+}
+
+std::vector<ProcessId> SimEnv::server_ids() const {
+  std::vector<ProcessId> out;
+  for (const auto& [pid, _] : processes_) {
+    if (is_server(pid)) out.push_back(pid);
+  }
+  return out;
+}
+
+void SimEnv::hold_messages(ProcessId pid) { held_.insert(pid); }
+
+void SimEnv::release_holds(ProcessId pid) {
+  held_.erase(pid);
+  auto it = held_messages_.find(pid);
+  if (it == held_messages_.end()) return;
+  auto msgs = std::move(it->second);
+  held_messages_.erase(it);
+  for (auto& env : msgs) deliver(std::move(env));
+}
+
+bool SimEnv::step() {
+  if (queue_.empty()) return false;
+  Event ev = queue_.top();
+  queue_.pop();
+  assert(ev.at >= now_);
+  now_ = ev.at;
+  // Events addressed to crashed processes are dropped; env-internal events
+  // (kNoProcess) always run.
+  if (ev.pid != kNoProcess && crashed_.count(ev.pid) != 0) return true;
+  ev.fn();
+  return true;
+}
+
+std::size_t SimEnv::run_until(TimeNs deadline) {
+  std::size_t executed = 0;
+  while (!queue_.empty() && queue_.top().at <= deadline) {
+    step();
+    ++executed;
+  }
+  if (now_ < deadline) now_ = deadline;
+  return executed;
+}
+
+bool SimEnv::run_until_pred(const std::function<bool()>& pred,
+                            TimeNs deadline) {
+  if (pred()) return true;
+  while (!queue_.empty() && queue_.top().at <= deadline) {
+    step();
+    if (pred()) return true;
+  }
+  return pred();
+}
+
+std::size_t SimEnv::run_to_quiescence(TimeNs deadline) {
+  std::size_t executed = 0;
+  while (!queue_.empty()) {
+    if (queue_.top().at > deadline) {
+      WRS_WARN("SimEnv: deadline reached with " << queue_.size()
+                                                << " events pending");
+      break;
+    }
+    step();
+    ++executed;
+  }
+  return executed;
+}
+
+}  // namespace wrs

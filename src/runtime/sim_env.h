@@ -1,0 +1,100 @@
+// Deterministic discrete-event simulator.
+//
+// Every run is a pure function of (seed, latency model, protocol logic):
+// events are ordered by (time, sequence-number) so ties break
+// deterministically. This is the substrate for the property tests that
+// sweep seeds to explore asynchronous schedules, and for the latency
+// benches with WAN profiles.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <queue>
+#include <set>
+#include <vector>
+
+#include "common/metrics.h"
+#include "common/rng.h"
+#include "runtime/env.h"
+#include "runtime/latency_model.h"
+
+namespace wrs {
+
+class SimEnv : public Env {
+ public:
+  /// The simulator owns the latency model (shared so benches can retain a
+  /// handle, e.g. to degrade a replica mid-run).
+  SimEnv(std::shared_ptr<LatencyModel> latency, std::uint64_t seed);
+
+  // --- Env interface -----------------------------------------------------
+  TimeNs now() const override { return now_; }
+  void send(ProcessId from, ProcessId to, MsgPtr msg) override;
+  void schedule(ProcessId pid, TimeNs delay, std::function<void()> fn) override;
+  void register_process(ProcessId pid, Process* process) override;
+  void crash(ProcessId pid) override;
+  bool is_crashed(ProcessId pid) const override;
+  const Counters& traffic() const override { return traffic_; }
+  std::vector<ProcessId> server_ids() const override;
+
+  // --- Simulation control -------------------------------------------------
+  /// Delivers `on_start` to all registered processes (idempotent).
+  void start();
+
+  /// Runs events until the queue drains or `deadline` passes.
+  /// Returns the number of events executed.
+  std::size_t run_until(TimeNs deadline);
+
+  /// Runs until `pred()` turns true (checked after each event) or the
+  /// queue drains or `deadline` passes. Returns true iff pred held.
+  bool run_until_pred(const std::function<bool()>& pred, TimeNs deadline);
+
+  /// Runs everything (asserts the protocol quiesces). Returns event count.
+  std::size_t run_to_quiescence(TimeNs deadline = seconds(3600));
+
+  /// Executes one pending event; false if queue empty.
+  bool step();
+
+  bool idle() const { return queue_.empty(); }
+  std::size_t pending_events() const { return queue_.size(); }
+
+  Rng& rng() { return rng_; }
+  LatencyModel& latency_model() { return *latency_; }
+
+  /// Extra adversarial knob: delays every message involving `pid` until
+  /// `release_holds(pid)` — models an arbitrarily slow link without
+  /// violating reliability.
+  void hold_messages(ProcessId pid);
+  void release_holds(ProcessId pid);
+
+ private:
+  struct Event {
+    TimeNs at;
+    std::uint64_t seq;
+    ProcessId pid;  // execution context; kNoProcess for env-internal
+    std::function<void()> fn;
+  };
+  struct EventOrder {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.at != b.at) return a.at > b.at;
+      return a.seq > b.seq;  // min-heap: earliest (time, seq) first
+    }
+  };
+
+  void push_event(TimeNs at, ProcessId pid, std::function<void()> fn);
+  void deliver(Envelope env);
+
+  std::shared_ptr<LatencyModel> latency_;
+  Rng rng_;
+  TimeNs now_ = 0;
+  std::uint64_t next_seq_ = 0;
+  bool started_ = false;
+  std::priority_queue<Event, std::vector<Event>, EventOrder> queue_;
+  std::map<ProcessId, Process*> processes_;
+  std::set<ProcessId> crashed_;
+  std::set<ProcessId> held_;
+  std::map<ProcessId, std::vector<Envelope>> held_messages_;
+  Counters traffic_;
+};
+
+}  // namespace wrs

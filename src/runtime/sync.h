@@ -1,0 +1,54 @@
+// Helpers for waiting on callback-style operations from outside the
+// event loop (only valid with ThreadEnv; with SimEnv use run_until_pred).
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <optional>
+
+#include "common/types.h"
+
+namespace wrs {
+
+/// One-shot rendezvous between a protocol completion callback and a
+/// blocking caller thread.
+template <typename T>
+class Waiter {
+ public:
+  /// Completion callback side.
+  void set(T value) {
+    {
+      std::lock_guard lock(mu_);
+      value_ = std::move(value);
+    }
+    cv_.notify_all();
+  }
+
+  /// Blocking side; returns nullopt on timeout.
+  std::optional<T> wait_for(TimeNs timeout) {
+    std::unique_lock lock(mu_);
+    cv_.wait_for(lock, std::chrono::nanoseconds(timeout),
+                 [this] { return value_.has_value(); });
+    return value_;
+  }
+
+  /// Blocking side without timeout.
+  T wait() {
+    std::unique_lock lock(mu_);
+    cv_.wait(lock, [this] { return value_.has_value(); });
+    return *value_;
+  }
+
+  bool ready() const {
+    std::lock_guard lock(mu_);
+    return value_.has_value();
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::optional<T> value_;
+};
+
+}  // namespace wrs

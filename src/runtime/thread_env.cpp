@@ -1,0 +1,206 @@
+#include "runtime/thread_env.h"
+
+#include <cassert>
+#include <stdexcept>
+
+#include "common/logging.h"
+
+namespace wrs {
+
+using Clock = std::chrono::steady_clock;
+
+ThreadEnv::ThreadEnv(std::shared_ptr<LatencyModel> latency, std::uint64_t seed)
+    : latency_(std::move(latency)), epoch_(Clock::now()), rng_(seed) {}
+
+ThreadEnv::~ThreadEnv() { stop(); }
+
+TimeNs ThreadEnv::now() const {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                              epoch_)
+      .count();
+}
+
+void ThreadEnv::register_process(ProcessId pid, Process* process) {
+  if (process == nullptr) {
+    throw std::invalid_argument("ThreadEnv: null process");
+  }
+  std::lock_guard lock(mu_);
+  if (started_) {
+    throw std::logic_error("ThreadEnv: register_process after start()");
+  }
+  auto box = std::make_unique<Mailbox>();
+  box->process = process;
+  boxes_[pid] = std::move(box);
+}
+
+void ThreadEnv::start() {
+  {
+    std::lock_guard lock(mu_);
+    if (started_) return;
+    started_ = true;
+  }
+  timer_thread_ = std::thread([this] { timer_loop(); });
+  for (auto& [pid, box] : boxes_) {
+    Mailbox* b = box.get();
+    b->worker = std::thread([this, b] { worker_loop(b); });
+    enqueue_task(pid, [b] { b->process->on_start(); });
+  }
+}
+
+void ThreadEnv::stop() {
+  {
+    std::lock_guard lock(mu_);
+    if (!started_ || stopping_) return;
+    stopping_ = true;
+  }
+  {
+    std::lock_guard lock(timer_mu_);
+    timer_stop_ = true;
+  }
+  timer_cv_.notify_all();
+  if (timer_thread_.joinable()) timer_thread_.join();
+  for (auto& [pid, box] : boxes_) {
+    {
+      std::lock_guard lock(box->mu);
+      box->stopped = true;
+    }
+    box->cv.notify_all();
+  }
+  for (auto& [pid, box] : boxes_) {
+    if (box->worker.joinable()) box->worker.join();
+  }
+}
+
+void ThreadEnv::worker_loop(Mailbox* box) {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock lock(box->mu);
+      box->cv.wait(lock,
+                   [box] { return box->stopped || !box->tasks.empty(); });
+      if (box->stopped) return;
+      task = std::move(box->tasks.front());
+      box->tasks.pop_front();
+      if (box->crashed) continue;  // drain silently
+    }
+    task();
+  }
+}
+
+void ThreadEnv::enqueue_task(ProcessId pid, std::function<void()> fn) {
+  Mailbox* box = nullptr;
+  {
+    std::lock_guard lock(mu_);
+    auto it = boxes_.find(pid);
+    if (it == boxes_.end()) return;  // unknown target: drop
+    box = it->second.get();
+  }
+  {
+    std::lock_guard lock(box->mu);
+    if (box->stopped || box->crashed) return;
+    box->tasks.push_back(std::move(fn));
+  }
+  box->cv.notify_one();
+}
+
+void ThreadEnv::send(ProcessId from, ProcessId to, MsgPtr msg) {
+  if (!msg) throw std::invalid_argument("ThreadEnv::send: null message");
+  if (is_crashed(from)) return;
+  TimeNs delay = 0;
+  {
+    std::lock_guard lock(mu_);
+    traffic_.inc("msgs");
+    traffic_.inc("bytes", static_cast<std::int64_t>(msg->wire_size()));
+    traffic_.inc("msg." + msg->type_name());
+    if (latency_) delay = latency_->sample(from, to, rng_);
+  }
+  auto deliver = [this, from, to, msg] {
+    Mailbox* box = nullptr;
+    {
+      std::lock_guard lock(mu_);
+      auto it = boxes_.find(to);
+      if (it == boxes_.end()) return;
+      box = it->second.get();
+    }
+    // Execute in `to`'s context (we are already on its worker thread when
+    // routed through enqueue_task).
+    box->process->on_message(from, *msg);
+  };
+  if (delay <= 0) {
+    enqueue_task(to, std::move(deliver));
+  } else {
+    timer_schedule(Clock::now() + std::chrono::nanoseconds(delay), to,
+                   std::move(deliver));
+  }
+}
+
+void ThreadEnv::schedule(ProcessId pid, TimeNs delay,
+                         std::function<void()> fn) {
+  timer_schedule(Clock::now() + std::chrono::nanoseconds(delay), pid,
+                 std::move(fn));
+}
+
+void ThreadEnv::timer_schedule(Clock::time_point at, ProcessId pid,
+                               std::function<void()> fn) {
+  {
+    std::lock_guard lock(timer_mu_);
+    if (timer_stop_) return;
+    timers_.push(TimerItem{at, timer_seq_++, pid, std::move(fn)});
+  }
+  timer_cv_.notify_all();
+}
+
+void ThreadEnv::timer_loop() {
+  std::unique_lock lock(timer_mu_);
+  for (;;) {
+    if (timer_stop_) return;
+    if (timers_.empty()) {
+      timer_cv_.wait(lock, [this] { return timer_stop_ || !timers_.empty(); });
+      continue;
+    }
+    auto next_at = timers_.top().at;
+    if (Clock::now() < next_at) {
+      timer_cv_.wait_until(lock, next_at);
+      continue;
+    }
+    TimerItem item = std::move(const_cast<TimerItem&>(timers_.top()));
+    timers_.pop();
+    lock.unlock();
+    enqueue_task(item.pid, std::move(item.fn));
+    lock.lock();
+  }
+}
+
+void ThreadEnv::crash(ProcessId pid) {
+  Mailbox* box = nullptr;
+  {
+    std::lock_guard lock(mu_);
+    auto it = boxes_.find(pid);
+    if (it == boxes_.end()) return;
+    box = it->second.get();
+  }
+  {
+    std::lock_guard lock(box->mu);
+    box->crashed = true;
+    box->tasks.clear();
+  }
+}
+
+bool ThreadEnv::is_crashed(ProcessId pid) const {
+  std::lock_guard lock(mu_);
+  auto it = boxes_.find(pid);
+  if (it == boxes_.end()) return false;
+  std::lock_guard block(it->second->mu);
+  return it->second->crashed;
+}
+
+std::vector<ProcessId> ThreadEnv::server_ids() const {
+  std::lock_guard lock(mu_);
+  std::vector<ProcessId> out;
+  for (const auto& [pid, _] : boxes_) {
+    if (is_server(pid)) out.push_back(pid);
+  }
+  return out;
+}
+
+}  // namespace wrs

@@ -1,0 +1,109 @@
+// Thread-per-process runtime.
+//
+// Each registered process gets a worker thread draining a mailbox of
+// tasks (message deliveries and expired timers), so handlers are
+// serialized per process exactly as in SimEnv. A single timer thread owns
+// the deadline queue; message sends are routed through it when a latency
+// model is configured (to inject WAN-like delays under real concurrency),
+// or enqueued directly when not.
+//
+// This runtime exists to demonstrate that every protocol in the library
+// is a real concurrent program, not a simulator artifact: the integration
+// tests run the full reassignment + storage stack on it.
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+#include "common/rng.h"
+#include "runtime/env.h"
+#include "runtime/latency_model.h"
+
+namespace wrs {
+
+class ThreadEnv : public Env {
+ public:
+  /// `latency` may be null (deliver as fast as possible).
+  explicit ThreadEnv(std::shared_ptr<LatencyModel> latency = nullptr,
+                     std::uint64_t seed = 1);
+  ~ThreadEnv() override;
+
+  ThreadEnv(const ThreadEnv&) = delete;
+  ThreadEnv& operator=(const ThreadEnv&) = delete;
+
+  // --- Env interface -----------------------------------------------------
+  TimeNs now() const override;
+  void send(ProcessId from, ProcessId to, MsgPtr msg) override;
+  void schedule(ProcessId pid, TimeNs delay, std::function<void()> fn) override;
+  void register_process(ProcessId pid, Process* process) override;
+  void crash(ProcessId pid) override;
+  bool is_crashed(ProcessId pid) const override;
+  /// Only meaningful after stop(): counters are not synchronized for
+  /// concurrent readers while workers run.
+  const Counters& traffic() const override { return traffic_; }
+  std::vector<ProcessId> server_ids() const override;
+
+  // --- Lifecycle ----------------------------------------------------------
+  /// Launches worker and timer threads and delivers on_start.
+  void start();
+
+  /// Drains nothing; signals all threads to finish and joins them.
+  void stop();
+
+  bool started() const { return started_; }
+
+ private:
+  struct Mailbox {
+    std::mutex mu;
+    std::condition_variable cv;
+    std::deque<std::function<void()>> tasks;
+    bool stopped = false;
+    bool crashed = false;
+    Process* process = nullptr;
+    std::thread worker;
+  };
+
+  struct TimerItem {
+    std::chrono::steady_clock::time_point at;
+    std::uint64_t seq;
+    ProcessId pid;
+    std::function<void()> fn;
+    bool operator>(const TimerItem& o) const {
+      return at != o.at ? at > o.at : seq > o.seq;
+    }
+  };
+
+  void enqueue_task(ProcessId pid, std::function<void()> fn);
+  void timer_loop();
+  void worker_loop(Mailbox* box);
+  void timer_schedule(std::chrono::steady_clock::time_point at, ProcessId pid,
+                      std::function<void()> fn);
+
+  std::shared_ptr<LatencyModel> latency_;
+  std::chrono::steady_clock::time_point epoch_;
+
+  mutable std::mutex mu_;  // guards maps, rng, traffic, crashed set
+  std::map<ProcessId, std::unique_ptr<Mailbox>> boxes_;
+  Rng rng_;
+  Counters traffic_;
+  bool started_ = false;
+  bool stopping_ = false;
+
+  // Timer thread state.
+  std::mutex timer_mu_;
+  std::condition_variable timer_cv_;
+  std::priority_queue<TimerItem, std::vector<TimerItem>, std::greater<>>
+      timers_;
+  std::uint64_t timer_seq_ = 0;
+  bool timer_stop_ = false;
+  std::thread timer_thread_;
+};
+
+}  // namespace wrs

@@ -1,0 +1,199 @@
+#include "storage/abd_client.h"
+
+#include <atomic>
+#include <stdexcept>
+
+#include "common/logging.h"
+
+namespace wrs {
+
+namespace {
+// Phase op-ids are unique across every AbdClient instance in the process
+// so that two clients co-located in one Process (e.g. a storage node's
+// refresh reader plus a workload client) never confuse replies.
+std::atomic<std::uint64_t> g_next_op_id{1};
+}  // namespace
+
+AbdClient::AbdClient(Env& env, ProcessId self, const SystemConfig& config,
+                     Mode mode)
+    : env_(env),
+      self_(self),
+      config_(config),
+      mode_(mode),
+      initial_total_(config.initial_total()),
+      changes_(ChangeSet::initial(config.initial_weights)) {}
+
+std::uint64_t AbdClient::fresh_op_id() {
+  return g_next_op_id.fetch_add(1, std::memory_order_relaxed);
+}
+
+WeightMap AbdClient::current_weights() const {
+  if (mode_ == Mode::kStatic) return config_.initial_weights;
+  return changes_.to_weight_map(config_.servers());
+}
+
+void AbdClient::read(RegisterKey key, ReadCallback cb) {
+  if (op_.has_value()) {
+    throw std::logic_error("AbdClient: operation already in flight");
+  }
+  Op op;
+  op.kind = OpKind::kRead;
+  op.key = std::move(key);
+  op.rcb = std::move(cb);
+  op_ = std::move(op);
+  start_phase1();
+}
+
+void AbdClient::write(RegisterKey key, Value value, WriteCallback cb) {
+  if (op_.has_value()) {
+    throw std::logic_error("AbdClient: operation already in flight");
+  }
+  Op op;
+  op.kind = OpKind::kWrite;
+  op.key = std::move(key);
+  op.value = std::move(value);
+  op.wcb = std::move(cb);
+  op_ = std::move(op);
+  start_phase1();
+}
+
+void AbdClient::list_keys(KeysCallback cb) {
+  if (op_.has_value()) {
+    throw std::logic_error("AbdClient: operation already in flight");
+  }
+  Op op;
+  op.kind = OpKind::kListKeys;
+  op.kcb = std::move(cb);
+  op_ = std::move(op);
+  start_phase1();
+}
+
+void AbdClient::start_phase1() {
+  op_->phase = 1;
+  op_->phase_op_id = fresh_op_id();
+  op_->phase1_replies.clear();
+  op_->phase2_acks.clear();
+  op_->keys_acks.clear();
+  op_->keys_acc.clear();
+  if (op_->kind == OpKind::kListKeys) {
+    env_.broadcast_to_servers(self_,
+                              std::make_shared<KeysReq>(op_->phase_op_id));
+  } else {
+    env_.broadcast_to_servers(
+        self_, std::make_shared<ReadReq>(op_->phase_op_id, op_->key));
+  }
+}
+
+void AbdClient::start_phase2() {
+  op_->phase = 2;
+  op_->phase_op_id = fresh_op_id();
+  op_->phase2_acks.clear();
+  env_.broadcast_to_servers(
+      self_,
+      std::make_shared<WriteReq>(op_->phase_op_id, op_->to_write, op_->key));
+}
+
+bool AbdClient::merge_and_maybe_restart(const ChangeSetPtr& incoming) {
+  if (mode_ == Mode::kStatic || !incoming) return false;
+  std::size_t added = changes_.join(*incoming);
+  if (added == 0) return false;
+  // Learned of newer completed changes: restart from phase 1 under the
+  // new weights (Algorithm 5 "restart the operation").
+  ++restarts_;
+  if (++op_->op_restarts > max_restarts_) {
+    throw std::logic_error(
+        "AbdClient: restart budget exhausted — unbounded concurrent "
+        "transfers?");
+  }
+  start_phase1();
+  return true;
+}
+
+bool AbdClient::responders_form_quorum(
+    const std::set<ProcessId>& responders) const {
+  // Algorithm 5 is_quorum: responders' total weight under the client's
+  // current change set must exceed W_{S,0}/2.
+  WeightMap weights = current_weights();
+  Weight sum(0);
+  for (ProcessId s : responders) sum += weights.of(s);
+  return sum * Weight(2) > initial_total_;
+}
+
+bool AbdClient::handle(ProcessId from, const Message& msg) {
+  if (const auto* ack = msg_cast<ReadAck>(msg)) {
+    if (!op_.has_value() || op_->kind == OpKind::kListKeys ||
+        op_->phase != 1 || ack->op_id() != op_->phase_op_id) {
+      return true;  // stale reply (from a restarted phase): consumed
+    }
+    if (merge_and_maybe_restart(ack->changes())) return true;
+    op_->phase1_replies[from] = ack->reg();
+    std::set<ProcessId> responders;
+    for (const auto& [s, _] : op_->phase1_replies) responders.insert(s);
+    if (!responders_form_quorum(responders)) return true;
+
+    // Phase 1 complete: pick the highest tag.
+    TaggedValue maxreg;
+    for (const auto& [_, reg] : op_->phase1_replies) {
+      if (maxreg.tag < reg.tag) maxreg = reg;
+    }
+    if (op_->kind == OpKind::kRead) {
+      op_->read_result = maxreg;
+      op_->to_write = maxreg;  // write-back phase
+    } else {
+      // Choose the write's tag exactly once, even across change-set
+      // restarts: re-tagging the same value would leave "ghost" tags on
+      // servers that partially received an earlier phase 2. The original
+      // tag already dominates every write completed before this
+      // operation started (it came from a quorum read), which is all
+      // atomicity requires.
+      if (!op_->write_tag_chosen) {
+        op_->to_write.tag = Tag{maxreg.tag.ts + 1, self_};
+        op_->write_tag_chosen = true;
+      }
+      op_->to_write.value = op_->value;
+    }
+    start_phase2();
+    return true;
+  }
+
+  if (const auto* ack = msg_cast<WriteAck>(msg)) {
+    if (!op_.has_value() || op_->phase != 2 ||
+        ack->op_id() != op_->phase_op_id) {
+      return true;  // stale reply: consumed
+    }
+    if (merge_and_maybe_restart(ack->changes())) return true;
+    op_->phase2_acks.insert(from);
+    if (!responders_form_quorum(op_->phase2_acks)) return true;
+
+    // Operation complete.
+    Op finished = std::move(*op_);
+    op_.reset();
+    if (finished.kind == OpKind::kRead) {
+      finished.rcb(finished.read_result);
+    } else {
+      finished.wcb(finished.to_write.tag);
+    }
+    return true;
+  }
+
+  if (const auto* ack = msg_cast<KeysAck>(msg)) {
+    if (!op_.has_value() || op_->kind != OpKind::kListKeys ||
+        ack->op_id() != op_->phase_op_id) {
+      return true;  // stale
+    }
+    if (merge_and_maybe_restart(ack->changes())) return true;
+    op_->keys_acks.insert(from);
+    for (const auto& key : ack->keys()) op_->keys_acc.insert(key);
+    if (!responders_form_quorum(op_->keys_acks)) return true;
+    Op finished = std::move(*op_);
+    op_.reset();
+    std::vector<RegisterKey> keys(finished.keys_acc.begin(),
+                                  finished.keys_acc.end());
+    finished.kcb(keys);
+    return true;
+  }
+
+  return false;
+}
+
+}  // namespace wrs

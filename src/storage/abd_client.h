@@ -1,0 +1,125 @@
+// Reader/writer side of the (dynamic-weighted) ABD register — Algorithm 5.
+//
+// read() and write() both run the two-phase read_write skeleton:
+//   phase 1  broadcast <R>; collect <R_A, reg, C'> replies until the
+//            responders form a *weighted quorum* under the client's
+//            current change set C (threshold W_{S,0}/2);
+//   phase 2  broadcast <W, <tag,val>> (the write-back for reads, the new
+//            value with tag (max_ts+1, pid) for writes); collect <W_A>
+//            until a weighted quorum acked.
+//
+// Dynamic mode: every reply carries the server's change set C'. If C'
+// contains changes the client has not seen, the client merges them and
+// RESTARTS the operation from phase 1 (Algorithm 5 lines 14-16/30-32).
+// Deviations from the paper's literal pseudocode (rationale in
+// DESIGN.md §2): newer sets are MERGED rather than adopted verbatim, and
+// a write keeps its once-chosen tag across restarts.
+//
+// Multi-register extension (beyond the paper): registers are named; the
+// paper's register is key "". list_keys() discovers every key any
+// completed write could have created, by collecting from a *weighted
+// quorum* — a weighted quorum intersects every past write quorum, which
+// a mere f+1-server sample does not (a weighted quorum may have fewer
+// than f+1 members).
+//
+// Static mode ignores change sets entirely and uses the fixed initial
+// weights — this is the classical weighted/unweighted ABD baseline.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
+#include <set>
+
+#include "core/config.h"
+#include "runtime/env.h"
+#include "storage/abd_messages.h"
+
+namespace wrs {
+
+class AbdClient {
+ public:
+  enum class Mode { kStatic, kDynamic };
+
+  using ReadCallback = std::function<void(const TaggedValue&)>;
+  using WriteCallback = std::function<void(const Tag&)>;
+  using KeysCallback = std::function<void(const std::vector<RegisterKey>&)>;
+
+  AbdClient(Env& env, ProcessId self, const SystemConfig& config, Mode mode);
+
+  /// Atomic read of register `key`; cb fires once with the (tag, value)
+  /// read. One operation at a time (processes are sequential) — throws
+  /// if busy.
+  void read(RegisterKey key, ReadCallback cb);
+  void read(ReadCallback cb) { read(RegisterKey{}, std::move(cb)); }
+
+  /// Atomic write; cb fires once with the tag the value was written
+  /// under.
+  void write(RegisterKey key, Value value, WriteCallback cb);
+  void write(Value value, WriteCallback cb) {
+    write(RegisterKey{}, std::move(value), std::move(cb));
+  }
+
+  /// Discovers every register key stored at some weighted quorum.
+  void list_keys(KeysCallback cb);
+
+  /// Routes R_A / W_A / KEYS_A replies; true iff consumed.
+  bool handle(ProcessId from, const Message& msg);
+
+  bool busy() const { return op_.has_value(); }
+
+  /// The client's current change set (dynamic mode).
+  const ChangeSet& changes() const { return changes_; }
+
+  /// Weight map the client currently derives quorums from.
+  WeightMap current_weights() const;
+
+  /// Total operation restarts caused by newer change sets (EXP-S1).
+  std::uint64_t restarts() const { return restarts_; }
+
+  /// Safety valve for tests: maximum restarts per operation before the
+  /// client reports a bug (liveness assumes finitely many transfers).
+  void set_max_restarts(std::uint32_t m) { max_restarts_ = m; }
+
+ private:
+  enum class OpKind { kRead, kWrite, kListKeys };
+
+  struct Op {
+    OpKind kind = OpKind::kRead;
+    RegisterKey key;
+    Value value;  // payload for writes
+    int phase = 1;
+    std::uint64_t phase_op_id = 0;
+    std::map<ProcessId, TaggedValue> phase1_replies;
+    std::set<ProcessId> phase2_acks;
+    TaggedValue to_write;
+    bool write_tag_chosen = false;
+    ReadCallback rcb;
+    WriteCallback wcb;
+    KeysCallback kcb;
+    TaggedValue read_result;
+    std::set<ProcessId> keys_acks;
+    std::set<RegisterKey> keys_acc;
+    std::uint32_t op_restarts = 0;
+  };
+
+  void start_phase1();
+  void start_phase2();
+  bool merge_and_maybe_restart(const ChangeSetPtr& incoming);
+  bool responders_form_quorum(const std::set<ProcessId>& responders) const;
+  std::uint64_t fresh_op_id();
+
+  Env& env_;
+  ProcessId self_;
+  SystemConfig config_;
+  Mode mode_;
+  Weight initial_total_;
+
+  ChangeSet changes_;
+  std::optional<Op> op_;
+  std::uint64_t restarts_ = 0;
+  std::uint32_t max_restarts_ = 10'000;
+};
+
+}  // namespace wrs

@@ -1,0 +1,133 @@
+// Wire messages of the (dynamic-weighted) ABD register protocol
+// (Algorithms 5 and 6). The same messages serve the static baseline —
+// then `changes` is null and no set is piggybacked.
+#pragma once
+
+#include <memory>
+
+#include "core/change_set.h"
+#include "runtime/message.h"
+#include "storage/tag.h"
+
+namespace wrs {
+
+/// Shared immutable change-set payload. Replies from servers carry the
+/// server's current set; null in static deployments.
+using ChangeSetPtr = std::shared_ptr<const ChangeSet>;
+
+inline std::size_t changes_wire_size(const ChangeSetPtr& c) {
+  return c ? c->wire_size() : 0;
+}
+
+/// Registers are named; the paper's single atomic register is key "".
+using RegisterKey = std::string;
+
+/// <R, opCnt> — phase-1 request.
+class ReadReq : public Message {
+ public:
+  explicit ReadReq(std::uint64_t op_id, RegisterKey key = "")
+      : op_id_(op_id), key_(std::move(key)) {}
+  std::uint64_t op_id() const { return op_id_; }
+  const RegisterKey& key() const { return key_; }
+  std::string type_name() const override { return "R"; }
+  std::size_t wire_size() const override {
+    return kHeaderBytes + 8 + key_.size();
+  }
+
+ private:
+  std::uint64_t op_id_;
+  RegisterKey key_;
+};
+
+/// <KEYS, opCnt> — asks a server for the set of register keys it stores
+/// (used by the multi-register refresh on weight gain).
+class KeysReq : public Message {
+ public:
+  explicit KeysReq(std::uint64_t op_id) : op_id_(op_id) {}
+  std::uint64_t op_id() const { return op_id_; }
+  std::string type_name() const override { return "KEYS"; }
+  std::size_t wire_size() const override { return kHeaderBytes + 8; }
+
+ private:
+  std::uint64_t op_id_;
+};
+
+/// <KEYS_A, opCnt, keys, C>.
+class KeysAck : public Message {
+ public:
+  KeysAck(std::uint64_t op_id, std::vector<RegisterKey> keys,
+          ChangeSetPtr changes)
+      : op_id_(op_id), keys_(std::move(keys)), changes_(std::move(changes)) {}
+  std::uint64_t op_id() const { return op_id_; }
+  const std::vector<RegisterKey>& keys() const { return keys_; }
+  const ChangeSetPtr& changes() const { return changes_; }
+  std::string type_name() const override { return "KEYS_A"; }
+  std::size_t wire_size() const override {
+    std::size_t k = 0;
+    for (const auto& key : keys_) k += key.size() + 4;
+    return kHeaderBytes + 8 + k + changes_wire_size(changes_);
+  }
+
+ private:
+  std::uint64_t op_id_;
+  std::vector<RegisterKey> keys_;
+  ChangeSetPtr changes_;
+};
+
+/// <R_A, reg, opCnt, C> — phase-1 reply: register contents + change set.
+class ReadAck : public Message {
+ public:
+  ReadAck(std::uint64_t op_id, TaggedValue reg, ChangeSetPtr changes)
+      : op_id_(op_id), reg_(std::move(reg)), changes_(std::move(changes)) {}
+  std::uint64_t op_id() const { return op_id_; }
+  const TaggedValue& reg() const { return reg_; }
+  const ChangeSetPtr& changes() const { return changes_; }
+  std::string type_name() const override { return "R_A"; }
+  std::size_t wire_size() const override {
+    return kHeaderBytes + 8 + 12 + reg_.value.size() +
+           changes_wire_size(changes_);
+  }
+
+ private:
+  std::uint64_t op_id_;
+  TaggedValue reg_;
+  ChangeSetPtr changes_;
+};
+
+/// <W, <tag, val>, opCnt> — phase-2 request (write or read write-back).
+class WriteReq : public Message {
+ public:
+  WriteReq(std::uint64_t op_id, TaggedValue reg, RegisterKey key = "")
+      : op_id_(op_id), reg_(std::move(reg)), key_(std::move(key)) {}
+  std::uint64_t op_id() const { return op_id_; }
+  const TaggedValue& reg() const { return reg_; }
+  const RegisterKey& key() const { return key_; }
+  std::string type_name() const override { return "W"; }
+  std::size_t wire_size() const override {
+    return kHeaderBytes + 8 + 12 + reg_.value.size() + key_.size();
+  }
+
+ private:
+  std::uint64_t op_id_;
+  TaggedValue reg_;
+  RegisterKey key_;
+};
+
+/// <W_A, opCnt, C>.
+class WriteAck : public Message {
+ public:
+  WriteAck(std::uint64_t op_id, ChangeSetPtr changes)
+      : op_id_(op_id), changes_(std::move(changes)) {}
+  std::uint64_t op_id() const { return op_id_; }
+  const ChangeSetPtr& changes() const { return changes_; }
+  std::string type_name() const override { return "W_A"; }
+  std::size_t wire_size() const override {
+    return kHeaderBytes + 8 + changes_wire_size(changes_);
+  }
+
+ private:
+  std::uint64_t op_id_;
+  ChangeSetPtr changes_;
+};
+
+}  // namespace wrs

@@ -1,0 +1,80 @@
+// Server side of the (dynamic-weighted) ABD register — Algorithm 6.
+//
+// Differences from classical ABD:
+//  * every reply carries the server's current set of changes (supplied
+//    by a provider callback wired to the co-located ReassignNode; null
+//    in static deployments);
+//  * registers are NAMED: the paper's single register is key "". The
+//    multi-register ("key-value") mode is an extension of the paper —
+//    see DynamicStorageNode for the gain-refresh implications.
+#pragma once
+
+#include <functional>
+#include <map>
+
+#include "runtime/env.h"
+#include "storage/abd_messages.h"
+
+namespace wrs {
+
+class AbdServer {
+ public:
+  /// `changes_provider` returns the server's current change set snapshot
+  /// for piggybacking, or null in static deployments.
+  using ChangesProvider = std::function<ChangeSetPtr()>;
+
+  AbdServer(Env& env, ProcessId self, ChangesProvider changes_provider)
+      : env_(env),
+        self_(self),
+        changes_provider_(std::move(changes_provider)) {}
+
+  /// Routes R / W / KEYS messages; true iff consumed.
+  bool handle(ProcessId from, const Message& msg) {
+    if (const auto* r = msg_cast<ReadReq>(msg)) {
+      env_.send(self_, from,
+                std::make_shared<ReadAck>(r->op_id(), reg(r->key()),
+                                          snapshot()));
+      return true;
+    }
+    if (const auto* w = msg_cast<WriteReq>(msg)) {
+      TaggedValue& slot = regs_[w->key()];
+      if (slot.tag < w->reg().tag) slot = w->reg();
+      env_.send(self_, from,
+                std::make_shared<WriteAck>(w->op_id(), snapshot()));
+      return true;
+    }
+    if (const auto* k = msg_cast<KeysReq>(msg)) {
+      std::vector<RegisterKey> keys;
+      keys.reserve(regs_.size());
+      for (const auto& [key, _] : regs_) keys.push_back(key);
+      env_.send(self_, from,
+                std::make_shared<KeysAck>(k->op_id(), std::move(keys),
+                                          snapshot()));
+      return true;
+    }
+    return false;
+  }
+
+  /// Register contents for `key` (initial <<0,⊥>,⊥> when never written).
+  const TaggedValue& reg(const RegisterKey& key = "") const {
+    static const TaggedValue kEmpty{};
+    auto it = regs_.find(key);
+    return it == regs_.end() ? kEmpty : it->second;
+  }
+  void set_reg(TaggedValue reg, const RegisterKey& key = "") {
+    regs_[key] = std::move(reg);
+  }
+  std::size_t register_count() const { return regs_.size(); }
+
+ private:
+  ChangeSetPtr snapshot() const {
+    return changes_provider_ ? changes_provider_() : nullptr;
+  }
+
+  Env& env_;
+  ProcessId self_;
+  ChangesProvider changes_provider_;
+  std::map<RegisterKey, TaggedValue> regs_;
+};
+
+}  // namespace wrs

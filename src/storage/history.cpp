@@ -1,0 +1,134 @@
+#include "storage/history.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <sstream>
+
+namespace wrs {
+
+std::size_t HistoryRecorder::begin(OpRecord::Kind kind, ProcessId process,
+                                   TimeNs start) {
+  Slot slot;
+  slot.rec.kind = kind;
+  slot.rec.process = process;
+  slot.rec.start = start;
+  slots_.push_back(std::move(slot));
+  return slots_.size() - 1;
+}
+
+void HistoryRecorder::end_read(std::size_t token, TimeNs end,
+                               const TaggedValue& result) {
+  Slot& s = slots_.at(token);
+  s.rec.end = end;
+  s.rec.tag = result.tag;
+  s.rec.value = result.value;
+  s.done = true;
+}
+
+void HistoryRecorder::end_write(std::size_t token, TimeNs end, const Tag& tag,
+                                const Value& value) {
+  Slot& s = slots_.at(token);
+  s.rec.end = end;
+  s.rec.tag = tag;
+  s.rec.value = value;
+  s.done = true;
+}
+
+std::vector<OpRecord> HistoryRecorder::completed() const {
+  std::vector<OpRecord> out;
+  for (const auto& s : slots_) {
+    if (s.done) out.push_back(s.rec);
+  }
+  return out;
+}
+
+std::size_t HistoryRecorder::completed_count() const {
+  return completed().size();
+}
+
+namespace {
+
+std::string describe(const OpRecord& op) {
+  std::ostringstream os;
+  os << (op.kind == OpRecord::Kind::kRead ? "read" : "write") << " by "
+     << process_name(op.process) << " [" << op.start << "," << op.end
+     << "] tag=" << op.tag.str() << " value=\"" << op.value << "\"";
+  return os.str();
+}
+
+}  // namespace
+
+std::optional<std::string> check_atomicity(const std::vector<OpRecord>& ops) {
+  std::vector<const OpRecord*> reads;
+  std::vector<const OpRecord*> writes;
+  for (const auto& op : ops) {
+    (op.kind == OpRecord::Kind::kRead ? reads : writes).push_back(&op);
+  }
+
+  // (A4) unique write tags, strictly increasing per writer.
+  std::map<Tag, const OpRecord*> by_tag;
+  for (const auto* w : writes) {
+    auto [it, inserted] = by_tag.emplace(w->tag, w);
+    if (!inserted) {
+      return "duplicate write tag: " + describe(*w) + " vs " +
+             describe(*it->second);
+    }
+  }
+  std::map<ProcessId, std::vector<const OpRecord*>> per_writer;
+  for (const auto* w : writes) per_writer[w->process].push_back(w);
+  for (auto& [pid, ws] : per_writer) {
+    std::sort(ws.begin(), ws.end(), [](const auto* a, const auto* b) {
+      return a->start < b->start;
+    });
+    for (std::size_t i = 1; i < ws.size(); ++i) {
+      if (!(ws[i - 1]->tag < ws[i]->tag)) {
+        return "non-monotone tags from one writer: " + describe(*ws[i - 1]) +
+               " then " + describe(*ws[i]);
+      }
+    }
+  }
+
+  for (const auto* r : reads) {
+    // (A1) tag validity.
+    if (r->tag == kInitialTag) {
+      // Reading the initial value is fine as long as (A2) below holds.
+    } else {
+      auto it = by_tag.find(r->tag);
+      if (it == by_tag.end()) {
+        return "read of a tag never written: " + describe(*r);
+      }
+      const OpRecord* w = it->second;
+      if (w->start > r->end) {
+        return "read returned a write from its future: " + describe(*r) +
+               " vs " + describe(*w);
+      }
+      if (w->value != r->value) {
+        return "read value does not match the write with its tag: " +
+               describe(*r) + " vs " + describe(*w);
+      }
+    }
+    // (A2) regularity: at least as new as every write completed before
+    // the read started.
+    for (const auto* w : writes) {
+      if (w->end < r->start && r->tag < w->tag) {
+        return "stale read (write completed before it started): " +
+               describe(*r) + " missed " + describe(*w);
+      }
+    }
+  }
+
+  // (A3) Definition 6: no new/old inversion between non-overlapping reads.
+  for (const auto* r1 : reads) {
+    for (const auto* r2 : reads) {
+      if (r1->end < r2->start && r2->tag < r1->tag) {
+        return "new/old inversion: " + describe(*r1) + " then " +
+               describe(*r2);
+      }
+    }
+  }
+
+  return std::nullopt;
+}
+
+}  // namespace wrs

@@ -1,0 +1,63 @@
+// Operation-history recording and atomicity checking.
+//
+// The checker verifies the guarantees of an atomic MWMR register over a
+// recorded concurrent history, using tag order as the version order:
+//
+//  (A1) tag validity  — every read returns the initial tag or the tag of
+//       some write whose invocation precedes the read's response;
+//  (A2) regularity    — a read returns a tag >= the tag of every write
+//       that completed before the read started;
+//  (A3) Definition 6  — for two reads r1, r2 where r1 completes before r2
+//       starts, tag(r2) >= tag(r1) (no new/old inversion);
+//  (A4) write tags are unique and strictly increase per writer.
+//
+// These conditions are exactly atomicity for tag-ordered registers where
+// phase-2 write-backs ensure reads are linearized at tag order.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+#include "storage/tag.h"
+
+namespace wrs {
+
+struct OpRecord {
+  enum class Kind { kRead, kWrite };
+  Kind kind = Kind::kRead;
+  ProcessId process = kNoProcess;
+  TimeNs start = 0;
+  TimeNs end = 0;
+  Tag tag;      // tag read / tag written
+  Value value;  // value read / value written
+};
+
+class HistoryRecorder {
+ public:
+  /// Begins an operation; returns a token to close it with.
+  std::size_t begin(OpRecord::Kind kind, ProcessId process, TimeNs start);
+  void end_read(std::size_t token, TimeNs end, const TaggedValue& result);
+  void end_write(std::size_t token, TimeNs end, const Tag& tag,
+                 const Value& value);
+
+  /// Completed records only (unfinished ops are ignored by the checker —
+  /// crashes may legitimately leave them open).
+  std::vector<OpRecord> completed() const;
+
+  std::size_t completed_count() const;
+
+ private:
+  struct Slot {
+    OpRecord rec;
+    bool done = false;
+  };
+  std::vector<Slot> slots_;
+};
+
+/// Returns nullopt when the history is atomic; otherwise a description of
+/// the first violation found.
+std::optional<std::string> check_atomicity(const std::vector<OpRecord>& ops);
+
+}  // namespace wrs

@@ -1,0 +1,35 @@
+// Tags for the multi-writer ABD register (footnote 3 of the paper):
+// a tag is (timestamp, writer id), ordered lexicographically.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <string>
+
+#include "common/types.h"
+
+namespace wrs {
+
+struct Tag {
+  std::int64_t ts = 0;
+  ProcessId pid = kNoProcess;
+
+  friend auto operator<=>(const Tag&, const Tag&) = default;
+
+  std::string str() const {
+    return "(" + std::to_string(ts) + "," + process_name(pid) + ")";
+  }
+};
+
+/// The initial register tag <<0, ⊥>, ⊥>.
+inline constexpr Tag kInitialTag{0, kNoProcess};
+
+/// Register values are opaque byte strings.
+using Value = std::string;
+
+struct TaggedValue {
+  Tag tag = kInitialTag;
+  Value value;
+};
+
+}  // namespace wrs

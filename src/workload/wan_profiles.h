@@ -1,0 +1,77 @@
+// Geo-distribution profiles for the latency benches.
+//
+// The paper motivates weighted quorums with heterogeneous WAN replica
+// performance (WHEAT [20] / AWARE [10] style deployments). We model five
+// cloud regions with a public-cloud-like RTT matrix (values in ms,
+// representative of Virginia / Ireland / Sao Paulo / Sydney / Tokyo
+// inter-region pings; absolute values are not claims — only their
+// heterogeneity matters).
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace wrs {
+
+struct WanProfile {
+  std::string name;
+  std::vector<std::string> sites;
+  std::vector<std::vector<double>> rtt_ms;
+};
+
+/// Five heterogeneous regions.
+inline WanProfile wan5_profile() {
+  WanProfile p;
+  p.name = "wan5";
+  p.sites = {"virginia", "ireland", "saopaulo", "sydney", "tokyo"};
+  p.rtt_ms = {
+      // VA     IE     SP     SY     TK
+      {1.0, 75.0, 120.0, 200.0, 160.0},   // virginia
+      {75.0, 1.0, 180.0, 280.0, 210.0},   // ireland
+      {120.0, 180.0, 1.0, 310.0, 270.0},  // saopaulo
+      {200.0, 280.0, 310.0, 1.0, 105.0},  // sydney
+      {160.0, 210.0, 270.0, 105.0, 1.0},  // tokyo
+  };
+  return p;
+}
+
+/// A mildly heterogeneous continental profile (same-continent regions).
+inline WanProfile continental_profile() {
+  WanProfile p;
+  p.name = "continental";
+  p.sites = {"fra", "lon", "par", "mad", "mil"};
+  p.rtt_ms = {
+      {1.0, 15.0, 10.0, 28.0, 14.0},
+      {15.0, 1.0, 8.0, 25.0, 21.0},
+      {10.0, 8.0, 1.0, 18.0, 15.0},
+      {28.0, 25.0, 18.0, 1.0, 22.0},
+      {14.0, 21.0, 15.0, 22.0, 1.0},
+  };
+  return p;
+}
+
+/// A homogeneous single-datacenter profile (control group: weighted
+/// quorums should win nothing here).
+inline WanProfile lan_profile() {
+  WanProfile p;
+  p.name = "lan";
+  p.sites = {"rack1", "rack2", "rack3", "rack4", "rack5"};
+  p.rtt_ms.assign(5, std::vector<double>(5, 0.5));
+  for (std::size_t i = 0; i < 5; ++i) p.rtt_ms[i][i] = 0.2;
+  return p;
+}
+
+/// Maps servers round-robin onto sites and every client to `client_site`.
+inline std::function<std::size_t(ProcessId)> site_mapper(
+    std::size_t n_sites, std::size_t client_site) {
+  return [n_sites, client_site](ProcessId pid) -> std::size_t {
+    if (is_server(pid)) return static_cast<std::size_t>(pid) % n_sites;
+    return client_site;
+  };
+}
+
+}  // namespace wrs

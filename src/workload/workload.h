@@ -1,0 +1,109 @@
+// Closed-loop read/write workload clients for the storage benches.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "common/metrics.h"
+#include "common/rng.h"
+#include "core/config.h"
+#include "storage/abd_client.h"
+#include "storage/history.h"
+
+namespace wrs {
+
+struct WorkloadParams {
+  std::size_t num_ops = 100;      // operations per client
+  double read_ratio = 0.5;        // fraction of reads
+  TimeNs think_time = ms(5);      // delay between operations
+  std::size_t value_size = 64;    // bytes per written value
+  std::uint64_t seed = 42;
+};
+
+/// A client process running a closed loop of reads/writes against the
+/// register, recording per-op latency and the global operation history.
+class ClosedLoopClient : public Process {
+ public:
+  ClosedLoopClient(Env& env, ProcessId self, const SystemConfig& config,
+                   AbdClient::Mode mode, WorkloadParams params,
+                   std::shared_ptr<HistoryRecorder> history = nullptr)
+      : env_(env),
+        self_(self),
+        client_(env, self, config, mode),
+        params_(params),
+        rng_(params.seed ^ (std::uint64_t{self} << 20)),
+        history_(std::move(history)) {}
+
+  void on_start() override { next_op(); }
+
+  void on_message(ProcessId from, const Message& msg) override {
+    client_.handle(from, msg);
+  }
+
+  bool done() const { return completed_ >= params_.num_ops; }
+  std::size_t completed() const { return completed_; }
+
+  const Histogram& read_latency() const { return read_latency_; }
+  const Histogram& write_latency() const { return write_latency_; }
+  AbdClient& abd() { return client_; }
+
+  /// Fires once when the client's whole run is finished.
+  void set_on_done(std::function<void()> cb) { on_done_ = std::move(cb); }
+
+ private:
+  void next_op() {
+    if (done()) {
+      if (on_done_) on_done_();
+      return;
+    }
+    bool is_read = rng_.uniform() < params_.read_ratio;
+    TimeNs start = env_.now();
+    if (is_read) {
+      std::size_t token =
+          history_ ? history_->begin(OpRecord::Kind::kRead, self_, start) : 0;
+      client_.read([this, start, token](const TaggedValue& tv) {
+        read_latency_.add_time(env_.now() - start);
+        if (history_) history_->end_read(token, env_.now(), tv);
+        finish_op();
+      });
+    } else {
+      Value v = make_value();
+      std::size_t token =
+          history_ ? history_->begin(OpRecord::Kind::kWrite, self_, start)
+                   : 0;
+      client_.write(v, [this, start, token, v](const Tag& tag) {
+        write_latency_.add_time(env_.now() - start);
+        if (history_) history_->end_write(token, env_.now(), tag, v);
+        finish_op();
+      });
+    }
+  }
+
+  void finish_op() {
+    ++completed_;
+    env_.schedule(self_, params_.think_time, [this] { next_op(); });
+  }
+
+  Value make_value() {
+    // Unique value per (client, op): required by the atomicity checker.
+    std::string v = process_name(self_) + "#" + std::to_string(completed_);
+    if (v.size() < params_.value_size) {
+      v.resize(params_.value_size, 'x');
+    }
+    return v;
+  }
+
+  Env& env_;
+  ProcessId self_;
+  AbdClient client_;
+  WorkloadParams params_;
+  Rng rng_;
+  std::shared_ptr<HistoryRecorder> history_;
+  std::size_t completed_ = 0;
+  Histogram read_latency_;
+  Histogram write_latency_;
+  std::function<void()> on_done_;
+};
+
+}  // namespace wrs

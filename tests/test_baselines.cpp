@@ -1,0 +1,271 @@
+// Tests for the comparison baselines: epoch-based reassignment (model of
+// [11]), Paxos-sequenced reassignment, and 1-asset transfer ([12]).
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <optional>
+
+#include "baselines/asset_transfer.h"
+#include "baselines/epoch_reassign.h"
+#include "baselines/paxos_reassign.h"
+#include "runtime/sim_env.h"
+#include "test_util.h"
+
+namespace wrs {
+namespace {
+
+using test::run_until;
+
+template <typename NodeT, typename... Args>
+struct BaselineCluster {
+  std::unique_ptr<SimEnv> env;
+  SystemConfig config;
+  std::vector<std::unique_ptr<NodeT>> nodes;
+
+  BaselineCluster(std::uint32_t n, std::uint32_t f, std::uint64_t seed,
+                  Args... args) {
+    config = SystemConfig::uniform(n, f);
+    env = std::make_unique<SimEnv>(
+        std::make_shared<UniformLatency>(ms(1), ms(10)), seed);
+    for (std::uint32_t i = 0; i < n; ++i) {
+      nodes.push_back(std::make_unique<NodeT>(*env, i, config, args...));
+      env->register_process(i, nodes.back().get());
+    }
+    env->start();
+  }
+};
+
+// --- Epoch-based baseline ----------------------------------------------------
+
+TEST(EpochReassign, RequestAppliesAtNextEpochBoundary) {
+  BaselineCluster<EpochReassignNode, TimeNs> c(4, 1, 1, ms(100));
+  std::optional<TimeNs> applied_at;
+  std::optional<Weight> applied_delta;
+  c.nodes[2]->set_applied_callback(
+      [&](const EpochRequest& req, const Weight& d, TimeNs at) {
+        if (req.issuer == 0) {
+          applied_at = at;
+          applied_delta = d;
+        }
+      });
+  // Issue at t~0 (epoch 0): must apply only after the boundary (100ms)
+  // plus the settle delay.
+  c.nodes[0]->request_transfer(1, Weight(1, 10));
+  c.env->run_until(seconds(1));
+  ASSERT_TRUE(applied_at.has_value());
+  EXPECT_GE(*applied_at, ms(100));
+  EXPECT_LE(*applied_at, ms(250));
+  EXPECT_EQ(*applied_delta, Weight(1, 10));
+  EXPECT_EQ(c.nodes[2]->weights().of(1), Weight(11, 10));
+}
+
+TEST(EpochReassign, CompetingIncreasesAreDroppedAndLeakWeight) {
+  BaselineCluster<EpochReassignNode, TimeNs> c(5, 1, 2, ms(100));
+  // Two different destinations in the same epoch: both increases dropped.
+  c.nodes[0]->request_transfer(1, Weight(1, 10));
+  c.nodes[2]->request_transfer(3, Weight(1, 10));
+  c.env->run_until(seconds(1));
+  for (auto& node : c.nodes) {
+    EXPECT_LT(node->total_weight(), c.config.initial_total())
+        << "weight should leak";
+    EXPECT_EQ(node->total_weight(), Weight(5) - Weight(2, 10));
+    EXPECT_GE(node->dropped_increases(), 2u);
+  }
+}
+
+TEST(EpochReassign, SingleDestinationDoesNotLeak) {
+  BaselineCluster<EpochReassignNode, TimeNs> c(5, 1, 3, ms(100));
+  c.nodes[0]->request_transfer(1, Weight(1, 10));
+  c.nodes[2]->request_transfer(1, Weight(1, 10));  // same destination
+  c.env->run_until(seconds(1));
+  for (auto& node : c.nodes) {
+    EXPECT_EQ(node->total_weight(), Weight(5));
+    EXPECT_EQ(node->weights().of(1), Weight(12, 10));
+  }
+}
+
+TEST(EpochReassign, ReplicasConvergeOnWeights) {
+  BaselineCluster<EpochReassignNode, TimeNs> c(4, 1, 4, ms(50));
+  c.nodes[0]->request_transfer(1, Weight(1, 20));
+  c.nodes[1]->request_transfer(2, Weight(1, 20));
+  c.nodes[3]->request_transfer(1, Weight(1, 20));
+  c.env->run_until(seconds(1));
+  for (std::uint32_t s = 0; s < 4; ++s) {
+    for (auto& node : c.nodes) {
+      EXPECT_EQ(node->weights().of(s), c.nodes[0]->weights().of(s));
+    }
+  }
+}
+
+TEST(EpochReassign, SourceNeverDropsBelowFloor) {
+  BaselineCluster<EpochReassignNode, TimeNs> c(4, 1, 5, ms(50));
+  // Ask for far more than the floor allows; the applied decrease clamps.
+  c.nodes[0]->request_transfer(1, Weight(9, 10));
+  c.env->run_until(seconds(1));
+  EXPECT_GE(c.nodes[2]->weights().of(0), c.config.floor());
+}
+
+// --- Paxos-sequenced baseline -------------------------------------------------
+
+TEST(PaxosReassign, SingleTransferAppliesEverywhere) {
+  BaselineCluster<PaxosReassignNode> c(4, 1, 11);
+  std::optional<PaxosTransferOutcome> out;
+  c.nodes[0]->transfer(1, Weight(1, 4),
+                       [&](const PaxosTransferOutcome& o) { out = o; });
+  run_until(*c.env, [&] { return out.has_value(); }, seconds(120));
+  EXPECT_TRUE(out->effective);
+  // All replicas eventually apply.
+  run_until(
+      *c.env,
+      [&] {
+        for (auto& n : c.nodes) {
+          if (n->weights().of(1) != Weight(5, 4)) return false;
+        }
+        return true;
+      },
+      seconds(120));
+}
+
+TEST(PaxosReassign, ConcurrentTransfersAllSequenced) {
+  BaselineCluster<PaxosReassignNode> c(5, 2, 12);
+  int done = 0;
+  for (std::uint32_t i = 0; i < 5; ++i) {
+    c.nodes[i]->transfer((i + 1) % 5, Weight(1, 10),
+                         [&](const PaxosTransferOutcome&) { ++done; });
+  }
+  run_until(*c.env, [&] { return done == 5; }, seconds(300));
+  // Everyone applied the same log: identical weights everywhere.
+  run_until(
+      *c.env,
+      [&] {
+        for (auto& n : c.nodes) {
+          for (std::uint32_t s = 0; s < 5; ++s) {
+            if (n->weights().of(s) != c.nodes[0]->weights().of(s)) {
+              return false;
+            }
+          }
+        }
+        return true;
+      },
+      seconds(300));
+  EXPECT_EQ(c.nodes[0]->weights().total(), Weight(5));
+}
+
+TEST(PaxosReassign, FloorViolatingTransferIsIneffective) {
+  BaselineCluster<PaxosReassignNode> c(4, 1, 13);
+  std::optional<PaxosTransferOutcome> out;
+  c.nodes[0]->transfer(1, Weight(1, 2),  // 1 - 1/2 = 1/2 < floor 2/3
+                       [&](const PaxosTransferOutcome& o) { out = o; });
+  run_until(*c.env, [&] { return out.has_value(); }, seconds(120));
+  EXPECT_FALSE(out->effective);
+  EXPECT_EQ(c.nodes[0]->weights().of(0), Weight(1));
+}
+
+// --- 1-asset transfer ---------------------------------------------------------
+
+TEST(AssetTransfer, BasicTransferMovesAssets) {
+  BaselineCluster<AssetTransferNode> c(4, 1, 21);
+  std::optional<AssetOutcome> out;
+  c.nodes[0]->transfer(1, Weight(1, 2),
+                       [&](const AssetOutcome& o) { out = o; });
+  run_until(*c.env, [&] { return out.has_value(); });
+  EXPECT_TRUE(out->accepted);
+  c.env->run_to_quiescence();
+  for (auto& n : c.nodes) {
+    EXPECT_EQ(n->balance_of(0), Weight(1, 2));
+    EXPECT_EQ(n->balance_of(1), Weight(3, 2));
+    EXPECT_EQ(n->total(), Weight(4));  // conservation
+  }
+}
+
+TEST(AssetTransfer, BalanceMayReachExactlyZero) {
+  // THE contrast with RP-Integrity: an account may be fully drained,
+  // while a server's weight must stay strictly above the floor.
+  BaselineCluster<AssetTransferNode> c(4, 1, 22);
+  std::optional<AssetOutcome> out;
+  c.nodes[0]->transfer(1, Weight(1), [&](const AssetOutcome& o) { out = o; });
+  run_until(*c.env, [&] { return out.has_value(); });
+  EXPECT_TRUE(out->accepted);
+  c.env->run_to_quiescence();
+  EXPECT_EQ(c.nodes[2]->balance_of(0), Weight(0));
+}
+
+TEST(AssetTransfer, OverdraftRejectedLocally) {
+  BaselineCluster<AssetTransferNode> c(4, 1, 23);
+  std::optional<AssetOutcome> out;
+  c.nodes[0]->transfer(1, Weight(3, 2),
+                       [&](const AssetOutcome& o) { out = o; });
+  run_until(*c.env, [&] { return out.has_value(); });
+  EXPECT_FALSE(out->accepted);
+  c.env->run_to_quiescence();
+  EXPECT_EQ(c.nodes[2]->balance_of(0), Weight(1));
+}
+
+TEST(AssetTransfer, SequentialSpendsThenRejects) {
+  BaselineCluster<AssetTransferNode> c(4, 1, 24);
+  std::vector<bool> results;
+  std::function<void(int)> spend = [&](int k) {
+    if (k == 0) return;
+    c.nodes[0]->transfer(1, Weight(1, 2), [&, k](const AssetOutcome& o) {
+      results.push_back(o.accepted);
+      spend(k - 1);
+    });
+  };
+  spend(3);
+  run_until(*c.env, [&] { return results.size() == 3; });
+  // 1 -> 1/2 -> 0 -> reject.
+  EXPECT_EQ(results, (std::vector<bool>{true, true, false}));
+}
+
+TEST(AssetTransfer, ToleratesFCrashes) {
+  BaselineCluster<AssetTransferNode> c(5, 2, 25);
+  c.env->crash(3);
+  c.env->crash(4);
+  std::optional<AssetOutcome> out;
+  c.nodes[0]->transfer(1, Weight(1, 4),
+                       [&](const AssetOutcome& o) { out = o; });
+  run_until(*c.env, [&] { return out.has_value(); });
+  EXPECT_TRUE(out->accepted);
+}
+
+TEST(AssetTransfer, AcceptanceDiffersFromWeightReassignmentExactlyOnFloor) {
+  // EXP-X1's core claim, unit-sized: the same sequence of transfer sizes
+  // is accepted by asset transfer until balance 0 but by weight
+  // reassignment only down to the floor.
+  BaselineCluster<AssetTransferNode> assets(4, 1, 26);
+  test::ReassignCluster weights(4, 1, 26);
+  Weight floor = weights.config.floor();  // 2/3
+
+  std::vector<Weight> deltas = {Weight(1, 4), Weight(1, 4), Weight(1, 4),
+                                Weight(1, 4)};
+  std::vector<bool> asset_accepted;
+  std::vector<bool> weight_accepted;
+
+  std::function<void(std::size_t)> run_asset = [&](std::size_t k) {
+    if (k >= deltas.size()) return;
+    assets.nodes[0]->transfer(1, deltas[k], [&, k](const AssetOutcome& o) {
+      asset_accepted.push_back(o.accepted);
+      run_asset(k + 1);
+    });
+  };
+  std::function<void(std::size_t)> run_weight = [&](std::size_t k) {
+    if (k >= deltas.size()) return;
+    weights.node(0).transfer(1, deltas[k], [&, k](const TransferOutcome& o) {
+      weight_accepted.push_back(o.effective);
+      run_weight(k + 1);
+    });
+  };
+  run_asset(0);
+  run_weight(0);
+  run_until(*assets.env, [&] { return asset_accepted.size() == 4; });
+  run_until(*weights.env, [&] { return weight_accepted.size() == 4; });
+
+  // Assets: 1 -> 3/4 -> 1/2 -> 1/4 -> 0 : all four accepted.
+  EXPECT_EQ(asset_accepted, (std::vector<bool>{true, true, true, true}));
+  // Weights: only the first is effective (3/4 > 1/4 + 2/3 fails next).
+  EXPECT_EQ(weight_accepted, (std::vector<bool>{true, false, false, false}));
+  (void)floor;
+}
+
+}  // namespace
+}  // namespace wrs

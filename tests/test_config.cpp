@@ -1,0 +1,92 @@
+// SystemConfig model-assumption checks.
+#include "core/config.h"
+
+#include <gtest/gtest.h>
+
+namespace wrs {
+namespace {
+
+TEST(SystemConfig, UniformIsValid) {
+  SystemConfig cfg = SystemConfig::uniform(5, 2);
+  EXPECT_EQ(cfg.n, 5u);
+  EXPECT_EQ(cfg.f, 2u);
+  EXPECT_EQ(cfg.initial_total(), Weight(5));
+  EXPECT_EQ(cfg.floor(), Weight(5, 6));
+  EXPECT_TRUE(cfg.satisfies_rp_floor());  // 1 > 5/6
+}
+
+TEST(SystemConfig, RejectsTooManyFaults) {
+  EXPECT_THROW(SystemConfig::uniform(4, 2), std::invalid_argument);
+  EXPECT_THROW(SystemConfig::uniform(2, 1), std::invalid_argument);
+  EXPECT_NO_THROW(SystemConfig::uniform(3, 1));
+}
+
+TEST(SystemConfig, RejectsZeroServers) {
+  EXPECT_THROW(SystemConfig::uniform(0, 0), std::invalid_argument);
+}
+
+TEST(SystemConfig, FZeroIsAllowed) {
+  // f=0: no fault tolerance required; Property 1 degenerates.
+  SystemConfig cfg = SystemConfig::uniform(3, 0);
+  EXPECT_EQ(cfg.floor(), Weight(1, 2));
+}
+
+TEST(SystemConfig, RejectsMissingWeight) {
+  WeightMap wm;
+  wm.set(0, Weight(1));
+  wm.set(1, Weight(1));
+  // Server 2 missing (only 2 weights for n=3).
+  EXPECT_THROW(SystemConfig::make(3, 1, wm), std::invalid_argument);
+}
+
+TEST(SystemConfig, RejectsNonPositiveWeight) {
+  WeightMap wm;
+  wm.set(0, Weight(2));
+  wm.set(1, Weight(1));
+  wm.set(2, Weight(0));
+  EXPECT_THROW(SystemConfig::make(3, 1, wm), std::invalid_argument);
+  wm.set(2, -Weight(1));
+  EXPECT_THROW(SystemConfig::make(3, 1, wm), std::invalid_argument);
+}
+
+TEST(SystemConfig, RejectsProperty1Violation) {
+  // One server with half the total voting power and f=1.
+  WeightMap wm;
+  wm.set(0, Weight(3));
+  wm.set(1, Weight(2));
+  wm.set(2, Weight(1));
+  EXPECT_THROW(SystemConfig::make(3, 1, wm), std::invalid_argument);
+}
+
+TEST(SystemConfig, SkewedButAvailableAccepted) {
+  WeightMap wm;
+  wm.set(0, Weight(2));
+  wm.set(1, Weight(3, 2));
+  wm.set(2, Weight(1));
+  wm.set(3, Weight(1, 2));
+  wm.set(4, Weight(1));  // total 6; top-1 = 2 < 3
+  SystemConfig cfg = SystemConfig::make(5, 1, wm);
+  EXPECT_EQ(cfg.initial_total(), Weight(6));
+  // Floor 6/8 = 3/4; s3 is at 1/2 < 3/4: floor violated (but config is
+  // legal for static use).
+  EXPECT_FALSE(cfg.satisfies_rp_floor());
+}
+
+TEST(SystemConfig, ServersEnumeration) {
+  SystemConfig cfg = SystemConfig::uniform(4, 1);
+  EXPECT_EQ(cfg.servers(), (std::vector<ProcessId>{0, 1, 2, 3}));
+}
+
+TEST(SystemConfig, FloorShrinksWithLargerClusters) {
+  // With total scaling as n, the floor n/(2(n-f)) approaches 1/2 from
+  // above as n grows with f fixed: donatable headroom grows.
+  Weight f4 = SystemConfig::uniform(4, 1).floor();    // 4/6
+  Weight f7 = SystemConfig::uniform(7, 1).floor();    // 7/12
+  Weight f13 = SystemConfig::uniform(13, 1).floor();  // 13/24
+  EXPECT_GT(f4, f7);
+  EXPECT_GT(f7, f13);
+  EXPECT_GT(f13, Weight(1, 2));
+}
+
+}  // namespace
+}  // namespace wrs

@@ -1,0 +1,108 @@
+// Reproduces Example 1 of Section III step by step against the oracle
+// weight-reassignment service (the general problem's interface —
+// implementable only by an oracle, per Corollary 1).
+//
+// S = {s1..s4}, Pi = {c1, c2}, f = 1, uniform initial weight 1.
+//  * s1 invokes reassign(s1, +1.5): Integrity survives (new total 5.5,
+//    top-1 = 2.5 < 2.75), so a change <s1, 2, s1, 1.5> is created —
+//    Validity-I forbids completing it as null.
+//  * c1 reads s1's changes and computes weight 2.5 (Validity-II).
+//  * s3 invokes reassign(s2, -0.5): granting it would leave total 5 and
+//    top-1 = 2.5, violating Integrity — a null change is created.
+//  * c2 reads s2's changes: the null change is there, weight still 1.
+#include <gtest/gtest.h>
+
+#include "consensus/oracle.h"
+#include "runtime/sim_env.h"
+
+namespace wrs {
+namespace {
+
+struct Requester : Process {
+  std::vector<Change> completions;
+  std::map<std::uint64_t, ChangeSet> reads;
+  void on_message(ProcessId, const Message& m) override {
+    if (const auto* c = msg_cast<OracleComplete>(m)) {
+      completions.push_back(c->change());
+    } else if (const auto* r = msg_cast<OracleReadAck>(m)) {
+      reads[r->op_id()] = r->changes();
+    }
+  }
+};
+
+TEST(Example1, FullWalkthrough) {
+  SystemConfig cfg = SystemConfig::uniform(4, 1);
+  SimEnv env(std::make_shared<UniformLatency>(ms(1), ms(5)), 8);
+  OracleReassignService oracle(env, cfg);
+  env.register_process(kOracleId, &oracle);
+
+  Requester s1, s3;  // servers 0 and 2 in 0-based ids
+  Requester c1, c2;
+  env.register_process(0, &s1);
+  env.register_process(2, &s3);
+  env.register_process(client_id(0), &c1);
+  env.register_process(client_id(1), &c2);
+  env.start();
+
+  // Step 1: s1 invokes reassign(s1, 1.5) with local counter 2.
+  env.send(0, kOracleId,
+           std::make_shared<OracleReassignReq>(2, 0, Weight(3, 2)));
+  env.run_to_quiescence();
+  ASSERT_EQ(s1.completions.size(), 1u);
+  // Validity-I: the change MUST be non-null (Integrity is preserved).
+  EXPECT_EQ(s1.completions[0], Change(0, 2, 0, Weight(3, 2)));
+
+  // Step 2: c1 invokes read_changes(s1) and computes the weight 2.5.
+  env.send(client_id(0), kOracleId, std::make_shared<OracleReadReq>(1, 0));
+  env.run_to_quiescence();
+  ASSERT_TRUE(c1.reads.count(1));
+  const ChangeSet& cs1 = c1.reads[1];
+  // Validity-II: contains the initial change AND the new one.
+  EXPECT_TRUE(cs1.contains(ChangeId{0, kInitialChangeCounter, 0}));
+  EXPECT_TRUE(cs1.contains(ChangeId{0, 2, 0}));
+  EXPECT_EQ(cs1.weight_of(0), Weight(5, 2));
+
+  // Step 3: s3 invokes reassign(s2, -0.5) with local counter 2.
+  // Granting it would make W_{S} = 5 with the top server at 2.5 — not
+  // strictly below half — so Integrity forces a null change.
+  env.send(2, kOracleId,
+           std::make_shared<OracleReassignReq>(2, 1, Weight(-1, 2)));
+  env.run_to_quiescence();
+  ASSERT_EQ(s3.completions.size(), 1u);
+  EXPECT_TRUE(s3.completions[0].is_null());
+  EXPECT_EQ(s3.completions[0].issuer(), 2u);
+  EXPECT_EQ(s3.completions[0].target(), 1u);
+
+  // Step 4: c2 invokes read_changes(s2): the null change is visible and
+  // the weight of s2 is unchanged.
+  env.send(client_id(1), kOracleId, std::make_shared<OracleReadReq>(1, 1));
+  env.run_to_quiescence();
+  ASSERT_TRUE(c2.reads.count(1));
+  const ChangeSet& cs2 = c2.reads[1];
+  EXPECT_TRUE(cs2.contains(ChangeId{2, 2, 1}));
+  EXPECT_EQ(cs2.find(ChangeId{2, 2, 1})->delta, Weight(0));
+  EXPECT_EQ(cs2.weight_of(1), Weight(1));
+
+  // System-wide: exactly one effective reassignment happened.
+  EXPECT_EQ(oracle.effective_count(), 1u);
+}
+
+TEST(Example1, IntegrityBoundaryIsExact) {
+  // The example's arithmetic, verified symbolically: after +1.5 to s1,
+  // granting -0.5 to s2 yields total 5 and max weight 5/2 — Integrity
+  // requires max < total/2, and 5/2 < 5/2 is false. Exact rationals make
+  // this a crisp equality, not a floating-point coin flip.
+  WeightMap wm = WeightMap::uniform(4);
+  wm.set(0, Weight(5, 2));
+  wm.set(1, Weight(1, 2));
+  Wmqs q(wm);
+  EXPECT_EQ(q.total(), Weight(5));
+  EXPECT_FALSE(q.is_available(1));
+  // And the state BEFORE the second reassignment is fine:
+  WeightMap before = WeightMap::uniform(4);
+  before.set(0, Weight(5, 2));
+  EXPECT_TRUE(Wmqs(before).is_available(1));
+}
+
+}  // namespace
+}  // namespace wrs

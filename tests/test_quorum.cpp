@@ -1,0 +1,186 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "quorum/wmqs.h"
+
+namespace wrs {
+namespace {
+
+TEST(WeightMap, UniformConstruction) {
+  WeightMap wm = WeightMap::uniform(5);
+  EXPECT_EQ(wm.size(), 5u);
+  EXPECT_EQ(wm.total(), Weight(5));
+  EXPECT_EQ(wm.of(0), Weight(1));
+  EXPECT_EQ(wm.of(99), Weight(0));  // unknown server weighs nothing
+}
+
+TEST(WeightMap, WeightOfSubset) {
+  WeightMap wm;
+  wm.set(0, Weight(3, 2));
+  wm.set(1, Weight(1, 2));
+  wm.set(2, Weight(1));
+  EXPECT_EQ(wm.weight_of({0, 1}), Weight(2));
+  EXPECT_EQ(wm.weight_of({}), Weight(0));
+  EXPECT_EQ(wm.weight_of({0, 1, 2}), wm.total());
+}
+
+TEST(WeightMap, SortedDesc) {
+  WeightMap wm;
+  wm.set(0, Weight(1));
+  wm.set(1, Weight(3));
+  wm.set(2, Weight(2));
+  auto sorted = wm.sorted_desc();
+  ASSERT_EQ(sorted.size(), 3u);
+  EXPECT_EQ(sorted[0].first, 1u);
+  EXPECT_EQ(sorted[1].first, 2u);
+  EXPECT_EQ(sorted[2].first, 0u);
+}
+
+TEST(Wmqs, UniformMajority) {
+  Wmqs q(WeightMap::uniform(5));
+  EXPECT_TRUE(q.is_quorum({0, 1, 2}));
+  EXPECT_FALSE(q.is_quorum({0, 1}));
+  EXPECT_EQ(q.min_quorum_size(), 3u);
+  EXPECT_EQ(q.max_minimal_quorum_size(), 3u);
+}
+
+TEST(Wmqs, ExactHalfIsNotAQuorum) {
+  Wmqs q(WeightMap::uniform(4));
+  EXPECT_FALSE(q.is_quorum({0, 1}));  // exactly half: not strict majority
+  EXPECT_TRUE(q.is_quorum({0, 1, 2}));
+}
+
+TEST(Wmqs, WeightedMinorityQuorum) {
+  // A weight-skewed system where 2 of 5 servers form a quorum.
+  WeightMap wm;
+  wm.set(0, Weight(3));
+  wm.set(1, Weight(3));
+  wm.set(2, Weight(1));
+  wm.set(3, Weight(1));
+  wm.set(4, Weight(1));
+  Wmqs q(wm);
+  EXPECT_TRUE(q.is_quorum({0, 1}));  // 6 > 9/2
+  EXPECT_FALSE(q.is_quorum({2, 3, 4}));  // 3 < 9/2: a majority of servers!
+  EXPECT_EQ(q.min_quorum_size(), 2u);
+  EXPECT_EQ(q.max_minimal_quorum_size(), 4u);
+}
+
+TEST(Wmqs, Property1Availability) {
+  // Uniform n=5: f=2 ok (2 < 5/2), f=3 not.
+  Wmqs q(WeightMap::uniform(5));
+  EXPECT_TRUE(q.is_available(1));
+  EXPECT_TRUE(q.is_available(2));
+  EXPECT_FALSE(q.is_available(3));
+  EXPECT_EQ(q.max_tolerable_f(), 2u);
+}
+
+TEST(Wmqs, Property1FailsUnderSkew) {
+  // One server holding half the voting power: even f=1 is unavailable.
+  WeightMap wm;
+  wm.set(0, Weight(5));
+  wm.set(1, Weight(2));
+  wm.set(2, Weight(2));
+  wm.set(3, Weight(1));
+  Wmqs q(wm);
+  EXPECT_FALSE(q.is_available(1));  // 5 >= 10/2
+  EXPECT_EQ(q.max_tolerable_f(), 0u);
+}
+
+TEST(Wmqs, Example2InitialGeometry) {
+  // Example 2: S = {s1..s7}, f=2, uniform weights; every quorum has >= 4
+  // servers initially, floor is 7/10.
+  SCOPED_TRACE("paper Example 2");
+  Wmqs q(WeightMap::uniform(7));
+  EXPECT_EQ(q.min_quorum_size(), 4u);
+  EXPECT_TRUE(q.is_available(2));
+  EXPECT_EQ(rp_integrity_floor(Weight(7), 7, 2), Weight(7, 10));
+}
+
+TEST(Wmqs, Example2AfterTransfersMinorityQuorum) {
+  // Fig. 1 end state (before the red box): weights
+  // s1=1.6, s2=1.4, s3=1.2, s4..s6=0.8, s7=... — paper text: after the
+  // legal transfers {s1,s2,s3} (3 of 7 servers) form a quorum.
+  WeightMap wm;
+  wm.set(0, Weight(8, 5));   // 1.6
+  wm.set(1, Weight(7, 5));   // 1.4
+  wm.set(2, Weight(3, 4));   // kept above floor 0.7
+  wm.set(3, Weight(3, 4));
+  wm.set(4, Weight(3, 4));
+  wm.set(5, Weight(3, 4));
+  wm.set(6, Weight(1));
+  // total = 1.6+1.4+0.75*4+1 = 7
+  Wmqs q(wm);
+  EXPECT_EQ(q.weights().total(), Weight(7));
+  EXPECT_TRUE(q.is_quorum({0, 1, 6}));  // 4 > 3.5: a minority quorum
+  EXPECT_EQ(q.min_quorum_size(), 3u);
+}
+
+TEST(Wmqs, RpFloorFormula) {
+  EXPECT_EQ(rp_integrity_floor(Weight(7), 7, 2), Weight(7, 10));
+  EXPECT_EQ(rp_integrity_floor(Weight(4), 4, 1), Weight(2, 3));
+  EXPECT_EQ(rp_integrity_floor(Weight(10), 5, 2), Weight(5, 3));
+  EXPECT_THROW(rp_integrity_floor(Weight(1), 2, 2), std::invalid_argument);
+}
+
+TEST(Wmqs, FloorImpliesProperty1) {
+  // Lemma 1: if every weight stays above W_{S,0}/(2(n-f)) and the total
+  // is constant, Property 1 holds. Randomized check.
+  Rng rng(99);
+  for (int iter = 0; iter < 100; ++iter) {
+    std::uint32_t n = 4 + static_cast<std::uint32_t>(rng.below(8));
+    std::uint32_t f = 1 + static_cast<std::uint32_t>(rng.below((n - 1) / 2));
+    Weight total(static_cast<std::int64_t>(n));
+    Weight floor = rp_integrity_floor(total, n, f);
+    // Build weights above the floor summing to `total`: start at floor
+    // + epsilon and distribute the remainder to one server.
+    Weight eps(1, 1000);
+    WeightMap wm;
+    Weight used(0);
+    for (std::uint32_t i = 0; i + 1 < n; ++i) {
+      Weight w = floor + eps;
+      wm.set(i, w);
+      used += w;
+    }
+    wm.set(n - 1, total - used);
+    ASSERT_GT(wm.of(n - 1), floor);
+    Wmqs q(wm);
+    EXPECT_TRUE(q.is_available(f)) << "n=" << n << " f=" << f;
+  }
+}
+
+TEST(ReductionWeights, MatchPaperScheme) {
+  // n=4, f=1: F gets (n-1)/(2f) = 3/2; S\F gets (n+1)/(2(n-f)) = 5/6.
+  WeightMap wm = reduction_initial_weights(4, 1);
+  EXPECT_EQ(wm.of(0), Weight(3, 2));
+  EXPECT_EQ(wm.of(1), Weight(5, 6));
+  EXPECT_EQ(wm.of(2), Weight(5, 6));
+  EXPECT_EQ(wm.of(3), Weight(5, 6));
+  EXPECT_EQ(wm.total(), Weight(4));
+  EXPECT_TRUE(Wmqs(wm).is_available(1));
+}
+
+TEST(ReductionWeights, IntegrityTightness) {
+  // The scheme sits exactly at the boundary: one +0.5 grant to an F
+  // server is fine, but granting one +0.5 AND one -0.5 breaks Integrity.
+  for (std::uint32_t n : {4u, 5u, 7u, 9u}) {
+    for (std::uint32_t f = 1; 2 * f + 1 <= n; ++f) {
+      WeightMap wm = reduction_initial_weights(n, f);
+      // Grant +1/2 to s0 (in F).
+      WeightMap one = wm;
+      one.set(0, wm.of(0) + Weight(1, 2));
+      EXPECT_TRUE(Wmqs(one).is_available(f)) << n << "," << f;
+      // Also grant -1/2 to s_f (in S\F): now W_F == W_S/2 exactly.
+      WeightMap two = one;
+      two.set(f, wm.of(f) - Weight(1, 2));
+      EXPECT_FALSE(Wmqs(two).is_available(f)) << n << "," << f;
+    }
+  }
+}
+
+TEST(ReductionWeights, RejectsBadParameters) {
+  EXPECT_THROW(reduction_initial_weights(4, 0), std::invalid_argument);
+  EXPECT_THROW(reduction_initial_weights(3, 3), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace wrs

@@ -1,0 +1,197 @@
+#include "common/rational.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "common/rng.h"
+
+namespace wrs {
+namespace {
+
+TEST(Rational, DefaultIsZero) {
+  Rational r;
+  EXPECT_TRUE(r.is_zero());
+  EXPECT_EQ(r.num(), 0);
+  EXPECT_EQ(r.den(), 1);
+}
+
+TEST(Rational, NormalizesOnConstruction) {
+  Rational r(6, 8);
+  EXPECT_EQ(r.num(), 3);
+  EXPECT_EQ(r.den(), 4);
+}
+
+TEST(Rational, NormalizesSign) {
+  Rational r(3, -4);
+  EXPECT_EQ(r.num(), -3);
+  EXPECT_EQ(r.den(), 4);
+  Rational q(-3, -4);
+  EXPECT_EQ(q.num(), 3);
+  EXPECT_EQ(q.den(), 4);
+}
+
+TEST(Rational, ZeroDenominatorThrows) {
+  EXPECT_THROW(Rational(1, 0), std::invalid_argument);
+}
+
+TEST(Rational, ImplicitFromInt) {
+  Rational r = 7;
+  EXPECT_EQ(r.num(), 7);
+  EXPECT_EQ(r.den(), 1);
+}
+
+TEST(Rational, Addition) {
+  EXPECT_EQ(Rational(1, 2) + Rational(1, 3), Rational(5, 6));
+  EXPECT_EQ(Rational(1, 2) + Rational(-1, 2), Rational(0));
+}
+
+TEST(Rational, Subtraction) {
+  EXPECT_EQ(Rational(1, 2) - Rational(1, 3), Rational(1, 6));
+}
+
+TEST(Rational, Multiplication) {
+  EXPECT_EQ(Rational(2, 3) * Rational(3, 4), Rational(1, 2));
+}
+
+TEST(Rational, Division) {
+  EXPECT_EQ(Rational(1, 2) / Rational(1, 4), Rational(2));
+  EXPECT_THROW(Rational(1) / Rational(0), std::invalid_argument);
+}
+
+TEST(Rational, Negation) {
+  EXPECT_EQ(-Rational(1, 2), Rational(-1, 2));
+  EXPECT_EQ(-Rational(0), Rational(0));
+}
+
+TEST(Rational, Comparisons) {
+  EXPECT_LT(Rational(1, 3), Rational(1, 2));
+  EXPECT_GT(Rational(2, 3), Rational(1, 2));
+  EXPECT_LE(Rational(1, 2), Rational(2, 4));
+  EXPECT_EQ(Rational(1, 2), Rational(2, 4));
+  EXPECT_LT(Rational(-1, 2), Rational(0));
+}
+
+TEST(Rational, StrictBoundaryComparisonIsExact) {
+  // The reductions place weights exactly on the Integrity boundary; a
+  // double representation of n/2 vs sum of (n-1)/(2f) + 0.5 would be
+  // unreliable. Exact rationals make it crisp: for n=4, f=1,
+  // W_F = 3/2 + 1/2 = 2 which must NOT be < 4.5/... here simply:
+  Rational wf = Rational(3, 2) + Rational(1, 2);
+  Rational half_total = Rational(4, 2);
+  EXPECT_FALSE(wf < half_total);
+  EXPECT_EQ(wf, half_total);
+}
+
+TEST(Rational, ParseAndStr) {
+  EXPECT_EQ(Rational::parse("3/4"), Rational(3, 4));
+  EXPECT_EQ(Rational::parse("-3/4"), Rational(-3, 4));
+  EXPECT_EQ(Rational::parse("5"), Rational(5));
+  EXPECT_EQ(Rational(3, 4).str(), "3/4");
+  EXPECT_EQ(Rational(5).str(), "5");
+  std::ostringstream os;
+  os << Rational(7, 2);
+  EXPECT_EQ(os.str(), "7/2");
+}
+
+TEST(Rational, FromDouble) {
+  EXPECT_EQ(Rational::from_double(0.5), Rational(1, 2));
+  EXPECT_EQ(Rational::from_double(0.4), Rational(2, 5));
+  EXPECT_EQ(Rational::from_double(-1.25), Rational(-5, 4));
+  EXPECT_THROW(Rational::from_double(std::nan("")), std::invalid_argument);
+}
+
+TEST(Rational, ToDouble) {
+  EXPECT_DOUBLE_EQ(Rational(1, 2).to_double(), 0.5);
+  EXPECT_DOUBLE_EQ(Rational(-3, 4).to_double(), -0.75);
+}
+
+TEST(Rational, AbsAndSigns) {
+  EXPECT_EQ(Rational(-1, 2).abs(), Rational(1, 2));
+  EXPECT_TRUE(Rational(-1, 2).is_negative());
+  EXPECT_TRUE(Rational(1, 2).is_positive());
+  EXPECT_FALSE(Rational(0).is_positive());
+  EXPECT_FALSE(Rational(0).is_negative());
+}
+
+TEST(Rational, OverflowDetected) {
+  Rational big(std::numeric_limits<std::int64_t>::max(), 1);
+  EXPECT_THROW(big * big, RationalOverflow);
+  EXPECT_THROW(big + big, RationalOverflow);
+}
+
+TEST(Rational, LargeIntermediatesReduce) {
+  // Intermediate products exceed int64 but the reduced result fits.
+  Rational a(1, 1'000'000'007);
+  Rational b(1'000'000'007, 3);
+  EXPECT_EQ(a * b, Rational(1, 3));
+}
+
+TEST(Rational, CompoundAssignment) {
+  Rational r(1, 2);
+  r += Rational(1, 4);
+  EXPECT_EQ(r, Rational(3, 4));
+  r -= Rational(1, 2);
+  EXPECT_EQ(r, Rational(1, 4));
+  r *= Rational(4);
+  EXPECT_EQ(r, Rational(1));
+  r /= Rational(3);
+  EXPECT_EQ(r, Rational(1, 3));
+}
+
+// --- Property-based: field laws over random rationals ----------------------
+
+class RationalPropertyTest : public ::testing::TestWithParam<std::uint64_t> {
+ protected:
+  Rational random_rational(Rng& rng) {
+    auto num = static_cast<std::int64_t>(rng.below(20001)) - 10000;
+    auto den = static_cast<std::int64_t>(rng.below(999)) + 1;
+    return Rational(num, den);
+  }
+};
+
+TEST_P(RationalPropertyTest, FieldLaws) {
+  Rng rng(GetParam());
+  for (int i = 0; i < 200; ++i) {
+    Rational a = random_rational(rng);
+    Rational b = random_rational(rng);
+    Rational c = random_rational(rng);
+    // Commutativity.
+    EXPECT_EQ(a + b, b + a);
+    EXPECT_EQ(a * b, b * a);
+    // Associativity.
+    EXPECT_EQ((a + b) + c, a + (b + c));
+    EXPECT_EQ((a * b) * c, a * (b * c));
+    // Distributivity.
+    EXPECT_EQ(a * (b + c), a * b + a * c);
+    // Identities and inverses.
+    EXPECT_EQ(a + Rational(0), a);
+    EXPECT_EQ(a * Rational(1), a);
+    EXPECT_EQ(a - a, Rational(0));
+    if (!b.is_zero()) {
+      EXPECT_EQ(a / b * b, a);
+    }
+  }
+}
+
+TEST_P(RationalPropertyTest, OrderingConsistentWithDouble) {
+  Rng rng(GetParam());
+  for (int i = 0; i < 200; ++i) {
+    Rational a = random_rational(rng);
+    Rational b = random_rational(rng);
+    if (a < b) {
+      EXPECT_LE(a.to_double(), b.to_double());
+    } else if (b < a) {
+      EXPECT_LE(b.to_double(), a.to_double());
+    } else {
+      EXPECT_DOUBLE_EQ(a.to_double(), b.to_double());
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RationalPropertyTest,
+                         ::testing::Values(1, 2, 3, 5, 8, 13));
+
+}  // namespace
+}  // namespace wrs

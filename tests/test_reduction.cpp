@@ -1,0 +1,200 @@
+// Executable impossibility reductions (Theorems 1 and 2): Algorithms 1
+// and 2 solve consensus against the oracle weight-reassignment service.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <optional>
+
+#include "consensus/reduction.h"
+#include "runtime/sim_env.h"
+
+namespace wrs {
+namespace {
+
+template <typename ServerT>
+struct ReductionCluster {
+  std::unique_ptr<SimEnv> env;
+  SystemConfig config;
+  std::unique_ptr<OracleReassignService> oracle;
+  std::vector<std::unique_ptr<ServerT>> servers;
+  std::shared_ptr<SharedRegisters> registers;
+  std::vector<std::optional<std::string>> decisions;
+
+  ReductionCluster(std::uint32_t n, std::uint32_t f, std::uint64_t seed) {
+    config = SystemConfig::make(n, f, reduction_initial_weights(n, f));
+    env = std::make_unique<SimEnv>(
+        std::make_shared<UniformLatency>(ms(1), ms(15)), seed);
+    oracle = std::make_unique<OracleReassignService>(*env, config);
+    env->register_process(kOracleId, oracle.get());
+    registers = std::make_shared<SharedRegisters>(n);
+    decisions.resize(n);
+    for (std::uint32_t i = 0; i < n; ++i) {
+      servers.push_back(
+          std::make_unique<ServerT>(*env, i, config, registers));
+      env->register_process(i, servers.back().get());
+    }
+    env->start();
+  }
+
+  void propose_all() {
+    for (std::uint32_t i = 0; i < config.n; ++i) {
+      std::uint32_t idx = i;
+      servers[i]->propose("proposal-" + std::to_string(i),
+                          [this, idx](const std::string& v) {
+                            decisions[idx] = v;
+                          });
+    }
+  }
+
+  bool all_decided() const {
+    for (const auto& d : decisions) {
+      if (!d.has_value()) return false;
+    }
+    return true;
+  }
+};
+
+using Alg1Cluster = ReductionCluster<Alg1Server>;
+using Alg2Cluster = ReductionCluster<Alg2Server>;
+
+struct RedParams {
+  std::uint64_t seed;
+  std::uint32_t n;
+  std::uint32_t f;
+};
+
+class Alg1Test : public ::testing::TestWithParam<RedParams> {};
+
+TEST_P(Alg1Test, ConsensusProperties) {
+  auto [seed, n, f] = GetParam();
+  Alg1Cluster c(n, f, seed);
+  c.propose_all();
+  ASSERT_TRUE(c.env->run_until_pred([&] { return c.all_decided(); },
+                                    seconds(600)))
+      << "termination failed (seed " << seed << ")";
+
+  // Agreement: all servers decide the same value.
+  for (std::uint32_t i = 1; i < n; ++i) {
+    EXPECT_EQ(*c.decisions[i], *c.decisions[0]);
+  }
+  // Validity: the decision is one of the proposals.
+  EXPECT_EQ(c.decisions[0]->rfind("proposal-", 0), 0u);
+  // The mechanism: exactly one effective (non-zero) change was granted.
+  EXPECT_EQ(c.oracle->effective_count(), 1u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweeps, Alg1Test,
+    ::testing::Values(RedParams{1, 4, 1}, RedParams{2, 4, 1},
+                      RedParams{3, 5, 2}, RedParams{4, 5, 2},
+                      RedParams{5, 7, 2}, RedParams{6, 7, 3},
+                      RedParams{7, 9, 4}, RedParams{8, 6, 2},
+                      RedParams{9, 8, 3}, RedParams{10, 10, 4}));
+
+class Alg2Test : public ::testing::TestWithParam<RedParams> {};
+
+TEST_P(Alg2Test, ConsensusProperties) {
+  auto [seed, n, f] = GetParam();
+  Alg2Cluster c(n, f, seed);
+  c.propose_all();
+  ASSERT_TRUE(c.env->run_until_pred([&] { return c.all_decided(); },
+                                    seconds(600)))
+      << "termination failed (seed " << seed << ")";
+
+  for (std::uint32_t i = 1; i < n; ++i) {
+    EXPECT_EQ(*c.decisions[i], *c.decisions[0]);
+  }
+  // Validity restricted to S∖F proposals (the decided transfer is one of
+  // the S∖F servers' — Algorithm 2's loop only scans j in S∖F).
+  std::string v = *c.decisions[0];
+  int j = std::stoi(v.substr(std::string("proposal-").size()));
+  EXPECT_GE(j, static_cast<int>(f));
+  // Exactly one effective S∖F transfer ever (0.4 credit to s0), no
+  // matter how many retries were needed.
+  std::size_t winners = 0;
+  for (const Change& ch : c.oracle->changes().all()) {
+    if (ch.issuer() >= f && ch.target() == 0 && ch.delta == Weight(2, 5)) {
+      ++winners;
+    }
+  }
+  EXPECT_EQ(winners, 1u);
+  // The decided proposal is the winner's.
+  EXPECT_GE(c.oracle->effective_count(), 1u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweeps, Alg2Test,
+    ::testing::Values(RedParams{11, 4, 1}, RedParams{12, 5, 2},
+                      RedParams{13, 5, 2}, RedParams{14, 7, 2},
+                      RedParams{15, 7, 3}, RedParams{16, 9, 4},
+                      RedParams{17, 6, 2}, RedParams{18, 8, 3},
+                      RedParams{19, 10, 4}, RedParams{20, 11, 5}));
+
+TEST(Oracle, IntegrityNeverViolated) {
+  // Direct oracle check: after arbitrary grant sequences, Property 1
+  // holds on the oracle's authoritative weights.
+  SystemConfig cfg =
+      SystemConfig::make(5, 2, reduction_initial_weights(5, 2));
+  SimEnv env(std::make_shared<ConstantLatency>(ms(1)), 1);
+  OracleReassignService oracle(env, cfg);
+  env.register_process(kOracleId, &oracle);
+
+  // A dummy requester process.
+  struct Sink : Process {
+    void on_message(ProcessId, const Message&) override {}
+  } sink;
+  env.register_process(0, &sink);
+  env.start();
+
+  for (int i = 0; i < 20; ++i) {
+    env.send(0, kOracleId,
+             std::make_shared<OracleReassignReq>(2 + i, i % 5,
+                                                 Weight(1, 2)));
+    env.run_to_quiescence();
+    Wmqs q(oracle.changes().to_weight_map(cfg.servers()));
+    EXPECT_TRUE(q.is_available(cfg.f)) << "after grant " << i;
+  }
+}
+
+TEST(Oracle, NullChangesRecordedForAbortedRequests) {
+  SystemConfig cfg =
+      SystemConfig::make(4, 1, reduction_initial_weights(4, 1));
+  SimEnv env(std::make_shared<ConstantLatency>(ms(1)), 1);
+  OracleReassignService oracle(env, cfg);
+  env.register_process(kOracleId, &oracle);
+  struct Cap : Process {
+    std::vector<Change> completions;
+    void on_message(ProcessId, const Message& m) override {
+      const auto* c = msg_cast<OracleComplete>(m);
+      if (c != nullptr) completions.push_back(c->change());
+    }
+  } cap;
+  env.register_process(0, &cap);
+  env.start();
+
+  // +1/2 to s0 (F member) is fine; then -1/2 to s1 breaks Integrity and
+  // must be completed with a null change.
+  env.send(0, kOracleId,
+           std::make_shared<OracleReassignReq>(2, 0, Weight(1, 2)));
+  env.run_to_quiescence();
+  env.send(0, kOracleId,
+           std::make_shared<OracleReassignReq>(3, 1, Weight(-1, 2)));
+  env.run_to_quiescence();
+
+  ASSERT_EQ(cap.completions.size(), 2u);
+  EXPECT_FALSE(cap.completions[0].is_null());
+  EXPECT_TRUE(cap.completions[1].is_null());
+  EXPECT_EQ(oracle.effective_count(), 1u);
+}
+
+TEST(SharedRegisters, EnforcesSingleWriter) {
+  SharedRegisters regs(3);
+  regs.write(1, 1, "ok");
+  EXPECT_EQ(*regs.read(1), "ok");
+  EXPECT_FALSE(regs.read(0).has_value());
+  EXPECT_THROW(regs.write(0, 1, "steal"), std::logic_error);
+  EXPECT_THROW(regs.read(7), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace wrs

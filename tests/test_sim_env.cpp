@@ -1,0 +1,240 @@
+#include "runtime/sim_env.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+namespace wrs {
+namespace {
+
+class NoteMsg : public Message {
+ public:
+  explicit NoteMsg(int v) : v_(v) {}
+  int value() const { return v_; }
+  std::string type_name() const override { return "NOTE"; }
+  std::size_t wire_size() const override { return kHeaderBytes + 4; }
+
+ private:
+  int v_;
+};
+
+/// Records (from, value, time) of everything delivered.
+class Recorder : public Process {
+ public:
+  struct Entry {
+    ProcessId from;
+    int value;
+    TimeNs at;
+  };
+  explicit Recorder(SimEnv& env) : env_(env) {}
+  void on_message(ProcessId from, const Message& msg) override {
+    const auto* note = msg_cast<NoteMsg>(msg);
+    ASSERT_NE(note, nullptr);
+    entries.push_back({from, note->value(), env_.now()});
+  }
+  std::vector<Entry> entries;
+
+ private:
+  SimEnv& env_;
+};
+
+TEST(SimEnv, DeliversMessagesWithLatency) {
+  SimEnv env(std::make_shared<ConstantLatency>(ms(5)), 1);
+  Recorder a(env);
+  Recorder b(env);
+  env.register_process(0, &a);
+  env.register_process(1, &b);
+  env.start();
+  env.send(0, 1, std::make_shared<NoteMsg>(42));
+  env.run_to_quiescence();
+  ASSERT_EQ(b.entries.size(), 1u);
+  EXPECT_EQ(b.entries[0].value, 42);
+  EXPECT_EQ(b.entries[0].at, ms(5));
+  EXPECT_TRUE(a.entries.empty());
+}
+
+TEST(SimEnv, DeterministicAcrossRuns) {
+  auto run = [](std::uint64_t seed) {
+    SimEnv env(std::make_shared<UniformLatency>(ms(1), ms(20)), seed);
+    Recorder r(env);
+    Recorder s(env);
+    env.register_process(0, &r);
+    env.register_process(1, &s);
+    env.start();
+    for (int i = 0; i < 50; ++i) {
+      env.send(0, 1, std::make_shared<NoteMsg>(i));
+      env.send(1, 0, std::make_shared<NoteMsg>(100 + i));
+    }
+    env.run_to_quiescence();
+    std::vector<std::pair<int, TimeNs>> trace;
+    for (const auto& e : r.entries) trace.emplace_back(e.value, e.at);
+    for (const auto& e : s.entries) trace.emplace_back(e.value, e.at);
+    return trace;
+  };
+  EXPECT_EQ(run(7), run(7));
+  EXPECT_NE(run(7), run(8));  // different seed, different schedule
+}
+
+TEST(SimEnv, ScheduleRunsCallbacksInOrder) {
+  SimEnv env(std::make_shared<ConstantLatency>(ms(1)), 1);
+  Recorder r(env);
+  env.register_process(0, &r);
+  env.start();
+  std::vector<int> order;
+  env.schedule(0, ms(30), [&] { order.push_back(3); });
+  env.schedule(0, ms(10), [&] { order.push_back(1); });
+  env.schedule(0, ms(20), [&] { order.push_back(2); });
+  env.run_to_quiescence();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(SimEnv, TieBreakIsFifoBySequence) {
+  SimEnv env(std::make_shared<ConstantLatency>(ms(1)), 1);
+  Recorder r(env);
+  env.register_process(0, &r);
+  env.start();
+  std::vector<int> order;
+  env.schedule(0, ms(5), [&] { order.push_back(1); });
+  env.schedule(0, ms(5), [&] { order.push_back(2); });
+  env.schedule(0, ms(5), [&] { order.push_back(3); });
+  env.run_to_quiescence();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(SimEnv, CrashDropsQueuedAndFutureDeliveries) {
+  SimEnv env(std::make_shared<ConstantLatency>(ms(5)), 1);
+  Recorder a(env);
+  Recorder b(env);
+  env.register_process(0, &a);
+  env.register_process(1, &b);
+  env.start();
+  env.send(0, 1, std::make_shared<NoteMsg>(1));  // in flight
+  env.crash(1);
+  env.send(0, 1, std::make_shared<NoteMsg>(2));  // future
+  env.run_to_quiescence();
+  EXPECT_TRUE(b.entries.empty());
+  EXPECT_TRUE(env.is_crashed(1));
+}
+
+TEST(SimEnv, CrashedProcessSendsNothing) {
+  SimEnv env(std::make_shared<ConstantLatency>(ms(5)), 1);
+  Recorder a(env);
+  Recorder b(env);
+  env.register_process(0, &a);
+  env.register_process(1, &b);
+  env.start();
+  env.crash(0);
+  env.send(0, 1, std::make_shared<NoteMsg>(1));
+  env.run_to_quiescence();
+  EXPECT_TRUE(b.entries.empty());
+}
+
+TEST(SimEnv, CrashedProcessScheduledCallbacksDropped) {
+  SimEnv env(std::make_shared<ConstantLatency>(ms(5)), 1);
+  Recorder a(env);
+  env.register_process(0, &a);
+  env.start();
+  bool fired = false;
+  env.schedule(0, ms(10), [&] { fired = true; });
+  env.crash(0);
+  env.run_to_quiescence();
+  EXPECT_FALSE(fired);
+}
+
+TEST(SimEnv, HoldAndReleaseDelaysDelivery) {
+  SimEnv env(std::make_shared<ConstantLatency>(ms(5)), 1);
+  Recorder a(env);
+  Recorder b(env);
+  env.register_process(0, &a);
+  env.register_process(1, &b);
+  env.start();
+  env.hold_messages(1);
+  env.send(0, 1, std::make_shared<NoteMsg>(9));
+  env.run_until(ms(100));
+  EXPECT_TRUE(b.entries.empty());
+  env.release_holds(1);
+  env.run_to_quiescence();
+  ASSERT_EQ(b.entries.size(), 1u);
+  EXPECT_GE(b.entries[0].at, ms(100));  // delivered only after release
+}
+
+TEST(SimEnv, RunUntilPredStopsEarly) {
+  SimEnv env(std::make_shared<ConstantLatency>(ms(1)), 1);
+  Recorder a(env);
+  env.register_process(0, &a);
+  env.start();
+  int count = 0;
+  for (int i = 0; i < 10; ++i) {
+    env.schedule(0, ms(i + 1), [&] { ++count; });
+  }
+  EXPECT_TRUE(env.run_until_pred([&] { return count >= 3; }, seconds(1)));
+  EXPECT_EQ(count, 3);
+  EXPECT_FALSE(env.idle());
+}
+
+TEST(SimEnv, TrafficCountersAccumulate) {
+  SimEnv env(std::make_shared<ConstantLatency>(ms(1)), 1);
+  Recorder a(env);
+  Recorder b(env);
+  env.register_process(0, &a);
+  env.register_process(1, &b);
+  env.start();
+  env.send(0, 1, std::make_shared<NoteMsg>(1));
+  env.send(0, 1, std::make_shared<NoteMsg>(2));
+  env.run_to_quiescence();
+  EXPECT_EQ(env.traffic().get("msgs"), 2);
+  EXPECT_EQ(env.traffic().get("msg.NOTE"), 2);
+  EXPECT_GT(env.traffic().get("bytes"), 0);
+}
+
+TEST(SimEnv, ServerIdsExcludeClients) {
+  SimEnv env(std::make_shared<ConstantLatency>(ms(1)), 1);
+  Recorder a(env);
+  Recorder b(env);
+  Recorder c(env);
+  env.register_process(0, &a);
+  env.register_process(1, &b);
+  env.register_process(client_id(0), &c);
+  auto ids = env.server_ids();
+  EXPECT_EQ(ids, (std::vector<ProcessId>{0, 1}));
+}
+
+TEST(SimEnv, BroadcastToServersIncludesSender) {
+  SimEnv env(std::make_shared<ConstantLatency>(ms(1)), 1);
+  Recorder a(env);
+  Recorder b(env);
+  env.register_process(0, &a);
+  env.register_process(1, &b);
+  env.start();
+  env.broadcast_to_servers(0, std::make_shared<NoteMsg>(5));
+  env.run_to_quiescence();
+  EXPECT_EQ(a.entries.size(), 1u);  // self-delivery
+  EXPECT_EQ(b.entries.size(), 1u);
+}
+
+TEST(LatencyModels, HeavyTailRespectsCap) {
+  HeavyTailLatency model(ms(1), ms(2), 1.2, ms(500));
+  Rng rng(3);
+  for (int i = 0; i < 10000; ++i) {
+    TimeNs d = model.sample(0, 1, rng);
+    EXPECT_GE(d, ms(1));
+    EXPECT_LE(d, ms(500));
+  }
+}
+
+TEST(LatencyModels, DegradableScalesSelectedProcess) {
+  auto degradable = std::make_unique<DegradableLatency>(
+      std::make_unique<ConstantLatency>(ms(10)));
+  DegradableLatency* handle = degradable.get();
+  Rng rng(3);
+  EXPECT_EQ(handle->sample(0, 1, rng), ms(10));
+  handle->set_factor(1, 4.0);
+  EXPECT_EQ(handle->sample(0, 1, rng), ms(40));
+  EXPECT_EQ(handle->sample(2, 3, rng), ms(10));  // others unaffected
+  handle->clear_factor(1);
+  EXPECT_EQ(handle->sample(0, 1, rng), ms(10));
+}
+
+}  // namespace
+}  // namespace wrs

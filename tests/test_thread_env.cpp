@@ -1,0 +1,178 @@
+#include "runtime/thread_env.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+
+#include "runtime/sync.h"
+
+namespace wrs {
+namespace {
+
+class NoteMsg : public Message {
+ public:
+  explicit NoteMsg(int v) : v_(v) {}
+  int value() const { return v_; }
+  std::string type_name() const override { return "NOTE"; }
+  std::size_t wire_size() const override { return kHeaderBytes + 4; }
+
+ private:
+  int v_;
+};
+
+class CountingProcess : public Process {
+ public:
+  void on_message(ProcessId, const Message& msg) override {
+    const auto* note = msg_cast<NoteMsg>(msg);
+    if (note == nullptr) return;
+    // Detect concurrent handler execution (must never happen).
+    int expected = 0;
+    if (!in_handler.compare_exchange_strong(expected, 1)) {
+      overlap.store(true);
+    }
+    sum += note->value();
+    ++count;
+    in_handler.store(0);
+  }
+  std::atomic<int> in_handler{0};
+  std::atomic<bool> overlap{false};
+  std::atomic<long> sum{0};
+  std::atomic<int> count{0};
+};
+
+TEST(ThreadEnv, DeliversMessages) {
+  ThreadEnv env;
+  CountingProcess a;
+  CountingProcess b;
+  env.register_process(0, &a);
+  env.register_process(1, &b);
+  env.start();
+  for (int i = 1; i <= 100; ++i) {
+    env.send(0, 1, std::make_shared<NoteMsg>(i));
+  }
+  // Wait until everything drained.
+  for (int spin = 0; spin < 1000 && b.count.load() < 100; ++spin) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  env.stop();
+  EXPECT_EQ(b.count.load(), 100);
+  EXPECT_EQ(b.sum.load(), 5050);
+  EXPECT_FALSE(b.overlap.load());
+}
+
+TEST(ThreadEnv, HandlersSerializedUnderContention) {
+  ThreadEnv env;
+  CountingProcess target;
+  CountingProcess sender1;
+  CountingProcess sender2;
+  env.register_process(0, &target);
+  env.register_process(1, &sender1);
+  env.register_process(2, &sender2);
+  env.start();
+  // Two threads hammer the same target concurrently.
+  std::thread t1([&] {
+    for (int i = 0; i < 500; ++i) env.send(1, 0, std::make_shared<NoteMsg>(1));
+  });
+  std::thread t2([&] {
+    for (int i = 0; i < 500; ++i) env.send(2, 0, std::make_shared<NoteMsg>(1));
+  });
+  t1.join();
+  t2.join();
+  for (int spin = 0; spin < 2000 && target.count.load() < 1000; ++spin) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  env.stop();
+  EXPECT_EQ(target.count.load(), 1000);
+  EXPECT_FALSE(target.overlap.load());
+}
+
+TEST(ThreadEnv, ScheduleFiresAfterDelay) {
+  ThreadEnv env;
+  CountingProcess a;
+  env.register_process(0, &a);
+  env.start();
+  Waiter<TimeNs> waiter;
+  TimeNs before = env.now();
+  env.schedule(0, ms(20), [&] { waiter.set(env.now()); });
+  auto fired_at = waiter.wait_for(seconds(5));
+  env.stop();
+  ASSERT_TRUE(fired_at.has_value());
+  EXPECT_GE(*fired_at - before, ms(15));  // allow scheduler slop downward
+}
+
+TEST(ThreadEnv, InjectedLatencyDelaysDelivery) {
+  ThreadEnv env(std::make_shared<ConstantLatency>(ms(30)), 1);
+  CountingProcess a;
+  CountingProcess b;
+  env.register_process(0, &a);
+  env.register_process(1, &b);
+  env.start();
+  TimeNs before = env.now();
+  env.send(0, 1, std::make_shared<NoteMsg>(1));
+  for (int spin = 0; spin < 2000 && b.count.load() < 1; ++spin) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  TimeNs elapsed = env.now() - before;
+  env.stop();
+  EXPECT_EQ(b.count.load(), 1);
+  EXPECT_GE(elapsed, ms(25));
+}
+
+TEST(ThreadEnv, CrashedProcessReceivesNothing) {
+  ThreadEnv env;
+  CountingProcess a;
+  CountingProcess b;
+  env.register_process(0, &a);
+  env.register_process(1, &b);
+  env.start();
+  env.crash(1);
+  env.send(0, 1, std::make_shared<NoteMsg>(1));
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  env.stop();
+  EXPECT_EQ(b.count.load(), 0);
+  EXPECT_TRUE(env.is_crashed(1));
+}
+
+TEST(ThreadEnv, RegisterAfterStartThrows) {
+  ThreadEnv env;
+  CountingProcess a;
+  env.register_process(0, &a);
+  env.start();
+  CountingProcess b;
+  EXPECT_THROW(env.register_process(1, &b), std::logic_error);
+  env.stop();
+}
+
+TEST(ThreadEnv, StopIsIdempotentAndDestructorSafe) {
+  auto env = std::make_unique<ThreadEnv>();
+  CountingProcess a;
+  env->register_process(0, &a);
+  env->start();
+  env->stop();
+  env->stop();
+  env.reset();  // destructor after stop: no crash
+  SUCCEED();
+}
+
+TEST(ThreadEnv, TrafficCountersAfterStop) {
+  ThreadEnv env;
+  CountingProcess a;
+  CountingProcess b;
+  env.register_process(0, &a);
+  env.register_process(1, &b);
+  env.start();
+  for (int i = 0; i < 10; ++i) {
+    env.send(0, 1, std::make_shared<NoteMsg>(i));
+  }
+  for (int spin = 0; spin < 1000 && b.count.load() < 10; ++spin) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  env.stop();
+  EXPECT_EQ(env.traffic().get("msgs"), 10);
+  EXPECT_EQ(env.traffic().get("msg.NOTE"), 10);
+}
+
+}  // namespace
+}  // namespace wrs
