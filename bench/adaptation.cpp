@@ -14,8 +14,6 @@
 //    form quorums on their own.
 #include "bench_util.h"
 
-#include "monitor/adaptive_node.h"
-
 namespace wrs {
 namespace {
 
@@ -25,11 +23,6 @@ struct SeriesResult {
 };
 
 SeriesResult run_one(bool adaptive, std::uint64_t seed) {
-  const std::uint32_t n = 5;
-  const std::uint32_t f = 1;
-  WanProfile profile = continental_profile();
-  bench::WanSim sim(profile, 0, seed);
-
   // Initial weights favor s0 and s1 (as a tuned system would), while
   // every server stays strictly above the RP floor 5/8.
   WeightMap weights;
@@ -38,7 +31,6 @@ SeriesResult run_one(bool adaptive, std::uint64_t seed) {
   weights.set(2, Weight(4, 5));
   weights.set(3, Weight(7, 10));
   weights.set(4, Weight(7, 10));
-  SystemConfig cfg = SystemConfig::make(n, f, weights);
 
   AdaptiveParams params;
   params.probe_interval = ms(200);
@@ -47,43 +39,36 @@ SeriesResult run_one(bool adaptive, std::uint64_t seed) {
   params.slow_factor = 1.5;
   params.adaptation_enabled = adaptive;
 
-  std::vector<std::unique_ptr<AdaptiveNode>> nodes;
-  for (std::uint32_t i = 0; i < n; ++i) {
-    nodes.push_back(std::make_unique<AdaptiveNode>(*sim.env, i, cfg, params));
-    sim.env->register_process(i, nodes.back().get());
-  }
-
-  // A client that reads in a closed loop and records per-op latency into
-  // a time series.
-  SeriesResult result;
-  auto client = std::make_unique<StorageClient>(
-      *sim.env, client_id(0), cfg, AbdClient::Mode::kDynamic);
-  sim.env->register_process(client_id(0), client.get());
-  sim.env->start();
-
-  auto loop = std::make_shared<std::function<void()>>();
-  *loop = [&, loop] {
-    TimeNs start = sim.env->now();
-    client->abd().read([&, loop, start](const TaggedValue&) {
-      result.latency.add(sim.env->now(), to_ms(sim.env->now() - start));
-      sim.env->schedule(client_id(0), ms(50), [loop] { (*loop)(); });
-    });
-  };
-  sim.env->schedule(client_id(0), 0, [loop] { (*loop)(); });
+  Cluster cluster = Cluster::builder()
+                        .servers(5)
+                        .faults(1)
+                        .weights(weights)
+                        .wan(continental_profile(), /*client_site=*/0)
+                        .seed(seed)
+                        .adaptive(params)
+                        .build();
+  ClientHandle client = cluster.client();
 
   // Degradation script: s0 and s1 slow 25x during [20s, 60s).
-  sim.env->schedule(kNoProcess, seconds(20), [&] {
-    sim.latency->set_factor(0, 25.0);
-    sim.latency->set_factor(1, 25.0);
+  cluster.at(seconds(20), [&] {
+    cluster.slow(0, 25.0);
+    cluster.slow(1, 25.0);
   });
-  sim.env->schedule(kNoProcess, seconds(60), [&] {
-    sim.latency->clear_factor(0);
-    sim.latency->clear_factor(1);
+  cluster.at(seconds(60), [&] {
+    cluster.clear_slow(0);
+    cluster.clear_slow(1);
   });
 
-  sim.env->run_until(seconds(80));
-  result.final_weights =
-      nodes[0]->reassign().changes().to_weight_map(cfg.servers());
+  // Closed loop of reads, ~one every 50ms, recording per-op latency into
+  // a time series.
+  SeriesResult result;
+  while (cluster.now() < seconds(80)) {
+    TimeNs start = cluster.now();
+    client.read().get(seconds(120));
+    result.latency.add(cluster.now(), to_ms(cluster.now() - start));
+    cluster.run_for(ms(50));
+  }
+  result.final_weights = cluster.server(0).weights_snapshot().get();
   return result;
 }
 

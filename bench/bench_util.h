@@ -11,6 +11,7 @@
 #include <string>
 #include <vector>
 
+#include "api/cluster.h"
 #include "common/metrics.h"
 #include "core/config.h"
 #include "runtime/sim_env.h"

@@ -10,8 +10,6 @@
 // problem, exactly as the figure's red region cannot be executed.
 #include "bench_util.h"
 
-#include "core/reassign_node.h"
-
 namespace wrs {
 namespace {
 
@@ -25,17 +23,17 @@ struct Fig1Step {
 void run() {
   bench::banner("EXP-F1", "Figure 1 / Example 2 walkthrough (n=7, f=2)");
 
-  SystemConfig cfg = SystemConfig::uniform(7, 2);
-  auto env = std::make_unique<SimEnv>(
-      std::make_shared<UniformLatency>(ms(1), ms(5)), 4242);
-  std::vector<std::unique_ptr<ReassignNode>> nodes;
-  for (std::uint32_t i = 0; i < 7; ++i) {
-    nodes.push_back(std::make_unique<ReassignNode>(*env, i, cfg));
-    env->register_process(i, nodes.back().get());
-  }
-  env->start();
+  Cluster cluster = Cluster::builder()
+                        .servers(7)
+                        .faults(2)
+                        .uniform_latency(ms(1), ms(5))
+                        .seed(4242)
+                        .reassign_only()
+                        .clients(0)
+                        .build();
 
-  bench::note("RP-Integrity floor W_{S,0}/(2(n-f)) = " + cfg.floor().str());
+  bench::note("RP-Integrity floor W_{S,0}/(2(n-f)) = " +
+              cluster.config().floor().str());
 
   // The figure's steps: three legal transfers, then the two red-box ones.
   // (ids are 0-based: paper's s1 is our s0.)
@@ -54,12 +52,12 @@ void run() {
     std::string ws;
     for (std::uint32_t s = 0; s < 7; ++s) {
       if (!ws.empty()) ws += " ";
-      ws += nodes[0]->weight_of(s).str();
+      ws += cluster.server(0).weight_of(s).str();
     }
     return ws;
   };
   auto geometry = [&]() {
-    Wmqs q(nodes[0]->changes().to_weight_map(cfg.servers()));
+    Wmqs q(cluster.server(0).weights());
     bool minority = q.is_quorum({0, 1, 2});
     return std::make_pair(q.min_quorum_size(), minority);
   };
@@ -72,17 +70,12 @@ void run() {
 
   int step_no = 1;
   for (const auto& step : steps) {
-    bool done = false;
-    std::string outcome;
-    nodes[step.src]->transfer(step.dst, step.delta,
-                              [&](const TransferOutcome& o) {
-                                outcome = o.effective ? "effective" : "null";
-                                done = true;
-                              });
-    env->run_until_pred([&] { return done; }, seconds(60));
-    env->run_to_quiescence();
+    TransferOutcome outcome =
+        cluster.server(step.src).transfer(step.dst, step.delta).get(seconds(60));
+    cluster.quiesce();
     auto [mq, minority] = geometry();
-    table.add_row({std::to_string(step_no++), step.op, outcome, weight_row(),
+    table.add_row({std::to_string(step_no++), step.op,
+                   outcome.effective ? "effective" : "null", weight_row(),
                    std::to_string(mq), minority ? "yes" : "no"});
   }
 

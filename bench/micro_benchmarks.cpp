@@ -48,7 +48,8 @@ BENCHMARK(BM_ChangeSetWeightOf)->Arg(5)->Arg(9)->Arg(17);
 void BM_ChangeSetJoin(benchmark::State& state) {
   ChangeSet base = ChangeSet::initial(WeightMap::uniform(9));
   ChangeSet incoming = base;
-  for (std::uint64_t c = 2; c < 2 + state.range(0); ++c) {
+  for (std::uint64_t c = 2; c < 2 + static_cast<std::uint64_t>(state.range(0));
+       ++c) {
     incoming.add(Change(1, c, 1, Weight(-1, 1000)));
     incoming.add(Change(1, c, 2, Weight(1, 1000)));
   }

@@ -3,9 +3,6 @@
 // grows. f is the maximum tolerable threshold for each n.
 #include "bench_util.h"
 
-#include "core/reassign_client.h"
-#include "core/reassign_node.h"
-
 namespace wrs {
 namespace {
 
@@ -19,49 +16,43 @@ struct OpCosts {
 
 OpCosts measure(std::uint32_t n, std::uint32_t f, std::uint64_t seed) {
   OpCosts costs;
-  SystemConfig cfg = SystemConfig::uniform(n, f);
-  SimEnv env(std::make_shared<UniformLatency>(ms(2), ms(12)), seed);
-  std::vector<std::unique_ptr<ReassignNode>> nodes;
-  for (std::uint32_t i = 0; i < n; ++i) {
-    nodes.push_back(std::make_unique<ReassignNode>(env, i, cfg));
-    env.register_process(i, nodes.back().get());
-  }
-  ReassignClient client(env, client_id(0), cfg);
-  env.register_process(client_id(0), &client);
-  env.start();
+  Cluster cluster = Cluster::builder()
+                        .servers(n)
+                        .faults(f)
+                        .uniform_latency(ms(2), ms(12))
+                        .seed(seed)
+                        .reassign_only()
+                        .clients(1)
+                        .build();
 
   constexpr int kTransfers = 30;
   std::int64_t msgs0 = 0, bytes0 = 0;
   for (int k = 0; k < kTransfers; ++k) {
     std::uint32_t src = k % n;
     std::uint32_t dst = (src + 1) % n;
-    msgs0 = env.traffic().get("msgs");
-    bytes0 = env.traffic().get("bytes");
-    bool done = false;
-    TimeNs start = env.now();
-    nodes[src]->transfer(dst, Weight(1, 100), [&](const TransferOutcome&) {
-      done = true;
-    });
-    env.run_until_pred([&] { return done; }, seconds(60));
-    costs.transfer_ms.add(to_ms(env.now() - start));
-    env.run_to_quiescence();  // count the full propagation cost
+    msgs0 = cluster.traffic().get("msgs");
+    bytes0 = cluster.traffic().get("bytes");
+    TimeNs start = cluster.now();
+    cluster.server(src).transfer(dst, Weight(1, 100)).get(seconds(60));
+    costs.transfer_ms.add(to_ms(cluster.now() - start));
+    cluster.quiesce();  // count the full propagation cost
     costs.msgs_per_transfer +=
-        static_cast<double>(env.traffic().get("msgs") - msgs0) / kTransfers;
+        static_cast<double>(cluster.traffic().get("msgs") - msgs0) /
+        kTransfers;
     costs.bytes_per_transfer +=
-        static_cast<double>(env.traffic().get("bytes") - bytes0) / kTransfers;
+        static_cast<double>(cluster.traffic().get("bytes") - bytes0) /
+        kTransfers;
   }
 
   constexpr int kReads = 30;
   for (int k = 0; k < kReads; ++k) {
-    msgs0 = env.traffic().get("msgs");
-    bool done = false;
-    TimeNs start = env.now();
-    client.read_changes(k % n, [&](const ChangeSet&) { done = true; });
-    env.run_until_pred([&] { return done; }, seconds(60));
-    costs.read_changes_ms.add(to_ms(env.now() - start));
-    env.run_to_quiescence();
+    msgs0 = cluster.traffic().get("msgs");
+    TimeNs start = cluster.now();
+    cluster.reassign_client().read_changes(k % n).get(seconds(60));
+    costs.read_changes_ms.add(to_ms(cluster.now() - start));
+    cluster.quiesce();
     costs.msgs_per_read +=
-        static_cast<double>(env.traffic().get("msgs") - msgs0) / kReads;
+        static_cast<double>(cluster.traffic().get("msgs") - msgs0) / kReads;
   }
   return costs;
 }

@@ -15,8 +15,6 @@
 // all three coincide.
 #include "bench_util.h"
 
-#include "monitor/adaptive_node.h"
-
 namespace wrs {
 namespace {
 
@@ -29,7 +27,6 @@ RunResult run_deployment(const WanProfile& profile, const std::string& mode,
                          std::uint64_t seed) {
   const std::uint32_t n = 5;
   const std::uint32_t f = 1;
-  bench::WanSim sim(profile, /*client_site=*/0, seed);
 
   WeightMap weights = WeightMap::uniform(n);
   if (mode == "wmqs") {
@@ -47,27 +44,6 @@ RunResult run_deployment(const WanProfile& profile, const std::string& mode,
     weights.set(by_rtt[3].second, Weight(1, 2));
     weights.set(by_rtt[4].second, Weight(1, 2));
   }
-  SystemConfig cfg = SystemConfig::make(n, f, weights);
-
-  std::vector<std::unique_ptr<Process>> processes;
-  if (mode == "dynamic") {
-    AdaptiveParams params;
-    params.probe_interval = ms(250);
-    params.eval_interval = ms(500);
-    params.step = Weight(1, 10);
-    params.slow_factor = 1.25;
-    for (std::uint32_t i = 0; i < n; ++i) {
-      auto node = std::make_unique<AdaptiveNode>(*sim.env, i, cfg, params);
-      sim.env->register_process(i, node.get());
-      processes.push_back(std::move(node));
-    }
-  } else {
-    for (std::uint32_t i = 0; i < n; ++i) {
-      auto node = std::make_unique<DynamicStorageNode>(*sim.env, i, cfg);
-      sim.env->register_process(i, node.get());
-      processes.push_back(std::move(node));
-    }
-  }
 
   WorkloadParams wp;
   wp.num_ops = 150;
@@ -75,26 +51,41 @@ RunResult run_deployment(const WanProfile& profile, const std::string& mode,
   wp.think_time = ms(20);
   wp.value_size = 64;
   wp.seed = seed;
-  auto client = std::make_unique<ClosedLoopClient>(
-      *sim.env, client_id(0), cfg,
-      mode == "mqs" || mode == "wmqs" ? AbdClient::Mode::kStatic
-                                      : AbdClient::Mode::kDynamic,
-      wp);
-  sim.env->register_process(client_id(0), client.get());
-  sim.env->start();
+
+  ClusterBuilder builder = Cluster::builder()
+                               .servers(n)
+                               .faults(f)
+                               .weights(weights)
+                               .wan(profile, /*client_site=*/0)
+                               .seed(seed)
+                               .clients(1)
+                               .client_mode(mode == "dynamic"
+                                                ? AbdClient::Mode::kDynamic
+                                                : AbdClient::Mode::kStatic)
+                               .workload(wp);
+  if (mode == "dynamic") {
+    AdaptiveParams params;
+    params.probe_interval = ms(250);
+    params.eval_interval = ms(500);
+    params.step = Weight(1, 10);
+    params.slow_factor = 1.25;
+    builder.adaptive(params);
+  }
+  Cluster cluster = builder.build();
 
   if (mode == "dynamic") {
     // Warm-up: let the monitoring loop converge before measuring.
-    sim.env->run_until(seconds(20));
+    cluster.run_for(seconds(20));
   }
-  sim.env->run_until_pred([&] { return client->done(); }, seconds(600));
+  cluster.workload_done().get(seconds(600));
 
+  ClosedLoopClient& client = cluster.workload();
   RunResult r;
-  r.read_p50 = to_ms(client->read_latency().percentile(50));
-  r.read_p99 = to_ms(client->read_latency().percentile(99));
-  r.write_p50 = to_ms(client->write_latency().percentile(50));
-  r.write_p99 = to_ms(client->write_latency().percentile(99));
-  r.ops = client->completed();
+  r.read_p50 = to_ms(client.read_latency().percentile(50));
+  r.read_p99 = to_ms(client.read_latency().percentile(99));
+  r.write_p50 = to_ms(client.write_latency().percentile(50));
+  r.write_p99 = to_ms(client.write_latency().percentile(99));
+  r.ops = client.completed();
   return r;
 }
 
@@ -106,11 +97,11 @@ void run() {
                "write p50 (ms)", "write p99 (ms)"});
   for (const WanProfile& profile :
        {wan5_profile(), continental_profile(), lan_profile()}) {
-    for (const std::string& mode : {"mqs", "wmqs", "dynamic"}) {
+    for (const char* mode : {"mqs", "wmqs", "dynamic"}) {
       RunResult r = run_deployment(profile, mode, 777);
-      std::string label = mode == "mqs"      ? "MQS (uniform)"
-                          : mode == "wmqs"   ? "WMQS* (tuned static)"
-                                             : "dynamic (adaptive)";
+      std::string label = std::string(mode) == "mqs"    ? "MQS (uniform)"
+                          : std::string(mode) == "wmqs" ? "WMQS* (tuned static)"
+                                                        : "dynamic (adaptive)";
       table.add_row({profile.name, label, Table::fmt(r.read_p50),
                      Table::fmt(r.read_p99), Table::fmt(r.write_p50),
                      Table::fmt(r.write_p99)});

@@ -10,10 +10,11 @@
 // issuer's proposal.
 //
 // Run: ./build/examples/consensus_reduction_demo
+#include <algorithm>
 #include <iostream>
 
+#include "api/cluster.h"
 #include "consensus/reduction.h"
-#include "runtime/sim_env.h"
 
 using namespace wrs;
 
@@ -21,54 +22,66 @@ int main() {
   const std::uint32_t n = 5, f = 2;
   // The paper's boundary-tight initial weights: members of F get
   // (n-1)/(2f), the rest (n+1)/(2(n-f)).
-  SystemConfig cfg = SystemConfig::make(n, f, reduction_initial_weights(n, f));
-  std::cout << "initial weights: " << cfg.initial_weights.str() << "\n";
+  auto registers = std::make_shared<SharedRegisters>(n);
+  std::vector<Alg1Server*> servers;
+  OracleReassignService* oracle = nullptr;
+
+  Cluster cluster =
+      Cluster::builder()
+          .servers(n)
+          .faults(f)
+          .weights(reduction_initial_weights(n, f))
+          .uniform_latency(ms(1), ms(20))
+          .seed(99)
+          .clients(0)
+          .server_factory([&](Env& env, ProcessId s, const SystemConfig& cfg) {
+            auto server = std::make_unique<Alg1Server>(env, s, cfg, registers);
+            servers.push_back(server.get());
+            return server;
+          })
+          .add_process(kOracleId,
+                       [&](Env& env, const SystemConfig& cfg) {
+                         auto box =
+                             std::make_unique<OracleReassignService>(env, cfg);
+                         oracle = box.get();
+                         return box;
+                       })
+          .build();
+
+  std::cout << "initial weights: " << cluster.config().initial_weights.str()
+            << "\n";
   std::cout << "Integrity allows at most ONE of the +1/2 / -1/2 requests "
                "to be granted — that grant is the consensus decision.\n\n";
-
-  SimEnv env(std::make_shared<UniformLatency>(ms(1), ms(20)), /*seed=*/99);
-  OracleReassignService oracle(env, cfg);
-  env.register_process(kOracleId, &oracle);
-
-  auto registers = std::make_shared<SharedRegisters>(n);
-  std::vector<std::unique_ptr<Alg1Server>> servers;
-  std::vector<std::optional<std::string>> decisions(n);
-  for (std::uint32_t i = 0; i < n; ++i) {
-    servers.push_back(std::make_unique<Alg1Server>(env, i, cfg, registers));
-    env.register_process(i, servers.back().get());
-  }
-  env.start();
 
   const char* proposals[] = {"apply-config-A", "apply-config-B",
                              "apply-config-C", "apply-config-D",
                              "apply-config-E"};
+  std::vector<Await<std::string>> decisions;
   for (std::uint32_t i = 0; i < n; ++i) {
-    std::uint32_t idx = i;
-    servers[i]->propose(proposals[i], [&, idx](const std::string& v) {
-      std::cout << "s" << idx << " decided \"" << v << "\" at t="
-                << Table::fmt(to_ms(env.now())) << " ms\n";
-      decisions[idx] = v;
+    Await<std::string> decided = cluster.make_await<std::string>();
+    decisions.push_back(decided);
+    Alg1Server* server = servers[i];
+    std::string proposal = proposals[i];
+    cluster.post(i, [server, proposal, decided] {
+      server->propose(proposal,
+                      [decided](const std::string& v) { decided.fulfill(v); });
     });
     std::cout << "s" << i << " proposes \"" << proposals[i] << "\" and asks "
               << (i < f ? "reassign(+1/2)" : "reassign(-1/2)") << "\n";
   }
 
-  env.run_until_pred(
-      [&] {
-        for (const auto& d : decisions) {
-          if (!d.has_value()) return false;
-        }
-        return true;
-      },
-      seconds(120));
+  std::vector<std::string> decided(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    decided[i] = decisions[i].get(seconds(120));
+    std::cout << "s" << i << " decided \"" << decided[i] << "\" by t="
+              << Table::fmt(to_ms(cluster.now())) << " ms\n";
+  }
 
-  std::cout << "\noracle granted " << oracle.effective_count()
+  std::cout << "\noracle granted " << oracle->effective_count()
             << " effective change(s); all " << n
             << " servers decided the same value: "
-            << (std::all_of(decisions.begin(), decisions.end(),
-                            [&](const auto& d) {
-                              return d.has_value() && *d == *decisions[0];
-                            })
+            << (std::all_of(decided.begin(), decided.end(),
+                            [&](const std::string& d) { return d == decided[0]; })
                     ? "yes"
                     : "NO (bug!)")
             << "\n";

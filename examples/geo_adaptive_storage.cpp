@@ -11,10 +11,7 @@
 // Run: ./build/examples/geo_adaptive_storage
 #include <iostream>
 
-#include "monitor/adaptive_node.h"
-#include "runtime/sim_env.h"
-#include "workload/wan_profiles.h"
-#include "workload/workload.h"
+#include "api/cluster.h"
 
 using namespace wrs;
 
@@ -24,48 +21,37 @@ int main() {
   for (const auto& s : profile.sites) std::cout << s << " ";
   std::cout << "\nclient region: " << profile.sites[0] << "\n\n";
 
-  SystemConfig cfg = SystemConfig::uniform(/*n=*/5, /*f=*/1);
-  auto latency = std::make_shared<SiteMatrixLatency>(
-      profile.rtt_ms, site_mapper(profile.sites.size(), /*client_site=*/0));
-  SimEnv env(latency, /*seed=*/2718);
-
   AdaptiveParams params;
   params.probe_interval = ms(250);
   params.eval_interval = ms(500);
   params.step = Weight(1, 10);
   params.slow_factor = 1.25;
 
-  std::vector<std::unique_ptr<AdaptiveNode>> servers;
-  for (ProcessId s : cfg.servers()) {
-    servers.push_back(std::make_unique<AdaptiveNode>(env, s, cfg, params));
-    env.register_process(s, servers.back().get());
-  }
-  StorageClient client(env, client_id(0), cfg, AbdClient::Mode::kDynamic);
-  env.register_process(client.id(), &client);
-  env.start();
+  Cluster cluster = Cluster::builder()
+                        .servers(5)
+                        .faults(1)
+                        .wan(profile, /*client_site=*/0)
+                        .seed(2718)
+                        .adaptive(params)
+                        .build();
+  ClientHandle client = cluster.client();
 
-  // Closed loop of reads; print a latency sample every 10 seconds of
-  // simulated time alongside the evolving weight map.
+  // Closed loop of reads, one every ~100ms of deployment time; print a
+  // latency sample every 10 seconds alongside the evolving weight map.
   Histogram window;
-  auto loop = std::make_shared<std::function<void()>>();
-  *loop = [&, loop] {
-    TimeNs start = env.now();
-    client.abd().read([&, loop, start](const TaggedValue&) {
-      window.add_time(env.now() - start);
-      env.schedule(client.id(), ms(100), [loop] { (*loop)(); });
-    });
-  };
-  env.schedule(client.id(), 0, [loop] { (*loop)(); });
-
   for (int epoch = 1; epoch <= 6; ++epoch) {
-    env.run_until(seconds(10) * epoch);
-    WeightMap weights =
-        servers[0]->reassign().changes().to_weight_map(cfg.servers());
+    while (cluster.now() < seconds(10) * epoch) {
+      TimeNs start = cluster.now();
+      client.read().get();
+      window.add_time(cluster.now() - start);
+      cluster.run_for(ms(100));
+    }
+    WeightMap weights = cluster.server(0).weights_snapshot().get();
     Wmqs q(weights);
     std::cout << "t=" << 10 * epoch << "s  read p50 "
               << Table::fmt(to_ms(window.percentile(50))) << " ms"
-              << "  | min quorum " << q.min_quorum_size()
-              << "  | weights " << weights.str() << "\n";
+              << "  | min quorum " << q.min_quorum_size() << "  | weights "
+              << weights.str() << "\n";
     window.clear();
   }
 

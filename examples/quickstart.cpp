@@ -1,83 +1,67 @@
-// Quickstart: a 4-server dynamic-weighted atomic register in ~60 lines.
+// Quickstart: a 4-server dynamic-weighted atomic register in ~40 lines.
 //
-//   1. deploy four DynamicStorageNodes (reassignment + weighted ABD) on
-//      the deterministic simulator;
-//   2. write and read a value through a client;
+//   1. deploy four dynamic storage nodes (reassignment + weighted ABD)
+//      through the wrs::Cluster facade;
+//   2. write and read a value through an awaitable client;
 //   3. transfer voting weight from s3 to s0 with Algorithm 4;
 //   4. observe the new weights and the shrunken quorum.
 //
+// The SAME source runs on the deterministic simulator (default) or the
+// thread-per-process runtime: pass "threads" as the first argument.
+//
 // Build & run:  cmake -B build -G Ninja && cmake --build build
-//               ./build/examples/quickstart
+//               ./build/examples/quickstart [threads]
+#include <cstring>
 #include <iostream>
 
-#include "runtime/sim_env.h"
-#include "storage/dynamic_node.h"
+#include "api/cluster.h"
 
 using namespace wrs;
 
-int main() {
+int main(int argc, char** argv) {
+  Runtime runtime = (argc > 1 && std::strcmp(argv[1], "threads") == 0)
+                        ? Runtime::kThread
+                        : Runtime::kSim;
+
   // A 4-server system tolerating f=1 crash, uniform initial weights.
   // The RP-Integrity floor is W_{S,0}/(2(n-f)) = 4/6 = 2/3.
-  SystemConfig cfg = SystemConfig::uniform(/*n=*/4, /*f=*/1);
-  SimEnv env(std::make_shared<UniformLatency>(ms(1), ms(10)), /*seed=*/7);
-
-  std::vector<std::unique_ptr<DynamicStorageNode>> servers;
-  for (ProcessId s : cfg.servers()) {
-    servers.push_back(std::make_unique<DynamicStorageNode>(env, s, cfg));
-    env.register_process(s, servers.back().get());
-  }
-  StorageClient client(env, client_id(0), cfg, AbdClient::Mode::kDynamic);
-  env.register_process(client.id(), &client);
-  env.start();
+  Cluster cluster = Cluster::builder()
+                        .servers(4)
+                        .faults(1)
+                        .uniform_latency(ms(1), ms(10))
+                        .runtime(runtime)
+                        .seed(7)
+                        .build();
+  ClientHandle client = cluster.client();
 
   // --- write, then read back ------------------------------------------------
-  bool wrote = false;
-  client.abd().write("hello, weighted quorums",
-                     [&](const Tag& tag) {
-                       std::cout << "wrote with tag " << tag.str() << "\n";
-                       wrote = true;
-                     });
-  env.run_until_pred([&] { return wrote; }, seconds(10));
+  Tag tag = client.write("hello, weighted quorums").get();
+  std::cout << "wrote with tag " << tag.str() << "\n";
 
-  bool read_done = false;
-  client.abd().read([&](const TaggedValue& tv) {
-    std::cout << "read back: \"" << tv.value << "\" (tag " << tv.tag.str()
-              << ")\n";
-    read_done = true;
-  });
-  env.run_until_pred([&] { return read_done; }, seconds(10));
+  TaggedValue tv = client.read().get();
+  std::cout << "read back: \"" << tv.value << "\" (tag " << tv.tag.str()
+            << ")\n";
 
   // --- reassign weight (Algorithm 4) ----------------------------------------
   // s3 donates 1/4 of its voting power to s0. The C2 check requires
   // 1 > 1/4 + 2/3, which holds, so the transfer is effective.
-  bool transferred = false;
-  servers[3]->reassign().transfer(0, Weight(1, 4),
-                                  [&](const TransferOutcome& outcome) {
-                                    std::cout
-                                        << "transfer completed, effective="
-                                        << outcome.effective << "\n";
-                                    transferred = true;
-                                  });
-  env.run_until_pred([&] { return transferred; }, seconds(10));
-  env.run_to_quiescence();
+  TransferOutcome outcome = cluster.server(3).transfer(0, Weight(1, 4)).get();
+  std::cout << "transfer completed, effective=" << outcome.effective << "\n";
+  cluster.quiesce();
 
   // --- inspect the new quorum geometry --------------------------------------
-  WeightMap weights =
-      servers[1]->reassign().changes().to_weight_map(cfg.servers());
+  WeightMap weights = cluster.server(1).weights_snapshot().get();
   std::cout << "weights after transfer: " << weights.str() << "\n";
   Wmqs quorums(weights);
   std::cout << "minimum quorum size: " << quorums.min_quorum_size()
             << " (was 3 with uniform weights)\n";
   std::cout << "available with f=1 crash? "
-            << (quorums.is_available(cfg.f) ? "yes" : "no") << "\n";
+            << (quorums.is_available(cluster.config().f) ? "yes" : "no")
+            << "\n";
 
   // A follow-up read still works — clients discover the new weights via
   // the piggybacked change sets and restart onto the new quorum system.
-  bool read2 = false;
-  client.abd().read([&](const TaggedValue& tv) {
-    std::cout << "read after reassignment: \"" << tv.value << "\"\n";
-    read2 = true;
-  });
-  env.run_until_pred([&] { return read2; }, seconds(10));
+  std::cout << "read after reassignment: \"" << client.read().get().value
+            << "\"\n";
   return 0;
 }

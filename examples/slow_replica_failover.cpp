@@ -10,35 +10,29 @@
 // Run: ./build/examples/slow_replica_failover
 #include <iostream>
 
-#include "monitor/adaptive_node.h"
-#include "runtime/sim_env.h"
-#include "workload/wan_profiles.h"
+#include "api/cluster.h"
 
 using namespace wrs;
 
 namespace {
 
-void report(const char* phase, SimEnv& env,
-            std::vector<std::unique_ptr<AdaptiveNode>>& servers,
-            StorageClient& client, SystemConfig& cfg) {
+void report(const char* phase, Cluster& cluster, ClientHandle& client) {
   // Measure 20 reads.
   Histogram lat;
   for (int i = 0; i < 20; ++i) {
-    bool done = false;
-    TimeNs start = env.now();
-    client.abd().read([&](const TaggedValue&) { done = true; });
-    env.run_until_pred([&] { return done; }, seconds(30));
-    lat.add_time(env.now() - start);
+    TimeNs start = cluster.now();
+    client.read().get(seconds(30));
+    lat.add_time(cluster.now() - start);
   }
+  // Read the weight map from the first server that is still alive.
   ProcessId alive = kNoProcess;
-  for (ProcessId s : cfg.servers()) {
-    if (!env.is_crashed(s)) {
+  for (ProcessId s : cluster.config().servers()) {
+    if (!cluster.is_crashed(s)) {
       alive = s;
       break;
     }
   }
-  WeightMap weights =
-      servers[alive]->reassign().changes().to_weight_map(cfg.servers());
+  WeightMap weights = cluster.server(alive).weights_snapshot().get();
   std::cout << phase << ": read p50 " << Table::fmt(to_ms(lat.percentile(50)))
             << " ms, weights " << weights.str() << "\n";
 }
@@ -46,46 +40,39 @@ void report(const char* phase, SimEnv& env,
 }  // namespace
 
 int main() {
-  SystemConfig cfg = SystemConfig::uniform(/*n=*/5, /*f=*/1);
-  auto degradable = std::make_shared<DegradableLatency>(
-      std::make_unique<UniformLatency>(ms(2), ms(8)));
-  SimEnv env(degradable, /*seed=*/31);
-
   AdaptiveParams params;
   params.probe_interval = ms(100);
   params.eval_interval = ms(300);
   params.step = Weight(1, 20);
   params.slow_factor = 2.0;
 
-  std::vector<std::unique_ptr<AdaptiveNode>> servers;
-  for (ProcessId s : cfg.servers()) {
-    servers.push_back(std::make_unique<AdaptiveNode>(env, s, cfg, params));
-    env.register_process(s, servers.back().get());
-  }
-  StorageClient client(env, client_id(0), cfg, AbdClient::Mode::kDynamic);
-  env.register_process(client.id(), &client);
-  env.start();
+  Cluster cluster = Cluster::builder()
+                        .servers(5)
+                        .faults(1)
+                        .uniform_latency(ms(2), ms(8))
+                        .seed(31)
+                        .adaptive(params)
+                        .build();
+  ClientHandle client = cluster.client();
 
-  bool seeded = false;
-  client.abd().write("payload", [&](const Tag&) { seeded = true; });
-  env.run_until_pred([&] { return seeded; }, seconds(30));
-
-  report("healthy          ", env, servers, client, cfg);
+  client.write("payload").get(seconds(30));
+  report("healthy          ", cluster, client);
 
   // Phase 2: s2 degrades 30x. Its own monitoring notices (via gossip)
   // and it starts donating weight to faster peers.
-  degradable->set_factor(2, 30.0);
-  env.run_until(env.now() + seconds(15));  // let adaptation converge
-  report("s2 slow (adapted)", env, servers, client, cfg);
+  cluster.slow(2, 30.0);
+  cluster.run_for(seconds(15));  // let adaptation converge
+  report("s2 slow (adapted)", cluster, client);
   std::cout << "   s2 demoted itself toward the floor "
-            << cfg.floor().str() << " — approach (I) of Section V-C is the "
+            << cluster.config().floor().str()
+            << " — approach (I) of Section V-C is the "
             << "only one available, and only s2 itself may execute it.\n";
 
   // Phase 3: s2 crashes outright. f=1 is budgeted for this: Property 1
   // (maintained by RP-Integrity) says the remaining servers hold a
   // strict weighted majority, so reads/writes continue untouched.
-  env.crash(2);
-  report("s2 crashed       ", env, servers, client, cfg);
+  cluster.crash(2);
+  report("s2 crashed       ", cluster, client);
 
   std::cout << "\nNo reconfiguration, no consensus, no epoch boundaries: "
                "the server set and f never changed — only voting power "

@@ -1,0 +1,114 @@
+// Awaitable completion values for the deployment facade.
+//
+// Every protocol operation in the library completes through a callback
+// (processes are event-driven state machines). Await<T> bridges that
+// callback world to straight-line driver code — examples, benches, tests
+// — on BOTH runtime substrates:
+//
+//   * on the deterministic simulator, get() pumps the event loop on the
+//     caller's thread until the value is fulfilled (the simulator has no
+//     threads of its own);
+//   * on the thread runtime, get() blocks on a condition variable and the
+//     fulfilling callback runs on a worker thread.
+//
+// Await is a cheap shared-state handle: copy it into the completion
+// callback and fulfill() it there, keep a copy on the caller side and
+// get() it. The same driver source therefore runs unmodified on either
+// substrate — which runtime is in play is decided by the pump the
+// Cluster facade installs, not by the call site.
+#pragma once
+
+#include <condition_variable>
+#include <chrono>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <stdexcept>
+
+#include "common/types.h"
+
+namespace wrs {
+
+/// Thrown by Await<T>::get when the value did not arrive in time (the
+/// protocol stalled, the deadline was too tight, or the operation's
+/// quorum is unreachable).
+class AwaitTimeout : public std::runtime_error {
+ public:
+  AwaitTimeout() : std::runtime_error("wrs::Await: timed out") {}
+};
+
+/// How a blocked get() makes progress. The simulator pump runs the event
+/// loop until `ready` holds; the thread runtime needs no pump (workers
+/// run concurrently) and uses condition-variable blocking instead.
+class AwaitPump {
+ public:
+  virtual ~AwaitPump() = default;
+
+  /// Drives the substrate until `ready()` returns true or `timeout`
+  /// elapses; returns the final value of ready().
+  virtual bool pump(const std::function<bool()>& ready, TimeNs timeout) = 0;
+};
+
+template <typename T>
+class Await {
+ public:
+  /// A pump-less Await blocks on its condition variable (thread runtime).
+  Await() : state_(std::make_shared<State>()) {}
+
+  /// An Await with a pump drives the pump from get() (simulator).
+  explicit Await(std::shared_ptr<AwaitPump> pump)
+      : state_(std::make_shared<State>()), pump_(std::move(pump)) {}
+
+  /// Completion-callback side; the first fulfill wins, later ones are
+  /// ignored (operations complete exactly once, but scenario scripts may
+  /// race a timeout fulfillment against the real one).
+  void fulfill(T value) const {
+    {
+      std::lock_guard lock(state_->mu);
+      if (state_->value.has_value()) return;
+      state_->value = std::move(value);
+    }
+    state_->cv.notify_all();
+  }
+
+  bool ready() const {
+    std::lock_guard lock(state_->mu);
+    return state_->value.has_value();
+  }
+
+  /// Waits up to `timeout`; nullopt if the value never arrived.
+  std::optional<T> try_get(TimeNs timeout = seconds(120)) const {
+    if (pump_) {
+      // Simulator: make progress on the caller's thread. No other thread
+      // can fulfill concurrently, so no lock is needed around the pump.
+      pump_->pump([this] { return ready(); }, timeout);
+      std::lock_guard lock(state_->mu);
+      return state_->value;
+    }
+    std::unique_lock lock(state_->mu);
+    state_->cv.wait_for(lock, std::chrono::nanoseconds(timeout),
+                        [this] { return state_->value.has_value(); });
+    return state_->value;
+  }
+
+  /// Waits up to `timeout` and returns the value; throws AwaitTimeout if
+  /// it never arrived.
+  T get(TimeNs timeout = seconds(120)) const {
+    auto v = try_get(timeout);
+    if (!v.has_value()) throw AwaitTimeout();
+    return *std::move(v);
+  }
+
+ private:
+  struct State {
+    std::mutex mu;
+    std::condition_variable cv;
+    std::optional<T> value;
+  };
+
+  std::shared_ptr<State> state_;
+  std::shared_ptr<AwaitPump> pump_;
+};
+
+}  // namespace wrs

@@ -1,0 +1,432 @@
+#include "api/cluster.h"
+
+#include <chrono>
+#include <thread>
+
+namespace wrs {
+
+namespace {
+
+/// Drives the simulator's event loop on the caller's thread until the
+/// awaited value arrives (see api/await.h).
+class SimPump : public AwaitPump {
+ public:
+  explicit SimPump(SimEnv* env) : env_(env) {}
+
+  bool pump(const std::function<bool()>& ready, TimeNs timeout) override {
+    return env_->run_until_pred(ready, env_->now() + timeout);
+  }
+
+ private:
+  SimEnv* env_;
+};
+
+}  // namespace
+
+// --- ClusterBuilder ---------------------------------------------------------
+
+ClusterBuilder& ClusterBuilder::latency(std::shared_ptr<LatencyModel> model) {
+  latency_ = std::move(model);
+  return *this;
+}
+
+ClusterBuilder& ClusterBuilder::uniform_latency(TimeNs lo, TimeNs hi) {
+  return latency(std::make_shared<UniformLatency>(lo, hi));
+}
+
+ClusterBuilder& ClusterBuilder::wan(const WanProfile& profile,
+                                    std::size_t client_site) {
+  return latency(std::make_shared<SiteMatrixLatency>(
+      profile.rtt_ms, site_mapper(profile.sites.size(), client_site)));
+}
+
+void ClusterBuilder::set_kind(Kind k) {
+  if (kind_ != Kind::kStorage && kind_ != k) {
+    throw std::logic_error(
+        "ClusterBuilder: at most one of adaptive()/reassign_only()/"
+        "server_factory() may be chosen");
+  }
+  kind_ = k;
+}
+
+ClusterBuilder& ClusterBuilder::adaptive(AdaptiveParams params) {
+  set_kind(Kind::kAdaptive);
+  adaptive_params_ = std::move(params);
+  return *this;
+}
+
+ClusterBuilder& ClusterBuilder::server_factory(ServerFactory factory) {
+  set_kind(Kind::kCustom);
+  server_factory_ = std::move(factory);
+  return *this;
+}
+
+ClusterBuilder& ClusterBuilder::workload(WorkloadParams params) {
+  workload_ = std::move(params);
+  return *this;
+}
+
+ClusterBuilder& ClusterBuilder::history(std::shared_ptr<HistoryRecorder> h) {
+  history_ = std::move(h);
+  return *this;
+}
+
+ClusterBuilder& ClusterBuilder::add_process(ProcessId pid,
+                                            ProcessFactory factory) {
+  extras_.emplace_back(pid, std::move(factory));
+  return *this;
+}
+
+Cluster ClusterBuilder::build() { return Cluster(*this); }
+
+// --- Cluster ----------------------------------------------------------------
+
+Cluster::Cluster(const ClusterBuilder& spec)
+    : runtime_(spec.runtime_), kind_(spec.kind_) {
+  if (spec.n_ == 0) {
+    throw std::invalid_argument("Cluster: servers(n) is required");
+  }
+  if (spec.workload_.has_value() &&
+      (kind_ == ClusterBuilder::Kind::kReassign ||
+       kind_ == ClusterBuilder::Kind::kCustom)) {
+    throw std::invalid_argument(
+        "Cluster: workload() needs storage clients — incompatible with "
+        "reassign_only()/server_factory()");
+  }
+  std::uint32_t f = spec.has_f_ ? spec.f_ : (spec.n_ - 1) / 2;
+  WeightMap weights =
+      spec.weights_ ? *spec.weights_ : WeightMap::uniform(spec.n_);
+  config_ = SystemConfig::make(spec.n_, f, std::move(weights));
+
+  std::shared_ptr<LatencyModel> base = spec.latency_;
+  if (!base && runtime_ == Runtime::kSim) {
+    // The simulator needs a model; the thread runtime delivers as fast as
+    // possible when none is configured.
+    base = std::make_shared<UniformLatency>(ms(1), ms(10));
+  }
+  if (base) degradable_ = std::make_shared<DegradableLatency>(std::move(base));
+
+  if (runtime_ == Runtime::kSim) {
+    sim_ = std::make_unique<SimEnv>(degradable_, spec.seed_);
+    pump_ = std::make_shared<SimPump>(sim_.get());
+  } else {
+    thread_ = std::make_unique<ThreadEnv>(degradable_, spec.seed_);
+  }
+  Env& e = env();
+
+  for (ProcessId s : config_.servers()) {
+    ServerSlot slot;
+    switch (kind_) {
+      case ClusterBuilder::Kind::kStorage: {
+        auto node = std::make_unique<DynamicStorageNode>(e, s, config_);
+        slot.storage = node.get();
+        slot.reassign = &node->reassign();
+        slot.process = std::move(node);
+        break;
+      }
+      case ClusterBuilder::Kind::kAdaptive: {
+        auto node = std::make_unique<AdaptiveNode>(e, s, config_,
+                                                   spec.adaptive_params_);
+        slot.adaptive = node.get();
+        slot.storage = &node->storage();
+        slot.reassign = &node->reassign();
+        slot.process = std::move(node);
+        break;
+      }
+      case ClusterBuilder::Kind::kReassign: {
+        auto node = std::make_unique<ReassignNode>(e, s, config_);
+        slot.reassign = node.get();
+        slot.process = std::move(node);
+        break;
+      }
+      case ClusterBuilder::Kind::kCustom: {
+        if (!spec.server_factory_) {
+          throw std::invalid_argument("Cluster: null server factory");
+        }
+        slot.process = spec.server_factory_(e, s, config_);
+        if (!slot.process) {
+          throw std::invalid_argument("Cluster: server factory returned null");
+        }
+        break;
+      }
+    }
+    e.register_process(s, slot.process.get());
+    servers_.push_back(std::move(slot));
+  }
+
+  for (std::uint32_t k = 0; k < spec.clients_; ++k) {
+    ClientSlot slot;
+    ProcessId pid = client_id(k);
+    if (kind_ == ClusterBuilder::Kind::kReassign) {
+      auto c = std::make_unique<ReassignClient>(e, pid, config_);
+      slot.reassign = c.get();
+      slot.process = std::move(c);
+    } else if (spec.workload_.has_value()) {
+      auto c = std::make_unique<ClosedLoopClient>(
+          e, pid, config_, spec.mode_, *spec.workload_, spec.history_);
+      slot.workload = c.get();
+      slot.abd = &c->abd();
+      slot.done = make_await<bool>();
+      Await<bool> done = slot.done;
+      c->set_on_done([done] { done.fulfill(true); });
+      slot.process = std::move(c);
+    } else {
+      auto c = std::make_unique<StorageClient>(e, pid, config_, spec.mode_);
+      slot.abd = &c->abd();
+      slot.process = std::move(c);
+    }
+    e.register_process(pid, slot.process.get());
+    clients_.push_back(std::move(slot));
+  }
+
+  for (const auto& [pid, factory] : spec.extras_) {
+    auto p = factory(e, config_);
+    if (!p) throw std::invalid_argument("Cluster: process factory returned null");
+    e.register_process(pid, p.get());
+    extra_[pid] = std::move(p);
+  }
+
+  if (sim_) {
+    sim_->start();
+  } else {
+    thread_->start();
+  }
+}
+
+Cluster::~Cluster() {
+  // Workers must stop before the processes they drive are destroyed.
+  if (thread_) thread_->stop();
+}
+
+Env& Cluster::env() {
+  if (sim_) return *sim_;
+  return *thread_;
+}
+
+const Env& Cluster::env() const {
+  if (sim_) return *sim_;
+  return *thread_;
+}
+
+Cluster::ServerSlot& Cluster::server_slot(ProcessId s) {
+  if (s >= servers_.size()) {
+    throw std::out_of_range("Cluster: no server " + process_name(s));
+  }
+  return servers_[s];
+}
+
+Cluster::ClientSlot& Cluster::client_slot(std::size_t k) {
+  if (k >= clients_.size()) {
+    throw std::out_of_range("Cluster: no client #" + std::to_string(k));
+  }
+  return clients_[k];
+}
+
+ClientHandle Cluster::client(std::size_t k) {
+  ClientSlot& slot = client_slot(k);
+  if (slot.abd == nullptr) {
+    throw std::logic_error("Cluster: client(k) needs a storage deployment");
+  }
+  return ClientHandle(this, client_id(static_cast<std::uint32_t>(k)),
+                      slot.abd);
+}
+
+ReassignHandle Cluster::server(ProcessId s) {
+  ServerSlot& slot = server_slot(s);
+  if (slot.reassign == nullptr) {
+    throw std::logic_error(
+        "Cluster: server(s) has no reassignment endpoint (custom factory)");
+  }
+  return ReassignHandle(this, s, slot.reassign);
+}
+
+ReassignClientHandle Cluster::reassign_client(std::size_t k) {
+  ClientSlot& slot = client_slot(k);
+  if (slot.reassign == nullptr) {
+    throw std::logic_error(
+        "Cluster: reassign_client(k) needs a reassign_only deployment");
+  }
+  return ReassignClientHandle(this, client_id(static_cast<std::uint32_t>(k)),
+                              slot.reassign);
+}
+
+DynamicStorageNode& Cluster::storage_node(ProcessId s) {
+  ServerSlot& slot = server_slot(s);
+  if (slot.storage == nullptr) {
+    throw std::logic_error("Cluster: server " + process_name(s) +
+                           " is not a storage node");
+  }
+  return *slot.storage;
+}
+
+AdaptiveNode& Cluster::adaptive_node(ProcessId s) {
+  ServerSlot& slot = server_slot(s);
+  if (slot.adaptive == nullptr) {
+    throw std::logic_error("Cluster: server " + process_name(s) +
+                           " is not adaptive");
+  }
+  return *slot.adaptive;
+}
+
+ReassignNode& Cluster::reassign_node(ProcessId s) {
+  return server(s).node();
+}
+
+Process& Cluster::process(ProcessId pid) {
+  if (is_server(pid) && pid < servers_.size()) {
+    return *servers_[pid].process;
+  }
+  auto it = extra_.find(pid);
+  if (it != extra_.end()) return *it->second;
+  throw std::out_of_range("Cluster: no process " + process_name(pid));
+}
+
+ClosedLoopClient& Cluster::workload(std::size_t k) {
+  ClientSlot& slot = client_slot(k);
+  if (slot.workload == nullptr) {
+    throw std::logic_error("Cluster: client #" + std::to_string(k) +
+                           " runs no workload");
+  }
+  return *slot.workload;
+}
+
+Await<bool> Cluster::workload_done(std::size_t k) {
+  ClientSlot& slot = client_slot(k);
+  if (slot.workload == nullptr) {
+    throw std::logic_error("Cluster: client #" + std::to_string(k) +
+                           " runs no workload");
+  }
+  return slot.done;
+}
+
+void Cluster::post(ProcessId pid, std::function<void()> fn) {
+  env().schedule(pid, 0, std::move(fn));
+}
+
+void Cluster::crash(ProcessId pid) { env().crash(pid); }
+
+bool Cluster::is_crashed(ProcessId pid) const { return env().is_crashed(pid); }
+
+void Cluster::slow(ProcessId pid, double factor) {
+  if (!degradable_) {
+    throw std::logic_error("Cluster: no latency model to degrade");
+  }
+  degradable_->set_factor(pid, factor);
+}
+
+void Cluster::clear_slow(ProcessId pid) {
+  if (!degradable_) return;
+  degradable_->clear_factor(pid);
+}
+
+void Cluster::set_latency(std::unique_ptr<LatencyModel> model) {
+  if (!degradable_) {
+    throw std::logic_error(
+        "Cluster: set_latency needs a deployment built with a latency model");
+  }
+  degradable_->set_inner(std::move(model));
+}
+
+void Cluster::at(TimeNs delay, std::function<void()> fn) {
+  // kNoProcess = env-internal on both substrates: the script runs even if
+  // every server is crashed (it only touches thread-safe scenario state).
+  env().schedule(kNoProcess, delay, std::move(fn));
+}
+
+TimeNs Cluster::now() const { return env().now(); }
+
+void Cluster::run_for(TimeNs d) {
+  if (sim_) {
+    sim_->run_until(sim_->now() + d);
+    return;
+  }
+  std::this_thread::sleep_for(std::chrono::nanoseconds(d));
+}
+
+void Cluster::quiesce(TimeNs deadline) {
+  if (sim_) {
+    sim_->run_to_quiescence(deadline);
+    return;
+  }
+  std::this_thread::sleep_for(
+      std::chrono::nanoseconds(std::min(deadline, ms(200))));
+}
+
+const Counters& Cluster::traffic() const { return env().traffic(); }
+
+// --- handles ----------------------------------------------------------------
+
+Await<TaggedValue> ClientHandle::read(RegisterKey key) const {
+  auto aw = cluster_->make_await<TaggedValue>();
+  AbdClient* abd = abd_;
+  cluster_->post(id_, [abd, key = std::move(key), aw] {
+    abd->read(key, [aw](const TaggedValue& tv) { aw.fulfill(tv); });
+  });
+  return aw;
+}
+
+Await<Tag> ClientHandle::write(RegisterKey key, Value value) const {
+  auto aw = cluster_->make_await<Tag>();
+  AbdClient* abd = abd_;
+  cluster_->post(id_, [abd, key = std::move(key), value = std::move(value),
+                       aw] {
+    abd->write(key, value, [aw](const Tag& tag) { aw.fulfill(tag); });
+  });
+  return aw;
+}
+
+Await<std::vector<RegisterKey>> ClientHandle::list_keys() const {
+  auto aw = cluster_->make_await<std::vector<RegisterKey>>();
+  AbdClient* abd = abd_;
+  cluster_->post(id_, [abd, aw] {
+    abd->list_keys(
+        [aw](const std::vector<RegisterKey>& keys) { aw.fulfill(keys); });
+  });
+  return aw;
+}
+
+Await<TransferOutcome> ReassignHandle::transfer(ProcessId to,
+                                                const Weight& delta) const {
+  auto aw = cluster_->make_await<TransferOutcome>();
+  ReassignNode* node = node_;
+  cluster_->post(id_, [node, to, delta, aw] {
+    node->transfer(to, delta,
+                   [aw](const TransferOutcome& o) { aw.fulfill(o); });
+  });
+  return aw;
+}
+
+Await<ChangeSet> ReassignHandle::read_changes(ProcessId target) const {
+  auto aw = cluster_->make_await<ChangeSet>();
+  ReassignNode* node = node_;
+  cluster_->post(id_, [node, target, aw] {
+    node->read_changes(target, [aw](const ChangeSet& cs) { aw.fulfill(cs); });
+  });
+  return aw;
+}
+
+Await<WeightMap> ReassignHandle::weights_snapshot() const {
+  auto aw = cluster_->make_await<WeightMap>();
+  ReassignNode* node = node_;
+  std::vector<ProcessId> servers = cluster_->config().servers();
+  cluster_->post(id_, [node, servers = std::move(servers), aw] {
+    aw.fulfill(node->changes().to_weight_map(servers));
+  });
+  return aw;
+}
+
+WeightMap ReassignHandle::weights() const {
+  return node_->changes().to_weight_map(cluster_->config().servers());
+}
+
+Await<ChangeSet> ReassignClientHandle::read_changes(ProcessId target) const {
+  auto aw = cluster_->make_await<ChangeSet>();
+  ReassignClient* client = client_;
+  cluster_->post(id_, [client, target, aw] {
+    client->read_changes(target,
+                         [aw](const ChangeSet& cs) { aw.fulfill(cs); });
+  });
+  return aw;
+}
+
+}  // namespace wrs

@@ -1,0 +1,335 @@
+// wrs::Cluster — the declarative deployment facade.
+//
+// Every entry point used to hand-wire the same ~60 lines: build a
+// SystemConfig, pick an Env, loop register_process over freshly
+// constructed nodes, then poll bool flags through run_until_pred. The
+// facade owns all of that once:
+//
+//   Cluster c = Cluster::builder()
+//                   .servers(4)
+//                   .faults(1)
+//                   .uniform_latency(ms(1), ms(10))
+//                   .runtime(Runtime::kSim)      // or Runtime::kThread
+//                   .build();
+//   Tag t = c.client().write("hello").get();
+//   TaggedValue tv = c.client().read().get();
+//   TransferOutcome o = c.server(3).transfer(0, Weight(1, 4)).get();
+//
+// The SAME driver source runs on the deterministic simulator or the
+// thread-per-process runtime by flipping the builder's Runtime enum:
+// Await<T>::get pumps the simulator's event loop or blocks on a condition
+// variable as appropriate (see api/await.h), and operations are always
+// issued from the owning process's execution context.
+//
+// Scenario injection is first-class: crash(s), slow(s, factor) /
+// clear_slow(s), and set_latency(...) reshape the deployment mid-run, so
+// fault and geo scripts read declaratively.
+//
+// The low-level Env/Process API stays public — protocol internals and
+// white-box tests keep using it; the facade is the deployment surface.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <stdexcept>
+#include <vector>
+
+#include "api/await.h"
+#include "core/config.h"
+#include "core/reassign_client.h"
+#include "monitor/adaptive_node.h"
+#include "runtime/sim_env.h"
+#include "runtime/thread_env.h"
+#include "storage/dynamic_node.h"
+#include "workload/wan_profiles.h"
+#include "workload/workload.h"
+
+namespace wrs {
+
+/// Which substrate the deployment runs on. Protocols cannot tell the
+/// difference; drivers should not have to either.
+enum class Runtime { kSim, kThread };
+
+class Cluster;
+class ClusterBuilder;
+
+/// Awaitable storage endpoint: wraps one deployed client process (a
+/// StorageClient, or a ClosedLoopClient when a workload is attached).
+class ClientHandle {
+ public:
+  /// Atomic read of register `key` (the paper's register is key "").
+  Await<TaggedValue> read(RegisterKey key = {}) const;
+
+  /// Atomic write; resolves to the tag the value was written under.
+  Await<Tag> write(Value value) const { return write(RegisterKey{}, value); }
+  Await<Tag> write(RegisterKey key, Value value) const;
+
+  /// Discovers every register key stored at some weighted quorum.
+  Await<std::vector<RegisterKey>> list_keys() const;
+
+  /// Low-level escape hatch (callback API, client-context only).
+  AbdClient& abd() const { return *abd_; }
+  ProcessId id() const { return id_; }
+
+ private:
+  friend class Cluster;
+  ClientHandle(Cluster* cluster, ProcessId id, AbdClient* abd)
+      : cluster_(cluster), id_(id), abd_(abd) {}
+
+  Cluster* cluster_;
+  ProcessId id_;
+  AbdClient* abd_;
+};
+
+/// Awaitable reassignment endpoint of one deployed server.
+class ReassignHandle {
+ public:
+  /// Algorithm 4: moves `delta` of this server's weight to `to`. Resolves
+  /// when the transfer completed (effective or null).
+  Await<TransferOutcome> transfer(ProcessId to, const Weight& delta) const;
+
+  /// Algorithm 3: read_changes(target) issued from this server.
+  Await<ChangeSet> read_changes(ProcessId target) const;
+
+  /// Weight map snapshot taken in the server's own execution context —
+  /// the race-free way to observe convergence on the thread runtime.
+  Await<WeightMap> weights_snapshot() const;
+
+  /// Direct accessors; on the thread runtime only safe when the
+  /// deployment is quiescent (use weights_snapshot() while it runs).
+  ReassignNode& node() const { return *node_; }
+  Weight weight_of(ProcessId server) const { return node_->weight_of(server); }
+  WeightMap weights() const;
+
+  ProcessId id() const { return id_; }
+
+ private:
+  friend class Cluster;
+  ReassignHandle(Cluster* cluster, ProcessId id, ReassignNode* node)
+      : cluster_(cluster), id_(id), node_(node) {}
+
+  Cluster* cluster_;
+  ProcessId id_;
+  ReassignNode* node_;
+};
+
+/// Awaitable endpoint of a reassignment-service client (reassign-only
+/// deployments): may invoke read_changes but never transfer.
+class ReassignClientHandle {
+ public:
+  Await<ChangeSet> read_changes(ProcessId target) const;
+  ProcessId id() const { return id_; }
+
+ private:
+  friend class Cluster;
+  ReassignClientHandle(Cluster* cluster, ProcessId id, ReassignClient* client)
+      : cluster_(cluster), id_(id), client_(client) {}
+
+  Cluster* cluster_;
+  ProcessId id_;
+  ReassignClient* client_;
+};
+
+class ClusterBuilder {
+ public:
+  using ServerFactory = std::function<std::unique_ptr<Process>(
+      Env&, ProcessId, const SystemConfig&)>;
+  using ProcessFactory =
+      std::function<std::unique_ptr<Process>(Env&, const SystemConfig&)>;
+
+  /// --- topology ----------------------------------------------------------
+  ClusterBuilder& servers(std::uint32_t n) { n_ = n; return *this; }
+  ClusterBuilder& faults(std::uint32_t f) { f_ = f; has_f_ = true; return *this; }
+  /// Initial weight assignment; defaults to uniform weight 1 per server.
+  ClusterBuilder& weights(WeightMap w) { weights_ = std::move(w); return *this; }
+
+  /// --- substrate ---------------------------------------------------------
+  ClusterBuilder& runtime(Runtime r) { runtime_ = r; return *this; }
+  ClusterBuilder& seed(std::uint64_t s) { seed_ = s; return *this; }
+  ClusterBuilder& latency(std::shared_ptr<LatencyModel> model);
+  ClusterBuilder& uniform_latency(TimeNs lo, TimeNs hi);
+  /// Geo deployment: servers map round-robin onto the profile's sites,
+  /// clients sit at `client_site`.
+  ClusterBuilder& wan(const WanProfile& profile, std::size_t client_site = 0);
+
+  /// --- server role -------------------------------------------------------
+  /// Default: DynamicStorageNode servers (reassignment + weighted ABD).
+  /// At most one of adaptive()/reassign_only()/server_factory() may be
+  /// chosen; a second choice throws std::logic_error at build-spec time
+  /// rather than silently winning.
+  /// Attach the monitoring/adaptation loop (AdaptiveNode servers).
+  ClusterBuilder& adaptive(AdaptiveParams params);
+  /// Reassignment service only (plain ReassignNode servers, clients are
+  /// ReassignClients).
+  ClusterBuilder& reassign_only() { set_kind(Kind::kReassign); return *this; }
+  /// Fully custom servers (consensus reductions, baselines, ...).
+  ClusterBuilder& server_factory(ServerFactory factory);
+
+  /// --- clients -----------------------------------------------------------
+  ClusterBuilder& clients(std::uint32_t k) { clients_ = k; return *this; }
+  ClusterBuilder& client_mode(AbdClient::Mode mode) { mode_ = mode; return *this; }
+  /// Clients run a closed-loop read/write workload instead of waiting for
+  /// explicit operations; completion is awaitable via workload_done().
+  ClusterBuilder& workload(WorkloadParams params);
+  /// Record every workload operation for atomicity checking.
+  ClusterBuilder& history(std::shared_ptr<HistoryRecorder> h);
+
+  /// Additional processes outside the server/client sets (e.g. the
+  /// consensus-reduction oracle).
+  ClusterBuilder& add_process(ProcessId pid, ProcessFactory factory);
+
+  /// Validates, deploys, registers, and starts everything.
+  Cluster build();
+
+ private:
+  friend class Cluster;
+  enum class Kind { kStorage, kAdaptive, kReassign, kCustom };
+
+  void set_kind(Kind k);
+
+  std::uint32_t n_ = 0;
+  std::uint32_t f_ = 0;
+  bool has_f_ = false;
+  std::optional<WeightMap> weights_;
+  Runtime runtime_ = Runtime::kSim;
+  std::uint64_t seed_ = 1;
+  std::shared_ptr<LatencyModel> latency_;
+  Kind kind_ = Kind::kStorage;
+  AdaptiveParams adaptive_params_;
+  ServerFactory server_factory_;
+  std::uint32_t clients_ = 1;
+  AbdClient::Mode mode_ = AbdClient::Mode::kDynamic;
+  std::optional<WorkloadParams> workload_;
+  std::shared_ptr<HistoryRecorder> history_;
+  std::vector<std::pair<ProcessId, ProcessFactory>> extras_;
+};
+
+class Cluster {
+ public:
+  static ClusterBuilder builder() { return ClusterBuilder(); }
+
+  explicit Cluster(const ClusterBuilder& spec);
+  ~Cluster();
+
+  Cluster(const Cluster&) = delete;
+  Cluster& operator=(const Cluster&) = delete;
+
+  // --- deployment surface --------------------------------------------------
+  const SystemConfig& config() const { return config_; }
+  std::uint32_t num_servers() const { return config_.n; }
+  std::size_t num_clients() const { return clients_.size(); }
+  Runtime runtime() const { return runtime_; }
+
+  /// The k-th storage client endpoint.
+  ClientHandle client(std::size_t k = 0);
+
+  /// The reassignment endpoint of server `s` (any non-custom deployment).
+  ReassignHandle server(ProcessId s);
+
+  /// The k-th reassignment-service client (reassign_only deployments).
+  ReassignClientHandle reassign_client(std::size_t k = 0);
+
+  /// Node accessors for white-box inspection (throw when the deployment
+  /// was built with a different server role).
+  DynamicStorageNode& storage_node(ProcessId s);
+  AdaptiveNode& adaptive_node(ProcessId s);
+  ReassignNode& reassign_node(ProcessId s);
+  /// Custom-factory process registered for `pid` (servers and extras).
+  Process& process(ProcessId pid);
+
+  /// The k-th workload client (deployments built with .workload()).
+  ClosedLoopClient& workload(std::size_t k = 0);
+  /// Resolves when the k-th workload client finished its operations.
+  Await<bool> workload_done(std::size_t k = 0);
+
+  // --- awaitables ----------------------------------------------------------
+  /// A fresh unfulfilled Await bound to this deployment's substrate; pair
+  /// it with any callback-style completion.
+  template <typename T>
+  Await<T> make_await() {
+    return pump_ ? Await<T>(pump_) : Await<T>();
+  }
+
+  /// Runs `fn` in `pid`'s execution context (the only safe place to call
+  /// a process's callback-style API on the thread runtime).
+  void post(ProcessId pid, std::function<void()> fn);
+
+  // --- scenario injection --------------------------------------------------
+  /// Crash-stops server or client `pid`.
+  void crash(ProcessId pid);
+  bool is_crashed(ProcessId pid) const;
+
+  /// Multiplies every message delay to/from `pid` (degraded replica).
+  void slow(ProcessId pid, double factor);
+  void clear_slow(ProcessId pid);
+
+  /// Swaps the latency model underneath the running deployment (slow()
+  /// factors are preserved on top of the new model).
+  void set_latency(std::unique_ptr<LatencyModel> model);
+
+  /// Runs `fn` (in server 0's context) after `delay` — for degradation
+  /// scripts and staged scenarios.
+  void at(TimeNs delay, std::function<void()> fn);
+
+  // --- time ---------------------------------------------------------------
+  TimeNs now() const;
+
+  /// Advances the deployment by `d`: simulated time on the simulator,
+  /// wall-clock sleep on the thread runtime.
+  void run_for(TimeNs d);
+
+  /// Lets in-flight protocol traffic drain (simulator: run every pending
+  /// event; threads: a bounded wall-clock grace period).
+  void quiesce(TimeNs deadline = seconds(3600));
+
+  /// Message traffic counters. On the thread runtime only stable once the
+  /// deployment is quiescent.
+  const Counters& traffic() const;
+
+  // --- substrate escape hatches -------------------------------------------
+  Env& env();
+  const Env& env() const;
+  /// Null when the deployment runs on the other substrate.
+  SimEnv* sim() { return sim_.get(); }
+  ThreadEnv* threads() { return thread_.get(); }
+
+ private:
+  friend class ClientHandle;
+  friend class ReassignHandle;
+  friend class ReassignClientHandle;
+
+  struct ServerSlot {
+    std::unique_ptr<Process> process;
+    ReassignNode* reassign = nullptr;
+    DynamicStorageNode* storage = nullptr;
+    AdaptiveNode* adaptive = nullptr;
+  };
+  struct ClientSlot {
+    std::unique_ptr<Process> process;
+    AbdClient* abd = nullptr;
+    ReassignClient* reassign = nullptr;
+    ClosedLoopClient* workload = nullptr;
+    Await<bool> done;
+  };
+
+  ServerSlot& server_slot(ProcessId s);
+  ClientSlot& client_slot(std::size_t k);
+
+  Runtime runtime_;
+  SystemConfig config_;
+  ClusterBuilder::Kind kind_;
+
+  // env_ members are declared before the process slots so workers are
+  // stopped (dtor body) and envs destroyed only after all processes died.
+  std::unique_ptr<SimEnv> sim_;
+  std::unique_ptr<ThreadEnv> thread_;
+  std::shared_ptr<DegradableLatency> degradable_;
+  std::shared_ptr<AwaitPump> pump_;
+
+  std::vector<ServerSlot> servers_;
+  std::vector<ClientSlot> clients_;
+  std::map<ProcessId, std::unique_ptr<Process>> extra_;
+};
+
+}  // namespace wrs

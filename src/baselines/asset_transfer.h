@@ -32,7 +32,7 @@ struct AssetTransferRecord {
   Weight amount;
 };
 
-class AssetMsg : public Message {
+class AssetMsg : public MessageBase<AssetMsg> {
  public:
   explicit AssetMsg(AssetTransferRecord rec) : rec_(std::move(rec)) {}
   const AssetTransferRecord& rec() const { return rec_; }
@@ -43,7 +43,7 @@ class AssetMsg : public Message {
   AssetTransferRecord rec_;
 };
 
-class AssetAck : public Message {
+class AssetAck : public MessageBase<AssetAck> {
  public:
   AssetAck(ProcessId src, std::uint64_t serial) : src_(src), serial_(serial) {}
   ProcessId src() const { return src_; }

@@ -46,7 +46,7 @@ struct EpochRequest {
   }
 };
 
-class EpochReqMsg : public Message {
+class EpochReqMsg : public MessageBase<EpochReqMsg> {
  public:
   explicit EpochReqMsg(EpochRequest req) : req_(std::move(req)) {}
   const EpochRequest& req() const { return req_; }

@@ -25,7 +25,7 @@
 namespace wrs {
 
 /// The wrapper message carried on the wire.
-class RbMsg : public Message {
+class RbMsg : public MessageBase<RbMsg> {
  public:
   RbMsg(ProcessId origin, std::uint64_t seq, MsgPtr payload)
       : origin_(origin), seq_(seq), payload_(std::move(payload)) {}

@@ -98,6 +98,40 @@ Rational make_normalized(Int128 n, Int128 d) {
 
 }  // namespace
 
+namespace {
+
+/// Non-throwing variant of make_normalized: d > 0 guaranteed by callers.
+std::optional<Rational> make_normalized_checked(Int128 n, Int128 d) noexcept {
+  Int128 g = gcd128(n, d);
+  if (g > 1) {
+    n /= g;
+    d /= g;
+  }
+  if (n > std::numeric_limits<std::int64_t>::max() ||
+      n < std::numeric_limits<std::int64_t>::min() ||
+      d > std::numeric_limits<std::int64_t>::max()) {
+    return std::nullopt;
+  }
+  // num/den are coprime and den > 0, so the constructor cannot throw.
+  return Rational(static_cast<std::int64_t>(n), static_cast<std::int64_t>(d));
+}
+
+}  // namespace
+
+std::optional<Rational> Rational::checked_add(const Rational& a,
+                                              const Rational& b) noexcept {
+  Int128 n = Int128{a.num_} * b.den_ + Int128{b.num_} * a.den_;
+  Int128 d = Int128{a.den_} * b.den_;
+  return make_normalized_checked(n, d);
+}
+
+std::optional<Rational> Rational::checked_mul(const Rational& a,
+                                              const Rational& b) noexcept {
+  Int128 n = Int128{a.num_} * b.num_;
+  Int128 d = Int128{a.den_} * b.den_;
+  return make_normalized_checked(n, d);
+}
+
 Rational operator+(const Rational& a, const Rational& b) {
   Int128 n = Int128{a.num_} * b.den_ + Int128{b.num_} * a.den_;
   Int128 d = Int128{a.den_} * b.den_;

@@ -12,6 +12,7 @@
 #include <compare>
 #include <cstdint>
 #include <iosfwd>
+#include <optional>
 #include <stdexcept>
 #include <string>
 
@@ -57,6 +58,16 @@ class Rational {
   friend Rational operator-(const Rational& a, const Rational& b);
   friend Rational operator*(const Rational& a, const Rational& b);
   friend Rational operator/(const Rational& a, const Rational& b);
+
+  /// Overflow-checked fast paths: same math as operator+/operator*, but
+  /// nullopt instead of a thrown RationalOverflow when the normalized
+  /// result does not fit int64. For callers probing many candidate
+  /// weights in a tight loop (monitoring policies, quorum sweeps), the
+  /// branch is far cheaper than an exception on the failure path.
+  static std::optional<Rational> checked_add(const Rational& a,
+                                             const Rational& b) noexcept;
+  static std::optional<Rational> checked_mul(const Rational& a,
+                                             const Rational& b) noexcept;
 
   friend bool operator==(const Rational& a, const Rational& b) {
     return a.num_ == b.num_ && a.den_ == b.den_;

@@ -25,7 +25,7 @@ namespace wrs {
 // --- wire messages ---------------------------------------------------------
 
 /// reassign(target, delta) request (Definition 3 interface).
-class OracleReassignReq : public Message {
+class OracleReassignReq : public MessageBase<OracleReassignReq> {
  public:
   OracleReassignReq(std::uint64_t counter, ProcessId target, Weight delta)
       : counter_(counter), target_(target), delta_(std::move(delta)) {}
@@ -42,7 +42,7 @@ class OracleReassignReq : public Message {
 };
 
 /// transfer(src, dst, delta) request (Definition 4 interface).
-class OracleTransferReq : public Message {
+class OracleTransferReq : public MessageBase<OracleTransferReq> {
  public:
   OracleTransferReq(std::uint64_t counter, ProcessId src, ProcessId dst,
                     Weight delta)
@@ -62,7 +62,7 @@ class OracleTransferReq : public Message {
 };
 
 /// <Complete, c> response.
-class OracleComplete : public Message {
+class OracleComplete : public MessageBase<OracleComplete> {
  public:
   explicit OracleComplete(Change change) : change_(std::move(change)) {}
   const Change& change() const { return change_; }
@@ -74,7 +74,7 @@ class OracleComplete : public Message {
 };
 
 /// read_changes(target) request / response.
-class OracleReadReq : public Message {
+class OracleReadReq : public MessageBase<OracleReadReq> {
  public:
   OracleReadReq(std::uint64_t op_id, ProcessId target)
       : op_id_(op_id), target_(target) {}
@@ -88,7 +88,7 @@ class OracleReadReq : public Message {
   ProcessId target_;
 };
 
-class OracleReadAck : public Message {
+class OracleReadAck : public MessageBase<OracleReadAck> {
  public:
   OracleReadAck(std::uint64_t op_id, ChangeSet changes)
       : op_id_(op_id), changes_(std::move(changes)) {}

@@ -8,7 +8,7 @@
 
 namespace wrs {
 
-class PaxPrepare : public Message {
+class PaxPrepare : public MessageBase<PaxPrepare> {
  public:
   PaxPrepare(InstanceId inst, Ballot b) : inst_(inst), ballot_(b) {}
   InstanceId instance() const { return inst_; }
@@ -21,7 +21,7 @@ class PaxPrepare : public Message {
   Ballot ballot_;
 };
 
-class PaxPromise : public Message {
+class PaxPromise : public MessageBase<PaxPromise> {
  public:
   PaxPromise(InstanceId inst, Ballot b, bool ok,
              std::optional<Ballot> accepted_ballot, PaxosValue accepted_value)
@@ -50,7 +50,7 @@ class PaxPromise : public Message {
   PaxosValue accepted_value_;
 };
 
-class PaxAccept : public Message {
+class PaxAccept : public MessageBase<PaxAccept> {
  public:
   PaxAccept(InstanceId inst, Ballot b, PaxosValue value)
       : inst_(inst), ballot_(b), value_(std::move(value)) {}
@@ -68,7 +68,7 @@ class PaxAccept : public Message {
   PaxosValue value_;
 };
 
-class PaxAccepted : public Message {
+class PaxAccepted : public MessageBase<PaxAccepted> {
  public:
   PaxAccepted(InstanceId inst, Ballot b, bool ok)
       : inst_(inst), ballot_(b), ok_(ok) {}
@@ -84,7 +84,7 @@ class PaxAccepted : public Message {
   bool ok_;
 };
 
-class PaxLearn : public Message {
+class PaxLearn : public MessageBase<PaxLearn> {
  public:
   PaxLearn(InstanceId inst, PaxosValue value)
       : inst_(inst), value_(std::move(value)) {}

@@ -12,7 +12,7 @@ namespace wrs {
 
 /// <RC, s> — phase 1 of read_changes: asks a server for the changes it
 /// stores for target `s`. op_id correlates responses with invocations.
-class RcReq : public Message {
+class RcReq : public MessageBase<RcReq> {
  public:
   RcReq(std::uint64_t op_id, ProcessId target)
       : op_id_(op_id), target_(target) {}
@@ -27,7 +27,7 @@ class RcReq : public Message {
 };
 
 /// <RC_Ack, C_s> — a server's stored changes for the requested target.
-class RcAck : public Message {
+class RcAck : public MessageBase<RcAck> {
  public:
   RcAck(std::uint64_t op_id, ChangeSet changes)
       : op_id_(op_id), changes_(std::move(changes)) {}
@@ -45,7 +45,7 @@ class RcAck : public Message {
 
 /// <WC, C> — phase 2 of read_changes: write back the unioned set so that
 /// n-f servers store it before the invocation returns.
-class WcReq : public Message {
+class WcReq : public MessageBase<WcReq> {
  public:
   WcReq(std::uint64_t op_id, ChangeSet changes)
       : op_id_(op_id), changes_(std::move(changes)) {}
@@ -62,7 +62,7 @@ class WcReq : public Message {
 };
 
 /// <WC_Ack>.
-class WcAck : public Message {
+class WcAck : public MessageBase<WcAck> {
  public:
   explicit WcAck(std::uint64_t op_id) : op_id_(op_id) {}
   std::uint64_t op_id() const { return op_id_; }
@@ -75,7 +75,7 @@ class WcAck : public Message {
 
 /// <T, c, c'> — the transfer announcement, reliably broadcast by the
 /// issuer (Algorithm 4 line 14). Carries both changes of the pair.
-class TransferMsg : public Message {
+class TransferMsg : public MessageBase<TransferMsg> {
  public:
   TransferMsg(Change neg, Change pos)
       : neg_(std::move(neg)), pos_(std::move(pos)) {}
@@ -91,7 +91,7 @@ class TransferMsg : public Message {
 
 /// <T_Ack, lc> — acknowledgment that a server stored both changes of the
 /// transfer identified by (issuer, counter).
-class TAck : public Message {
+class TAck : public MessageBase<TAck> {
  public:
   explicit TAck(std::uint64_t counter) : counter_(counter) {}
   std::uint64_t counter() const { return counter_; }

@@ -25,7 +25,7 @@
 namespace wrs {
 
 /// Probe messages.
-class PingMsg : public Message {
+class PingMsg : public MessageBase<PingMsg> {
  public:
   explicit PingMsg(TimeNs sent_at) : sent_at_(sent_at) {}
   TimeNs sent_at() const { return sent_at_; }
@@ -36,7 +36,7 @@ class PingMsg : public Message {
   TimeNs sent_at_;
 };
 
-class PongMsg : public Message {
+class PongMsg : public MessageBase<PongMsg> {
  public:
   explicit PongMsg(TimeNs sent_at) : sent_at_(sent_at) {}
   TimeNs sent_at() const { return sent_at_; }
@@ -48,7 +48,7 @@ class PongMsg : public Message {
 };
 
 /// Gossiped RTT vector: the reporter's EWMA estimate per server.
-class RttReportMsg : public Message {
+class RttReportMsg : public MessageBase<RttReportMsg> {
  public:
   explicit RttReportMsg(std::map<ProcessId, double> rtts)
       : rtts_(std::move(rtts)) {}

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <stdexcept>
 
 namespace wrs {
 
@@ -32,6 +33,7 @@ TimeNs SiteMatrixLatency::sample(ProcessId from, ProcessId to, Rng& rng) {
 }
 
 void DegradableLatency::set_factor(ProcessId pid, double factor) {
+  std::lock_guard lock(mu_);
   for (auto& [p, f] : factors_) {
     if (p == pid) {
       f = factor;
@@ -42,15 +44,32 @@ void DegradableLatency::set_factor(ProcessId pid, double factor) {
 }
 
 void DegradableLatency::clear_factor(ProcessId pid) {
+  std::lock_guard lock(mu_);
   std::erase_if(factors_, [pid](const auto& pf) { return pf.first == pid; });
 }
 
-TimeNs DegradableLatency::sample(ProcessId from, ProcessId to, Rng& rng) {
-  TimeNs base = inner_->sample(from, to, rng);
-  double factor = 1.0;
-  for (const auto& [p, f] : factors_) {
-    if (p == from || p == to) factor = std::max(factor, f);
+void DegradableLatency::set_inner(std::shared_ptr<LatencyModel> inner) {
+  if (!inner) {
+    throw std::invalid_argument("DegradableLatency::set_inner: null model");
   }
+  std::lock_guard lock(mu_);
+  inner_ = std::move(inner);
+}
+
+TimeNs DegradableLatency::sample(ProcessId from, ProcessId to, Rng& rng) {
+  // Keep the critical section to the mutable scenario state; the wrapped
+  // model (and its RNG work) samples outside the lock. The shared_ptr
+  // copy keeps a concurrently swapped inner model alive.
+  std::shared_ptr<LatencyModel> inner;
+  double factor = 1.0;
+  {
+    std::lock_guard lock(mu_);
+    inner = inner_;
+    for (const auto& [p, f] : factors_) {
+      if (p == from || p == to) factor = std::max(factor, f);
+    }
+  }
+  TimeNs base = inner->sample(from, to, rng);
   return static_cast<TimeNs>(static_cast<double>(base) * factor);
 }
 

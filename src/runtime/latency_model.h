@@ -8,6 +8,7 @@
 
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <vector>
 
 #include "common/rng.h"
@@ -84,19 +85,26 @@ class SiteMatrixLatency : public LatencyModel {
 
 /// Wraps another model and slows traffic to/from selected processes by a
 /// multiplicative factor — models a degraded replica for the adaptation
-/// experiments. Factors can be changed mid-run.
+/// experiments. Factors and the wrapped model can be changed mid-run;
+/// mutations are synchronized so scenario scripts may run on a different
+/// thread than the (thread-runtime) sampler.
 class DegradableLatency : public LatencyModel {
  public:
-  explicit DegradableLatency(std::unique_ptr<LatencyModel> inner)
+  /// Accepts shared_ptr or (implicitly converted) unique_ptr.
+  explicit DegradableLatency(std::shared_ptr<LatencyModel> inner)
       : inner_(std::move(inner)) {}
 
   void set_factor(ProcessId pid, double factor);
   void clear_factor(ProcessId pid);
 
+  /// Swaps the wrapped model, keeping the degradation factors.
+  void set_inner(std::shared_ptr<LatencyModel> inner);
+
   TimeNs sample(ProcessId from, ProcessId to, Rng& rng) override;
 
  private:
-  std::unique_ptr<LatencyModel> inner_;
+  mutable std::mutex mu_;
+  std::shared_ptr<LatencyModel> inner_;
   std::vector<std::pair<ProcessId, double>> factors_;
 };
 

@@ -166,7 +166,15 @@ void ThreadEnv::timer_loop() {
     TimerItem item = std::move(const_cast<TimerItem&>(timers_.top()));
     timers_.pop();
     lock.unlock();
-    enqueue_task(item.pid, std::move(item.fn));
+    if (item.pid == kNoProcess) {
+      // Env-internal work (scenario scripts) always runs — matching the
+      // simulator, where kNoProcess events ignore the crashed set. It
+      // executes on the timer thread, so it must only touch
+      // thread-safe state.
+      item.fn();
+    } else {
+      enqueue_task(item.pid, std::move(item.fn));
+    }
     lock.lock();
   }
 }

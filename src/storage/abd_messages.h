@@ -23,7 +23,7 @@ inline std::size_t changes_wire_size(const ChangeSetPtr& c) {
 using RegisterKey = std::string;
 
 /// <R, opCnt> — phase-1 request.
-class ReadReq : public Message {
+class ReadReq : public MessageBase<ReadReq> {
  public:
   explicit ReadReq(std::uint64_t op_id, RegisterKey key = "")
       : op_id_(op_id), key_(std::move(key)) {}
@@ -41,7 +41,7 @@ class ReadReq : public Message {
 
 /// <KEYS, opCnt> — asks a server for the set of register keys it stores
 /// (used by the multi-register refresh on weight gain).
-class KeysReq : public Message {
+class KeysReq : public MessageBase<KeysReq> {
  public:
   explicit KeysReq(std::uint64_t op_id) : op_id_(op_id) {}
   std::uint64_t op_id() const { return op_id_; }
@@ -53,7 +53,7 @@ class KeysReq : public Message {
 };
 
 /// <KEYS_A, opCnt, keys, C>.
-class KeysAck : public Message {
+class KeysAck : public MessageBase<KeysAck> {
  public:
   KeysAck(std::uint64_t op_id, std::vector<RegisterKey> keys,
           ChangeSetPtr changes)
@@ -75,7 +75,7 @@ class KeysAck : public Message {
 };
 
 /// <R_A, reg, opCnt, C> — phase-1 reply: register contents + change set.
-class ReadAck : public Message {
+class ReadAck : public MessageBase<ReadAck> {
  public:
   ReadAck(std::uint64_t op_id, TaggedValue reg, ChangeSetPtr changes)
       : op_id_(op_id), reg_(std::move(reg)), changes_(std::move(changes)) {}
@@ -95,7 +95,7 @@ class ReadAck : public Message {
 };
 
 /// <W, <tag, val>, opCnt> — phase-2 request (write or read write-back).
-class WriteReq : public Message {
+class WriteReq : public MessageBase<WriteReq> {
  public:
   WriteReq(std::uint64_t op_id, TaggedValue reg, RegisterKey key = "")
       : op_id_(op_id), reg_(std::move(reg)), key_(std::move(key)) {}
@@ -114,7 +114,7 @@ class WriteReq : public Message {
 };
 
 /// <W_A, opCnt, C>.
-class WriteAck : public Message {
+class WriteAck : public MessageBase<WriteAck> {
  public:
   WriteAck(std::uint64_t op_id, ChangeSetPtr changes)
       : op_id_(op_id), changes_(std::move(changes)) {}

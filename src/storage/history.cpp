@@ -9,6 +9,7 @@ namespace wrs {
 
 std::size_t HistoryRecorder::begin(OpRecord::Kind kind, ProcessId process,
                                    TimeNs start) {
+  std::lock_guard lock(mu_);
   Slot slot;
   slot.rec.kind = kind;
   slot.rec.process = process;
@@ -19,6 +20,7 @@ std::size_t HistoryRecorder::begin(OpRecord::Kind kind, ProcessId process,
 
 void HistoryRecorder::end_read(std::size_t token, TimeNs end,
                                const TaggedValue& result) {
+  std::lock_guard lock(mu_);
   Slot& s = slots_.at(token);
   s.rec.end = end;
   s.rec.tag = result.tag;
@@ -28,6 +30,7 @@ void HistoryRecorder::end_read(std::size_t token, TimeNs end,
 
 void HistoryRecorder::end_write(std::size_t token, TimeNs end, const Tag& tag,
                                 const Value& value) {
+  std::lock_guard lock(mu_);
   Slot& s = slots_.at(token);
   s.rec.end = end;
   s.rec.tag = tag;
@@ -36,6 +39,7 @@ void HistoryRecorder::end_write(std::size_t token, TimeNs end, const Tag& tag,
 }
 
 std::vector<OpRecord> HistoryRecorder::completed() const {
+  std::lock_guard lock(mu_);
   std::vector<OpRecord> out;
   for (const auto& s : slots_) {
     if (s.done) out.push_back(s.rec);

@@ -15,6 +15,7 @@
 // phase-2 write-backs ensure reads are linearized at tag order.
 #pragma once
 
+#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
@@ -34,6 +35,8 @@ struct OpRecord {
   Value value;  // value read / value written
 };
 
+/// Internally synchronized: on the thread runtime the recording clients
+/// run on different worker threads.
 class HistoryRecorder {
  public:
   /// Begins an operation; returns a token to close it with.
@@ -53,6 +56,7 @@ class HistoryRecorder {
     OpRecord rec;
     bool done = false;
   };
+  mutable std::mutex mu_;
   std::vector<Slot> slots_;
 };
 

@@ -1,170 +1,85 @@
 // End-to-end integration on the thread runtime: the full dynamic storage
 // stack (reassignment + weighted ABD) under real concurrency. These tests
 // prove the protocols are genuine concurrent programs, not simulator
-// artifacts.
+// artifacts. Deployment goes through the wrs::Cluster facade; operations
+// complete through Await<T> (condition-variable blocking on this
+// substrate).
 #include <gtest/gtest.h>
 
-#include <atomic>
 #include <chrono>
 #include <memory>
-#include <mutex>
 #include <thread>
 
-#include "runtime/sync.h"
-#include "runtime/thread_env.h"
-#include "storage/dynamic_node.h"
+#include "api/cluster.h"
 #include "storage/history.h"
 
 namespace wrs {
 namespace {
 
-struct ThreadCluster {
-  ThreadEnv env;
-  SystemConfig config;
-  std::vector<std::unique_ptr<DynamicStorageNode>> nodes;
-  std::vector<std::unique_ptr<StorageClient>> clients;
-
-  ThreadCluster(std::uint32_t n, std::uint32_t f, std::uint32_t n_clients)
-      : env(std::make_shared<UniformLatency>(us(100), ms(2)), 5) {
-    config = SystemConfig::uniform(n, f);
-    for (std::uint32_t i = 0; i < n; ++i) {
-      nodes.push_back(std::make_unique<DynamicStorageNode>(env, i, config));
-      env.register_process(i, nodes.back().get());
-    }
-    for (std::uint32_t k = 0; k < n_clients; ++k) {
-      clients.push_back(std::make_unique<StorageClient>(
-          env, client_id(k), config, AbdClient::Mode::kDynamic));
-      env.register_process(client_id(k), clients.back().get());
-    }
-    env.start();
-  }
-
-  ~ThreadCluster() { env.stop(); }
-};
+ClusterBuilder thread_cluster(std::uint32_t n, std::uint32_t f,
+                              std::uint32_t n_clients) {
+  return Cluster::builder()
+      .servers(n)
+      .faults(f)
+      .clients(n_clients)
+      .uniform_latency(us(100), ms(2))
+      .seed(5)
+      .runtime(Runtime::kThread);
+}
 
 TEST(ThreadIntegration, WriteThenReadAcrossClients) {
-  ThreadCluster c(4, 1, 2);
-  Waiter<Tag> wrote;
-  // Operations must be issued from the owning process's context; use
-  // schedule to hop onto the client's mailbox thread.
-  c.env.schedule(client_id(0), 0, [&] {
-    c.clients[0]->abd().write("hello-threads",
-                              [&](const Tag& t) { wrote.set(t); });
-  });
-  auto tag = wrote.wait_for(seconds(30));
-  ASSERT_TRUE(tag.has_value());
+  Cluster c = thread_cluster(4, 1, 2).build();
+  Tag tag = c.client(0).write("hello-threads").get(seconds(30));
 
-  Waiter<TaggedValue> got;
-  c.env.schedule(client_id(1), 0, [&] {
-    c.clients[1]->abd().read([&](const TaggedValue& tv) { got.set(tv); });
-  });
-  auto tv = got.wait_for(seconds(30));
-  ASSERT_TRUE(tv.has_value());
-  EXPECT_EQ(tv->value, "hello-threads");
-  EXPECT_EQ(tv->tag, *tag);
+  TaggedValue tv = c.client(1).read().get(seconds(30));
+  EXPECT_EQ(tv.value, "hello-threads");
+  EXPECT_EQ(tv.tag, tag);
 }
 
 TEST(ThreadIntegration, TransferUnderRealConcurrency) {
-  ThreadCluster c(4, 1, 1);
-  Waiter<TransferOutcome> done;
-  c.env.schedule(0, 0, [&] {
-    c.nodes[0]->reassign().transfer(
-        1, Weight(1, 4), [&](const TransferOutcome& o) { done.set(o); });
-  });
-  auto out = done.wait_for(seconds(30));
-  ASSERT_TRUE(out.has_value());
-  EXPECT_TRUE(out->effective);
+  Cluster c = thread_cluster(4, 1, 1).build();
+  TransferOutcome out = c.server(0).transfer(1, Weight(1, 4)).get(seconds(30));
+  EXPECT_TRUE(out.effective);
 
-  // Weights converge on every node (poll from each node's own context).
+  // Weights converge on every node; weights_snapshot() observes from each
+  // node's own execution context, so there is no racy cross-thread read.
   for (std::uint32_t i = 0; i < 4; ++i) {
     bool ok = false;
     for (int attempt = 0; attempt < 100 && !ok; ++attempt) {
-      Waiter<Weight> probe;
-      c.env.schedule(i, 0, [&, i] {
-        probe.set(c.nodes[i]->reassign().weight_of(1));
-      });
-      auto val = probe.wait_for(seconds(5));
-      ASSERT_TRUE(val.has_value());
-      if (*val == Weight(5, 4)) ok = true;
-      if (!ok) std::this_thread::sleep_for(std::chrono::milliseconds(10));
+      WeightMap w = c.server(i).weights_snapshot().get(seconds(5));
+      if (w.of(1) == Weight(5, 4)) {
+        ok = true;
+      } else {
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+      }
     }
     EXPECT_TRUE(ok) << "node " << i << " never converged";
   }
 }
 
 TEST(ThreadIntegration, ConcurrentWritersAndTransfersStayAtomic) {
-  ThreadCluster c(5, 2, 3);
   auto history = std::make_shared<HistoryRecorder>();
-  std::mutex history_mu;  // clients run on different threads
+  WorkloadParams wp;
+  wp.num_ops = 15;
+  wp.read_ratio = 0.5;
+  wp.think_time = ms(1);
+  wp.value_size = 16;
+  wp.seed = 13;
 
-  constexpr int kOpsPerClient = 15;
-  std::atomic<int> remaining{3 * kOpsPerClient};
-  Waiter<bool> all_done;
+  Cluster c = thread_cluster(5, 2, 3).workload(wp).history(history).build();
 
-  // Each client loops read/write (self-referencing loop via shared_ptr);
-  // transfers churn underneath.
-  for (std::uint32_t k = 0; k < 3; ++k) {
-    auto loop = std::make_shared<std::function<void(int)>>();
-    *loop = [&, k, loop](int left) {
-      if (left == 0) {
-        if (remaining.load() == 0) all_done.set(true);
-        return;
-      }
-      bool is_read = (left % 2 == 0);
-      TimeNs start = c.env.now();
-      if (is_read) {
-        std::size_t token;
-        {
-          std::lock_guard lk(history_mu);
-          token = history->begin(OpRecord::Kind::kRead, client_id(k), start);
-        }
-        c.clients[k]->abd().read([&, k, left, loop,
-                                  token](const TaggedValue& tv) {
-          {
-            std::lock_guard lk(history_mu);
-            history->end_read(token, c.env.now(), tv);
-          }
-          remaining.fetch_sub(1);
-          c.env.schedule(client_id(k), ms(1),
-                         [loop, left] { (*loop)(left - 1); });
-        });
-      } else {
-        Value v = process_name(client_id(k)) + "#" + std::to_string(left);
-        std::size_t token;
-        {
-          std::lock_guard lk(history_mu);
-          token = history->begin(OpRecord::Kind::kWrite, client_id(k), start);
-        }
-        c.clients[k]->abd().write(v, [&, k, left, loop, token,
-                                      v](const Tag& t) {
-          {
-            std::lock_guard lk(history_mu);
-            history->end_write(token, c.env.now(), t, v);
-          }
-          remaining.fetch_sub(1);
-          c.env.schedule(client_id(k), ms(1),
-                         [loop, left] { (*loop)(left - 1); });
-        });
-      }
-    };
-    c.env.schedule(client_id(k), 0, [loop] { (*loop)(kOpsPerClient); });
+  // Transfer churn from two servers while the three workloads run.
+  Await<TransferOutcome> t0 = c.server(0).transfer(2, Weight(1, 25));
+  Await<TransferOutcome> t1 = c.server(1).transfer(3, Weight(1, 25));
+
+  for (std::size_t k = 0; k < 3; ++k) {
+    ASSERT_TRUE(c.workload_done(k).try_get(seconds(30)).has_value())
+        << "workload client #" << k << " did not finish";
   }
+  t0.get(seconds(30));
+  t1.get(seconds(30));
+  c.quiesce();
 
-  // Transfer churn from two servers.
-  for (std::uint32_t s : {0u, 1u}) {
-    c.env.schedule(s, ms(5), [&, s] {
-      c.nodes[s]->reassign().transfer((s + 2) % 5, Weight(1, 25),
-                                      [](const TransferOutcome&) {});
-    });
-  }
-
-  // Wait for all operations (remaining hits 0 inside a callback; poll).
-  for (int spin = 0; spin < 3000 && remaining.load() > 0; ++spin) {
-    std::this_thread::sleep_for(std::chrono::milliseconds(10));
-  }
-  ASSERT_EQ(remaining.load(), 0) << "workload did not finish";
-
-  std::lock_guard lk(history_mu);
   auto err = check_atomicity(history->completed());
   EXPECT_FALSE(err.has_value()) << *err;
 }

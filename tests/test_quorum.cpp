@@ -148,6 +148,84 @@ TEST(Wmqs, FloorImpliesProperty1) {
   }
 }
 
+TEST(Wmqs, ZeroWeightServersCarryNoVotingPower) {
+  // Zero-weight members are legal in a raw Wmqs (SystemConfig forbids
+  // them as *initial* weights, but a quorum system may inspect arbitrary
+  // maps). They must not affect any quorum computation.
+  WeightMap wm;
+  wm.set(0, Weight(2));
+  wm.set(1, Weight(1));
+  wm.set(2, Weight(0));
+  wm.set(3, Weight(0));
+  Wmqs q(wm);
+  EXPECT_EQ(q.total(), Weight(3));
+  // {s2, s3} weigh nothing: not a quorum even though it is half the ids.
+  EXPECT_FALSE(q.is_quorum({2, 3}));
+  // s0 alone tips the strict majority (2 > 3/2); adding zero-weight
+  // servers changes nothing.
+  EXPECT_TRUE(q.is_quorum({0}));
+  EXPECT_TRUE(q.is_quorum({0, 2, 3}));
+  EXPECT_FALSE(q.is_quorum({1, 2, 3}));
+  EXPECT_EQ(q.min_quorum_size(), 1u);
+  // Crashing the zero-weight servers costs nothing; crashing s0 is fatal.
+  EXPECT_FALSE(q.is_available(1));  // the heaviest (s0) holds 2 >= 3/2
+}
+
+TEST(Wmqs, AvailabilityAtTheExactHalfWeightBoundary) {
+  // Property 1 is strict: the f heaviest must weigh strictly LESS than
+  // half. Construct f servers holding exactly half the total.
+  WeightMap wm;
+  wm.set(0, Weight(3, 2));
+  wm.set(1, Weight(3, 2));
+  wm.set(2, Weight(1));
+  wm.set(3, Weight(1));
+  wm.set(4, Weight(1));  // total 6; {s0, s1} = 3 = total/2 exactly
+  Wmqs q(wm);
+  EXPECT_TRUE(q.is_available(1));   // 3/2 < 3
+  EXPECT_FALSE(q.is_available(2));  // 3 == 3: not strictly less
+  EXPECT_EQ(q.max_tolerable_f(), 1u);
+
+  // Nudge one heavy server down by any epsilon and f=2 becomes available.
+  wm.set(1, Weight(3, 2) - Weight(1, 1'000'000));
+  Wmqs q2(wm);
+  EXPECT_TRUE(q2.is_available(2));
+}
+
+TEST(Wmqs, SmallestQuorumStaysConsistentAcrossTransferSequence) {
+  // Apply a sequence of pairwise transfers (total weight invariant) and
+  // check after every step that smallest_quorum() and min_quorum_size()
+  // agree, that the returned set IS a quorum, and that it is minimal
+  // (dropping its lightest member breaks the majority).
+  WeightMap wm = WeightMap::uniform(7);  // Example 2 geometry, total 7
+  struct Step {
+    ProcessId src, dst;
+    Weight delta;
+  };
+  std::vector<Step> steps = {
+      {3, 0, Weight(1, 4)}, {4, 1, Weight(1, 4)}, {5, 2, Weight(1, 4)},
+      {6, 0, Weight(1, 10)}, {0, 6, Weight(1, 10)}, {2, 1, Weight(1, 8)},
+  };
+  for (const Step& step : steps) {
+    wm.set(step.src, wm.of(step.src) - step.delta);
+    wm.set(step.dst, wm.of(step.dst) + step.delta);
+    Wmqs q(wm);
+    ASSERT_EQ(q.total(), Weight(7));  // pairwise: total invariant
+
+    std::vector<ProcessId> smallest = q.smallest_quorum();
+    EXPECT_EQ(smallest.size(), q.min_quorum_size());
+    EXPECT_TRUE(q.is_quorum(smallest));
+
+    // Minimality: the greedy set without its lightest member is not a
+    // quorum (members arrive heaviest-first).
+    std::vector<ProcessId> trimmed(smallest.begin(), smallest.end() - 1);
+    EXPECT_FALSE(q.is_quorum(trimmed));
+
+    // Sizes are sane for 7 servers and bounded by the worst case.
+    EXPECT_GE(q.min_quorum_size(), 1u);
+    EXPECT_LE(q.min_quorum_size(), q.max_minimal_quorum_size());
+  }
+}
+
 TEST(ReductionWeights, MatchPaperScheme) {
   // n=4, f=1: F gets (n-1)/(2f) = 3/2; S\F gets (n+1)/(2(n-f)) = 5/6.
   WeightMap wm = reduction_initial_weights(4, 1);

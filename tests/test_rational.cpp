@@ -140,6 +140,120 @@ TEST(Rational, CompoundAssignment) {
   EXPECT_EQ(r, Rational(1, 3));
 }
 
+// --- checked_add / checked_mul fast paths ----------------------------------
+
+TEST(RationalChecked, AgreesWithThrowingOperatorsInRange) {
+  Rng rng(4242);
+  for (int i = 0; i < 500; ++i) {
+    Rational a(static_cast<std::int64_t>(rng.below(2001)) - 1000,
+               static_cast<std::int64_t>(rng.below(99)) + 1);
+    Rational b(static_cast<std::int64_t>(rng.below(2001)) - 1000,
+               static_cast<std::int64_t>(rng.below(99)) + 1);
+    auto sum = Rational::checked_add(a, b);
+    auto prod = Rational::checked_mul(a, b);
+    ASSERT_TRUE(sum.has_value());
+    ASSERT_TRUE(prod.has_value());
+    EXPECT_EQ(*sum, a + b);
+    EXPECT_EQ(*prod, a * b);
+  }
+}
+
+TEST(RationalChecked, OverflowYieldsNulloptWhereOperatorsThrow) {
+  Rational big(std::numeric_limits<std::int64_t>::max(), 1);
+  EXPECT_EQ(Rational::checked_add(big, big), std::nullopt);
+  EXPECT_EQ(Rational::checked_mul(big, big), std::nullopt);
+  EXPECT_THROW(big + big, RationalOverflow);
+  EXPECT_THROW(big * big, RationalOverflow);
+
+  Rational small(std::numeric_limits<std::int64_t>::min() + 1, 1);
+  EXPECT_EQ(Rational::checked_add(small, small), std::nullopt);
+  EXPECT_EQ(Rational::checked_mul(small, Rational(2)), std::nullopt);
+}
+
+TEST(RationalChecked, LargeIntermediatesStillReduce) {
+  // Intermediates exceed int64 but the reduced results fit — the checked
+  // path must not reject them.
+  Rational a(1, 1'000'000'007);
+  Rational b(1'000'000'007, 3);
+  EXPECT_EQ(Rational::checked_mul(a, b), Rational(1, 3));
+  Rational c(std::numeric_limits<std::int64_t>::max(), 2);
+  EXPECT_EQ(Rational::checked_add(c, c),
+            Rational(std::numeric_limits<std::int64_t>::max(), 1));
+}
+
+TEST(RationalChecked, NearBoundaryResultsSurvive) {
+  Rational max64(std::numeric_limits<std::int64_t>::max(), 1);
+  EXPECT_EQ(Rational::checked_add(max64, Rational(0)), max64);
+  EXPECT_EQ(Rational::checked_mul(max64, Rational(1)), max64);
+  EXPECT_EQ(Rational::checked_add(max64, Rational(-1)),
+            Rational(std::numeric_limits<std::int64_t>::max() - 1, 1));
+}
+
+// --- boundary comparisons at the C2 floor ----------------------------------
+
+TEST(RationalBoundary, C2CheckIsExactAtTheRpIntegrityFloor) {
+  // Algorithm 4's C2 guard: a transfer of delta is effective iff
+  // weight > delta + W_{S,0}/(2(n-f)). The interesting cases sit EXACTLY
+  // on the boundary, where doubles would wobble. n=7, f=2 (Example 2):
+  // floor = 7/10.
+  Rational floor(7, 10);
+  Rational weight(1);
+  // delta = 3/10 puts weight exactly at delta + floor: must NOT pass.
+  EXPECT_FALSE(weight > Rational(3, 10) + floor);
+  // One part in a million below the boundary delta: passes.
+  Rational eps(1, 1'000'000);
+  EXPECT_TRUE(weight > (Rational(3, 10) - eps) + floor);
+  // One above: fails.
+  EXPECT_FALSE(weight > (Rational(3, 10) + eps) + floor);
+  // The same comparisons via the checked fast path.
+  EXPECT_FALSE(weight > *Rational::checked_add(Rational(3, 10), floor));
+}
+
+TEST(RationalBoundary, FloorArithmeticMatchesAcrossEquivalentForms) {
+  // W_{S,0}/(2(n-f)) computed three ways must compare equal, not merely
+  // close: quorum checks use strict inequalities against it.
+  Rational total(4);
+  Rational n_minus_f(3);
+  Rational a = total / (Rational(2) * n_minus_f);
+  Rational b = (total / n_minus_f) / Rational(2);
+  Rational c = total * Rational(1, 6);
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(b, c);
+  EXPECT_EQ(a, Rational(2, 3));
+  EXPECT_FALSE(a < c);
+  EXPECT_FALSE(a > c);
+}
+
+// --- parse / from_double round-trips ---------------------------------------
+
+TEST(RationalRoundTrip, ParseOfStrIsIdentity) {
+  Rng rng(99);
+  for (int i = 0; i < 500; ++i) {
+    Rational r(static_cast<std::int64_t>(rng.below(200001)) - 100000,
+               static_cast<std::int64_t>(rng.below(9999)) + 1);
+    EXPECT_EQ(Rational::parse(r.str()), r);
+  }
+  // Extremes survive too.
+  Rational max64(std::numeric_limits<std::int64_t>::max(), 1);
+  EXPECT_EQ(Rational::parse(max64.str()), max64);
+}
+
+TEST(RationalRoundTrip, FromDoubleOfToDoubleIsIdentityForMonitorWeights) {
+  // The monitoring loop converts measured doubles to weights with
+  // denominator 1e6; any rational with a denominator dividing 1e6
+  // round-trips exactly.
+  Rng rng(7);
+  for (int i = 0; i < 500; ++i) {
+    Rational r(static_cast<std::int64_t>(rng.below(2'000'001)) - 1'000'000,
+               1'000'000);
+    EXPECT_EQ(Rational::from_double(r.to_double()), r);
+  }
+  EXPECT_EQ(Rational::from_double(Rational(7, 10).to_double()),
+            Rational(7, 10));
+  EXPECT_EQ(Rational::from_double(Rational(-5, 8).to_double()),
+            Rational(-5, 8));
+}
+
 // --- Property-based: field laws over random rationals ----------------------
 
 class RationalPropertyTest : public ::testing::TestWithParam<std::uint64_t> {

@@ -8,7 +8,7 @@
 namespace wrs {
 namespace {
 
-class NoteMsg : public Message {
+class NoteMsg : public MessageBase<NoteMsg> {
  public:
   explicit NoteMsg(int v) : v_(v) {}
   int value() const { return v_; }
