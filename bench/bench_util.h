@@ -5,10 +5,17 @@
 // deterministic.
 #pragma once
 
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
 #include <functional>
 #include <iostream>
 #include <memory>
+#include <sstream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "api/cluster.h"
@@ -26,6 +33,106 @@ inline void banner(const std::string& id, const std::string& title) {
 }
 
 inline void note(const std::string& text) { std::cout << text << "\n"; }
+
+/// Machine-readable experiment output: rows of (name, value) fields per
+/// experiment, written as JSON so the perf trajectory can be tracked
+/// across PRs ({"experiment": ..., "rows": [{...}, ...]}).
+class JsonReport {
+ public:
+  explicit JsonReport(std::string experiment)
+      : experiment_(std::move(experiment)) {}
+
+  /// Opens a fresh row; subsequent field() calls fill it.
+  JsonReport& row() {
+    rows_.emplace_back();
+    return *this;
+  }
+
+  JsonReport& field(const std::string& name, double value) {
+    std::ostringstream os;
+    if (std::isfinite(value)) {
+      os << value;
+    } else {
+      os << "null";  // JSON has no NaN/inf literals
+    }
+    rows_.back().emplace_back(name, os.str());
+    return *this;
+  }
+  JsonReport& field(const std::string& name, const std::string& value) {
+    std::string quoted = "\"";
+    quoted += escape(value);
+    quoted += '"';
+    rows_.back().emplace_back(name, std::move(quoted));
+    return *this;
+  }
+
+  /// Appends this experiment's object to `path` (one JSON object per
+  /// line, so several experiments in one binary can share a file).
+  /// Returns false — and says so — when the file cannot be written, so
+  /// a perf-tracking pipeline never silently records nothing.
+  bool write(const std::string& path) const {
+    std::ofstream out(path, std::ios::app);
+    out << str() << "\n";
+    out.flush();
+    if (!out) {
+      std::cerr << "[json] ERROR: cannot write " << experiment_ << " to "
+                << path << "\n";
+      return false;
+    }
+    std::cout << "[json] " << experiment_ << " -> " << path << "\n";
+    return true;
+  }
+
+  std::string str() const {
+    std::ostringstream os;
+    os << "{\"experiment\":\"" << escape(experiment_) << "\",\"rows\":[";
+    for (std::size_t r = 0; r < rows_.size(); ++r) {
+      os << (r ? ",{" : "{");
+      for (std::size_t f = 0; f < rows_[r].size(); ++f) {
+        os << (f ? "," : "") << "\"" << escape(rows_[r][f].first)
+           << "\":" << rows_[r][f].second;
+      }
+      os << "}";
+    }
+    os << "]}";
+    return os.str();
+  }
+
+ private:
+  static std::string escape(const std::string& s) {
+    std::string out;
+    for (char ch : s) {
+      if (ch == '"' || ch == '\\') {
+        out.push_back('\\');
+        out.push_back(ch);
+      } else if (static_cast<unsigned char>(ch) < 0x20) {
+        char buf[8];
+        std::snprintf(buf, sizeof(buf), "\\u%04x", ch);
+        out += buf;
+      } else {
+        out.push_back(ch);
+      }
+    }
+    return out;
+  }
+
+  std::string experiment_;
+  std::vector<std::vector<std::pair<std::string, std::string>>> rows_;
+};
+
+/// `--json <path>` from a bench binary's argv; empty when absent. A
+/// dangling `--json` with no path is a usage error, not a silent no-op.
+inline std::string json_path(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") != 0) continue;
+    if (i + 1 >= argc) {
+      std::cerr << "usage: " << argv[0] << " [--json <path>]\n";
+      std::exit(2);
+    }
+    return argv[i + 1];
+  }
+  return {};
+}
 
 /// Builds a SimEnv over a WAN profile; returns the env and keeps the
 /// degradable wrapper accessible for mid-run degradation experiments.

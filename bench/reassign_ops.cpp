@@ -1,6 +1,9 @@
 // EXP-P1 — cost of the reassignment protocol itself: latency and traffic
 // of transfer (Algorithm 4) and read_changes (Algorithm 3) as the system
 // grows. f is the maximum tolerable threshold for each n.
+//
+// `--json <path>` appends the table as a JSON line for cross-PR perf
+// tracking.
 #include "bench_util.h"
 
 namespace wrs {
@@ -57,7 +60,7 @@ OpCosts measure(std::uint32_t n, std::uint32_t f, std::uint64_t seed) {
   return costs;
 }
 
-void run() {
+void run(bench::JsonReport* json) {
   bench::banner("EXP-P1",
                 "reassignment operation costs vs system size "
                 "(latency 2-12ms/hop)");
@@ -77,6 +80,17 @@ void run() {
                    Table::fmt(c.bytes_per_transfer / 1024.0, 2),
                    Table::fmt(c.read_changes_ms.percentile(50)),
                    Table::fmt(c.msgs_per_read, 1)});
+    if (json) {
+      json->row()
+          .field("n", static_cast<double>(nf.n))
+          .field("f", static_cast<double>(nf.f))
+          .field("transfer_p50_ms", c.transfer_ms.percentile(50))
+          .field("transfer_p99_ms", c.transfer_ms.percentile(99))
+          .field("msgs_per_transfer", c.msgs_per_transfer)
+          .field("kb_per_transfer", c.bytes_per_transfer / 1024.0)
+          .field("read_changes_p50_ms", c.read_changes_ms.percentile(50))
+          .field("msgs_per_read_changes", c.msgs_per_read);
+    }
   }
   table.print();
   bench::note(
@@ -89,7 +103,10 @@ void run() {
 }  // namespace
 }  // namespace wrs
 
-int main() {
-  wrs::run();
+int main(int argc, char** argv) {
+  std::string path = wrs::bench::json_path(argc, argv);
+  wrs::bench::JsonReport json("reassign_ops");
+  wrs::run(path.empty() ? nullptr : &json);
+  if (!path.empty() && !json.write(path)) return 1;
   return 0;
 }

@@ -16,6 +16,20 @@
 // get() it. The same driver source therefore runs unmodified on either
 // substrate — which runtime is in play is decided by the pump the
 // Cluster facade installs, not by the call site.
+//
+// Composition (for the pipelined client API): awaits chain and fan in
+// without blocking one .get() per operation —
+//
+//   * then(fn) runs fn when the value arrives and yields an Await of
+//     fn's result;
+//   * when_all(a, b, ...) / when_all(vector) resolve when every input
+//     has, to a tuple / vector of the values;
+//   * poll() / ready() observe completion without blocking, for
+//     open-loop drivers that must not stall their issue clock.
+//
+// Continuations run wherever fulfill() runs: inline in the simulator's
+// event loop, or on the fulfilling worker thread on the thread runtime —
+// keep them short and non-blocking, like any protocol callback.
 #pragma once
 
 #include <condition_variable>
@@ -25,6 +39,10 @@
 #include <mutex>
 #include <optional>
 #include <stdexcept>
+#include <tuple>
+#include <type_traits>
+#include <utility>
+#include <vector>
 
 #include "common/types.h"
 
@@ -62,19 +80,67 @@ class Await {
 
   /// Completion-callback side; the first fulfill wins, later ones are
   /// ignored (operations complete exactly once, but scenario scripts may
-  /// race a timeout fulfillment against the real one).
+  /// race a timeout fulfillment against the real one). Registered
+  /// continuations run inline, after the value is published.
   void fulfill(T value) const {
+    std::vector<std::function<void(const T&)>> conts;
     {
       std::lock_guard lock(state_->mu);
       if (state_->value.has_value()) return;
       state_->value = std::move(value);
+      conts = std::move(state_->continuations);
+      state_->continuations.clear();
     }
     state_->cv.notify_all();
+    for (auto& c : conts) c(*state_->value);
   }
 
   bool ready() const {
     std::lock_guard lock(state_->mu);
     return state_->value.has_value();
+  }
+
+  /// Non-blocking: the value if it has arrived, nullopt otherwise. Does
+  /// not pump the simulator — drive it via Cluster::run_for/quiesce.
+  std::optional<T> poll() const {
+    std::lock_guard lock(state_->mu);
+    return state_->value;
+  }
+
+  /// Registers `fn` to run when the value arrives; runs it immediately
+  /// (on the caller) when the value is already there. Any number of
+  /// continuations may be registered.
+  void on_ready(std::function<void(const T&)> fn) const {
+    {
+      std::lock_guard lock(state_->mu);
+      if (!state_->value.has_value()) {
+        state_->continuations.push_back(std::move(fn));
+        return;
+      }
+    }
+    fn(*state_->value);
+  }
+
+  /// Chains a continuation: returns an Await of fn's result, fulfilled
+  /// when this value arrives. fn returning void yields Await<bool>
+  /// (fulfilled with true) so the end of a chain stays awaitable.
+  template <typename F>
+  auto then(F fn) const {
+    using R = std::invoke_result_t<F, const T&>;
+    if constexpr (std::is_void_v<R>) {
+      Await<bool> next(pump_);
+      on_ready([next, fn = std::move(fn)](const T& v) {
+        fn(v);
+        next.fulfill(true);
+      });
+      return next;
+    } else {
+      Await<R> next(pump_);
+      on_ready([next, fn = std::move(fn)](const T& v) {
+        next.fulfill(fn(v));
+      });
+      return next;
+    }
   }
 
   /// Waits up to `timeout`; nullopt if the value never arrived.
@@ -100,15 +166,96 @@ class Await {
     return *std::move(v);
   }
 
+  /// The substrate pump this Await drives from get() (null on the thread
+  /// runtime). Composition helpers propagate it to derived awaits.
+  std::shared_ptr<AwaitPump> pump() const { return pump_; }
+
  private:
   struct State {
     std::mutex mu;
     std::condition_variable cv;
     std::optional<T> value;
+    std::vector<std::function<void(const T&)>> continuations;
   };
 
   std::shared_ptr<State> state_;
   std::shared_ptr<AwaitPump> pump_;
 };
+
+/// Fans in a homogeneous batch: resolves to the vector of all values
+/// (in input order) once every part has resolved. The natural partner of
+/// ClientHandle::read_batch / write_batch.
+template <typename T>
+Await<std::vector<T>> when_all(const std::vector<Await<T>>& parts) {
+  std::shared_ptr<AwaitPump> pump;
+  for (const auto& p : parts) {
+    if ((pump = p.pump())) break;
+  }
+  Await<std::vector<T>> all(pump);
+  if (parts.empty()) {
+    all.fulfill({});
+    return all;
+  }
+  struct Gather {
+    std::mutex mu;
+    std::vector<std::optional<T>> slots;
+    std::size_t remaining;
+  };
+  auto g = std::make_shared<Gather>();
+  g->slots.resize(parts.size());
+  g->remaining = parts.size();
+  for (std::size_t i = 0; i < parts.size(); ++i) {
+    parts[i].on_ready([g, all, i](const T& v) {
+      bool done = false;
+      {
+        std::lock_guard lock(g->mu);
+        g->slots[i] = v;
+        done = (--g->remaining == 0);
+      }
+      if (!done) return;
+      std::vector<T> out;
+      out.reserve(g->slots.size());
+      for (auto& s : g->slots) out.push_back(std::move(*s));
+      all.fulfill(std::move(out));
+    });
+  }
+  return all;
+}
+
+/// Fans in a heterogeneous set: resolves to the tuple of all values once
+/// every part has (e.g. a write's Tag alongside a read's TaggedValue).
+template <typename... Ts>
+Await<std::tuple<Ts...>> when_all(const Await<Ts>&... parts) {
+  static_assert(sizeof...(Ts) > 0, "when_all needs at least one await");
+  std::shared_ptr<AwaitPump> pump;
+  auto pick = [&pump](const auto& p) {
+    if (!pump) pump = p.pump();
+  };
+  (pick(parts), ...);
+  Await<std::tuple<Ts...>> all(pump);
+  struct Gather {
+    std::mutex mu;
+    std::tuple<std::optional<Ts>...> slots;
+    std::size_t remaining = sizeof...(Ts);
+  };
+  auto g = std::make_shared<Gather>();
+  [&]<std::size_t... Is>(std::index_sequence<Is...>) {
+    auto finish = [g, all] {
+      all.fulfill(std::tuple<Ts...>(std::move(*std::get<Is>(g->slots))...));
+    };
+    (std::get<Is>(std::tie(parts...))
+         .on_ready([g, finish](const Ts& v) {
+           bool done = false;
+           {
+             std::lock_guard lock(g->mu);
+             std::get<Is>(g->slots) = v;
+             done = (--g->remaining == 0);
+           }
+           if (done) finish();
+         }),
+     ...);
+  }(std::index_sequence_for<Ts...>{});
+  return all;
+}
 
 }  // namespace wrs

@@ -162,7 +162,7 @@ Cluster::Cluster(const ClusterBuilder& spec)
       slot.reassign = c.get();
       slot.process = std::move(c);
     } else if (spec.workload_.has_value()) {
-      auto c = std::make_unique<ClosedLoopClient>(
+      auto c = std::make_unique<WorkloadClient>(
           e, pid, config_, spec.mode_, *spec.workload_, spec.history_);
       slot.workload = c.get();
       slot.abd = &c->abd();
@@ -210,14 +210,18 @@ const Env& Cluster::env() const {
 
 Cluster::ServerSlot& Cluster::server_slot(ProcessId s) {
   if (s >= servers_.size()) {
-    throw std::out_of_range("Cluster: no server " + process_name(s));
+    throw std::out_of_range(
+        "Cluster: server index " + std::to_string(s) +
+        " out of range [0, " + std::to_string(servers_.size()) + ")");
   }
   return servers_[s];
 }
 
 Cluster::ClientSlot& Cluster::client_slot(std::size_t k) {
   if (k >= clients_.size()) {
-    throw std::out_of_range("Cluster: no client #" + std::to_string(k));
+    throw std::out_of_range(
+        "Cluster: client index " + std::to_string(k) + " out of range [0, " +
+        std::to_string(clients_.size()) + ")");
   }
   return clients_[k];
 }
@@ -281,7 +285,7 @@ Process& Cluster::process(ProcessId pid) {
   throw std::out_of_range("Cluster: no process " + process_name(pid));
 }
 
-ClosedLoopClient& Cluster::workload(std::size_t k) {
+WorkloadClient& Cluster::workload(std::size_t k) {
   ClientSlot& slot = client_slot(k);
   if (slot.workload == nullptr) {
     throw std::logic_error("Cluster: client #" + std::to_string(k) +
@@ -373,6 +377,43 @@ Await<Tag> ClientHandle::write(RegisterKey key, Value value) const {
     abd->write(key, value, [aw](const Tag& tag) { aw.fulfill(tag); });
   });
   return aw;
+}
+
+std::vector<Await<TaggedValue>> ClientHandle::read_batch(
+    std::vector<RegisterKey> keys) const {
+  std::vector<Await<TaggedValue>> awaits;
+  awaits.reserve(keys.size());
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    awaits.push_back(cluster_->make_await<TaggedValue>());
+  }
+  AbdClient* abd = abd_;
+  // One hop into the client's context issues the whole batch, so every
+  // operation is in flight before the first reply is processed.
+  cluster_->post(id_, [abd, keys = std::move(keys), awaits] {
+    for (std::size_t i = 0; i < keys.size(); ++i) {
+      Await<TaggedValue> aw = awaits[i];
+      abd->read(keys[i], [aw](const TaggedValue& tv) { aw.fulfill(tv); });
+    }
+  });
+  return awaits;
+}
+
+std::vector<Await<Tag>> ClientHandle::write_batch(
+    std::vector<std::pair<RegisterKey, Value>> puts) const {
+  std::vector<Await<Tag>> awaits;
+  awaits.reserve(puts.size());
+  for (std::size_t i = 0; i < puts.size(); ++i) {
+    awaits.push_back(cluster_->make_await<Tag>());
+  }
+  AbdClient* abd = abd_;
+  cluster_->post(id_, [abd, puts = std::move(puts), awaits] {
+    for (std::size_t i = 0; i < puts.size(); ++i) {
+      Await<Tag> aw = awaits[i];
+      abd->write(puts[i].first, puts[i].second,
+                 [aw](const Tag& tag) { aw.fulfill(tag); });
+    }
+  });
+  return awaits;
 }
 
 Await<std::vector<RegisterKey>> ClientHandle::list_keys() const {

@@ -15,6 +15,13 @@
 //   TaggedValue tv = c.client().read().get();
 //   TransferOutcome o = c.server(3).transfer(0, Weight(1, 4)).get();
 //
+// Operations pipeline through one client: issue many awaits (or a
+// read_batch/write_batch) before getting any, then fan in —
+//
+//   auto tags = when_all(c.client().write_batch({{"a", "1"}, {"b", "2"}}))
+//                   .get();
+//   auto ab = when_all(c.client().read("a"), c.client().read("b")).get();
+//
 // The SAME driver source runs on the deterministic simulator or the
 // thread-per-process runtime by flipping the builder's Runtime enum:
 // Await<T>::get pumps the simulator's event loop or blocks on a condition
@@ -55,7 +62,14 @@ class Cluster;
 class ClusterBuilder;
 
 /// Awaitable storage endpoint: wraps one deployed client process (a
-/// StorageClient, or a ClosedLoopClient when a workload is attached).
+/// StorageClient, or a WorkloadClient when a workload is attached).
+///
+/// Operations PIPELINE: the underlying AbdClient multiplexes any number
+/// of in-flight operations, so issuing several awaits before the first
+/// .get() overlaps their quorum rounds (ops on the same key keep issue
+/// order). read_batch/write_batch issue a whole batch in one hop into
+/// the client's execution context; fan the results in with
+/// when_all(awaits).get() or Await<T>::then.
 class ClientHandle {
  public:
   /// Atomic read of register `key` (the paper's register is key "").
@@ -64,6 +78,16 @@ class ClientHandle {
   /// Atomic write; resolves to the tag the value was written under.
   Await<Tag> write(Value value) const { return write(RegisterKey{}, value); }
   Await<Tag> write(RegisterKey key, Value value) const;
+
+  /// Pipelined batch reads: all keys issued before any completes; the
+  /// k-th await resolves to the k-th key's (tag, value).
+  std::vector<Await<TaggedValue>> read_batch(
+      std::vector<RegisterKey> keys) const;
+
+  /// Pipelined batch writes; the k-th await resolves to the k-th put's
+  /// write tag. Puts to distinct keys proceed concurrently.
+  std::vector<Await<Tag>> write_batch(
+      std::vector<std::pair<RegisterKey, Value>> puts) const;
 
   /// Discovers every register key stored at some weighted quorum.
   Await<std::vector<RegisterKey>> list_keys() const;
@@ -169,8 +193,10 @@ class ClusterBuilder {
   /// --- clients -----------------------------------------------------------
   ClusterBuilder& clients(std::uint32_t k) { clients_ = k; return *this; }
   ClusterBuilder& client_mode(AbdClient::Mode mode) { mode_ = mode; return *this; }
-  /// Clients run a closed-loop read/write workload instead of waiting for
-  /// explicit operations; completion is awaitable via workload_done().
+  /// Clients run a read/write workload instead of waiting for explicit
+  /// operations; completion is awaitable via workload_done(). Closed loop
+  /// by default; set WorkloadParams::target_ops_per_sec for an open loop
+  /// over the pipelined client (plus num_keys > 1 so ops can overlap).
   ClusterBuilder& workload(WorkloadParams params);
   /// Record every workload operation for atomicity checking.
   ClusterBuilder& history(std::shared_ptr<HistoryRecorder> h);
@@ -239,7 +265,7 @@ class Cluster {
   Process& process(ProcessId pid);
 
   /// The k-th workload client (deployments built with .workload()).
-  ClosedLoopClient& workload(std::size_t k = 0);
+  WorkloadClient& workload(std::size_t k = 0);
   /// Resolves when the k-th workload client finished its operations.
   Await<bool> workload_done(std::size_t k = 0);
 
@@ -309,7 +335,7 @@ class Cluster {
     std::unique_ptr<Process> process;
     AbdClient* abd = nullptr;
     ReassignClient* reassign = nullptr;
-    ClosedLoopClient* workload = nullptr;
+    WorkloadClient* workload = nullptr;
     Await<bool> done;
   };
 

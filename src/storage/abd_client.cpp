@@ -1,5 +1,6 @@
 #include "storage/abd_client.h"
 
+#include <algorithm>
 #include <atomic>
 #include <stdexcept>
 
@@ -8,8 +9,8 @@
 namespace wrs {
 
 namespace {
-// Phase op-ids are unique across every AbdClient instance in the process
-// so that two clients co-located in one Process (e.g. a storage node's
+// Op ids are unique across every AbdClient instance in the process so
+// that two clients co-located in one Process (e.g. a storage node's
 // refresh reader plus a workload client) never confuse replies.
 std::atomic<std::uint64_t> g_next_op_id{1};
 }  // namespace
@@ -23,7 +24,7 @@ AbdClient::AbdClient(Env& env, ProcessId self, const SystemConfig& config,
       initial_total_(config.initial_total()),
       changes_(ChangeSet::initial(config.initial_weights)) {}
 
-std::uint64_t AbdClient::fresh_op_id() {
+OpId AbdClient::fresh_op_id() {
   return g_next_op_id.fetch_add(1, std::memory_order_relaxed);
 }
 
@@ -32,80 +33,126 @@ WeightMap AbdClient::current_weights() const {
   return changes_.to_weight_map(config_.servers());
 }
 
-void AbdClient::read(RegisterKey key, ReadCallback cb) {
-  if (op_.has_value()) {
-    throw std::logic_error("AbdClient: operation already in flight");
-  }
+OpId AbdClient::read(RegisterKey key, ReadCallback cb) {
   Op op;
   op.kind = OpKind::kRead;
   op.key = std::move(key);
   op.rcb = std::move(cb);
-  op_ = std::move(op);
-  start_phase1();
+  return enqueue(std::move(op));
 }
 
-void AbdClient::write(RegisterKey key, Value value, WriteCallback cb) {
-  if (op_.has_value()) {
-    throw std::logic_error("AbdClient: operation already in flight");
-  }
+OpId AbdClient::write(RegisterKey key, Value value, WriteCallback cb) {
   Op op;
   op.kind = OpKind::kWrite;
   op.key = std::move(key);
   op.value = std::move(value);
   op.wcb = std::move(cb);
-  op_ = std::move(op);
-  start_phase1();
+  return enqueue(std::move(op));
 }
 
-void AbdClient::list_keys(KeysCallback cb) {
-  if (op_.has_value()) {
-    throw std::logic_error("AbdClient: operation already in flight");
-  }
+OpId AbdClient::list_keys(KeysCallback cb) {
   Op op;
   op.kind = OpKind::kListKeys;
   op.kcb = std::move(cb);
-  op_ = std::move(op);
-  start_phase1();
+  return enqueue(std::move(op));
 }
 
-void AbdClient::start_phase1() {
-  op_->phase = 1;
-  op_->phase_op_id = fresh_op_id();
-  op_->phase1_replies.clear();
-  op_->phase2_acks.clear();
-  op_->keys_acks.clear();
-  op_->keys_acc.clear();
-  if (op_->kind == OpKind::kListKeys) {
-    env_.broadcast_to_servers(self_,
-                              std::make_shared<KeysReq>(op_->phase_op_id));
+OpId AbdClient::enqueue(Op op) {
+  OpId id = fresh_op_id();
+  op.id = id;
+  OpKind kind = op.kind;
+  RegisterKey key = op.key;
+  Op& slot = ops_.emplace(id, std::move(op)).first->second;
+  if (kind == OpKind::kListKeys) {
+    // Keyless discovery op: never serialized behind keyed traffic.
+    start_phase1(slot);
+    return id;
+  }
+  std::deque<OpId>& fifo = key_fifo_[key];
+  fifo.push_back(id);
+  if (fifo.size() == 1) start_phase1(slot);
+  return id;
+}
+
+void AbdClient::start_phase1(Op& op) {
+  if (!op.started) {
+    op.started = true;
+    ++started_count_;
+    max_started_ = std::max(max_started_, started_count_);
+  }
+  op.phase = 1;
+  ++op.seq;
+  op.phase1_replies.clear();
+  op.phase2_acks.clear();
+  op.keys_acks.clear();
+  op.keys_acc.clear();
+  if (op.kind == OpKind::kListKeys) {
+    env_.broadcast_to_servers(self_, std::make_shared<KeysReq>(op.id, op.seq));
   } else {
     env_.broadcast_to_servers(
-        self_, std::make_shared<ReadReq>(op_->phase_op_id, op_->key));
+        self_, std::make_shared<ReadReq>(op.id, op.key, op.seq));
   }
 }
 
-void AbdClient::start_phase2() {
-  op_->phase = 2;
-  op_->phase_op_id = fresh_op_id();
-  op_->phase2_acks.clear();
+void AbdClient::start_phase2(Op& op) {
+  op.phase = 2;
+  ++op.seq;
+  op.phase2_acks.clear();
   env_.broadcast_to_servers(
       self_,
-      std::make_shared<WriteReq>(op_->phase_op_id, op_->to_write, op_->key));
+      std::make_shared<WriteReq>(op.id, op.to_write, op.key, op.seq));
+}
+
+void AbdClient::complete(OpId id) {
+  auto it = ops_.find(id);
+  Op finished = std::move(it->second);
+  ops_.erase(it);
+  --started_count_;  // only started ops complete
+  if (finished.kind != OpKind::kListKeys) {
+    // Release the key FIFO and start the successor, if any, BEFORE the
+    // callback runs: the callback may issue new operations on this key.
+    auto fit = key_fifo_.find(finished.key);
+    fit->second.pop_front();
+    if (fit->second.empty()) {
+      key_fifo_.erase(fit);
+    } else {
+      start_phase1(ops_.at(fit->second.front()));
+    }
+  }
+  switch (finished.kind) {
+    case OpKind::kRead:
+      finished.rcb(finished.read_result);
+      break;
+    case OpKind::kWrite:
+      finished.wcb(finished.to_write.tag);
+      break;
+    case OpKind::kListKeys: {
+      std::vector<RegisterKey> keys(finished.keys_acc.begin(),
+                                    finished.keys_acc.end());
+      finished.kcb(keys);
+      break;
+    }
+  }
 }
 
 bool AbdClient::merge_and_maybe_restart(const ChangeSetPtr& incoming) {
   if (mode_ == Mode::kStatic || !incoming) return false;
   std::size_t added = changes_.join(*incoming);
   if (added == 0) return false;
-  // Learned of newer completed changes: restart from phase 1 under the
-  // new weights (Algorithm 5 "restart the operation").
-  ++restarts_;
-  if (++op_->op_restarts > max_restarts_) {
-    throw std::logic_error(
-        "AbdClient: restart budget exhausted — unbounded concurrent "
-        "transfers?");
+  // Learned of newer completed changes: the change set is client-level
+  // state, so EVERY started operation's quorum accounting predates the
+  // merge — restart them all from phase 1 under the new weights
+  // (Algorithm 5 "restart the operation").
+  for (auto& [id, op] : ops_) {
+    if (!op.started) continue;
+    ++restarts_;
+    if (++op.op_restarts > max_restarts_) {
+      throw std::logic_error(
+          "AbdClient: restart budget exhausted — unbounded concurrent "
+          "transfers?");
+    }
+    start_phase1(op);
   }
-  start_phase1();
   return true;
 }
 
@@ -121,24 +168,27 @@ bool AbdClient::responders_form_quorum(
 
 bool AbdClient::handle(ProcessId from, const Message& msg) {
   if (const auto* ack = msg_cast<ReadAck>(msg)) {
-    if (!op_.has_value() || op_->kind == OpKind::kListKeys ||
-        op_->phase != 1 || ack->op_id() != op_->phase_op_id) {
+    auto it = ops_.find(ack->op_id());
+    if (it == ops_.end()) return false;  // not mine (or long completed)
+    Op& op = it->second;
+    if (op.phase != 1 || op.kind == OpKind::kListKeys ||
+        ack->seq() != op.seq) {
       return true;  // stale reply (from a restarted phase): consumed
     }
     if (merge_and_maybe_restart(ack->changes())) return true;
-    op_->phase1_replies[from] = ack->reg();
+    op.phase1_replies[from] = ack->reg();
     std::set<ProcessId> responders;
-    for (const auto& [s, _] : op_->phase1_replies) responders.insert(s);
+    for (const auto& [s, _] : op.phase1_replies) responders.insert(s);
     if (!responders_form_quorum(responders)) return true;
 
     // Phase 1 complete: pick the highest tag.
     TaggedValue maxreg;
-    for (const auto& [_, reg] : op_->phase1_replies) {
+    for (const auto& [_, reg] : op.phase1_replies) {
       if (maxreg.tag < reg.tag) maxreg = reg;
     }
-    if (op_->kind == OpKind::kRead) {
-      op_->read_result = maxreg;
-      op_->to_write = maxreg;  // write-back phase
+    if (op.kind == OpKind::kRead) {
+      op.read_result = maxreg;
+      op.to_write = maxreg;  // write-back phase
     } else {
       // Choose the write's tag exactly once, even across change-set
       // restarts: re-tagging the same value would leave "ghost" tags on
@@ -146,50 +196,42 @@ bool AbdClient::handle(ProcessId from, const Message& msg) {
       // tag already dominates every write completed before this
       // operation started (it came from a quorum read), which is all
       // atomicity requires.
-      if (!op_->write_tag_chosen) {
-        op_->to_write.tag = Tag{maxreg.tag.ts + 1, self_};
-        op_->write_tag_chosen = true;
+      if (!op.write_tag_chosen) {
+        op.to_write.tag = Tag{maxreg.tag.ts + 1, self_};
+        op.write_tag_chosen = true;
       }
-      op_->to_write.value = op_->value;
+      op.to_write.value = op.value;
     }
-    start_phase2();
+    start_phase2(op);
     return true;
   }
 
   if (const auto* ack = msg_cast<WriteAck>(msg)) {
-    if (!op_.has_value() || op_->phase != 2 ||
-        ack->op_id() != op_->phase_op_id) {
+    auto it = ops_.find(ack->op_id());
+    if (it == ops_.end()) return false;  // not mine (or long completed)
+    Op& op = it->second;
+    if (op.phase != 2 || ack->seq() != op.seq) {
       return true;  // stale reply: consumed
     }
     if (merge_and_maybe_restart(ack->changes())) return true;
-    op_->phase2_acks.insert(from);
-    if (!responders_form_quorum(op_->phase2_acks)) return true;
-
-    // Operation complete.
-    Op finished = std::move(*op_);
-    op_.reset();
-    if (finished.kind == OpKind::kRead) {
-      finished.rcb(finished.read_result);
-    } else {
-      finished.wcb(finished.to_write.tag);
-    }
+    op.phase2_acks.insert(from);
+    if (!responders_form_quorum(op.phase2_acks)) return true;
+    complete(op.id);
     return true;
   }
 
   if (const auto* ack = msg_cast<KeysAck>(msg)) {
-    if (!op_.has_value() || op_->kind != OpKind::kListKeys ||
-        ack->op_id() != op_->phase_op_id) {
+    auto it = ops_.find(ack->op_id());
+    if (it == ops_.end()) return false;  // not mine (or long completed)
+    Op& op = it->second;
+    if (op.kind != OpKind::kListKeys || ack->seq() != op.seq) {
       return true;  // stale
     }
     if (merge_and_maybe_restart(ack->changes())) return true;
-    op_->keys_acks.insert(from);
-    for (const auto& key : ack->keys()) op_->keys_acc.insert(key);
-    if (!responders_form_quorum(op_->keys_acks)) return true;
-    Op finished = std::move(*op_);
-    op_.reset();
-    std::vector<RegisterKey> keys(finished.keys_acc.begin(),
-                                  finished.keys_acc.end());
-    finished.kcb(keys);
+    op.keys_acks.insert(from);
+    for (const auto& key : ack->keys()) op.keys_acc.insert(key);
+    if (!responders_form_quorum(op.keys_acks)) return true;
+    complete(op.id);
     return true;
   }
 

@@ -1,6 +1,7 @@
-// Reader/writer side of the (dynamic-weighted) ABD register — Algorithm 5.
+// Reader/writer side of the (dynamic-weighted) ABD register — Algorithm 5,
+// generalized to an operation-multiplexed pipeline.
 //
-// read() and write() both run the two-phase read_write skeleton:
+// Every operation runs the two-phase read_write skeleton:
 //   phase 1  broadcast <R>; collect <R_A, reg, C'> replies until the
 //            responders form a *weighted quorum* under the client's
 //            current change set C (threshold W_{S,0}/2);
@@ -8,12 +9,25 @@
 //            value with tag (max_ts+1, pid) for writes); collect <W_A>
 //            until a weighted quorum acked.
 //
+// Pipelining (beyond the paper's sequential client): many operations may
+// be in flight at once, each an independent state machine keyed by its
+// OpId in the request/reply messages. Nothing in the protocol requires
+// per-client serialization across *distinct* keys — quorum intersection
+// is per-operation — so independent operations multiplex freely over the
+// same replicas. Operations on the SAME key from one client execute in
+// issue order (a per-key FIFO): concurrent same-key writes from one
+// process would otherwise race the (max_ts+1, pid) tag choice and could
+// mint duplicate tags, and FIFO also gives drivers per-key program
+// order. list_keys() has no key and never queues.
+//
 // Dynamic mode: every reply carries the server's change set C'. If C'
 // contains changes the client has not seen, the client merges them and
-// RESTARTS the operation from phase 1 (Algorithm 5 lines 14-16/30-32).
-// Deviations from the paper's literal pseudocode (rationale in
-// DESIGN.md §2): newer sets are MERGED rather than adopted verbatim, and
-// a write keeps its once-chosen tag across restarts.
+// RESTARTS every started operation from phase 1 (Algorithm 5 lines
+// 14-16/30-32 — the change set is client-level state, so all in-flight
+// quorum accounting predates the merge, not just the op whose reply
+// carried the news). Deviations from the paper's literal pseudocode
+// (rationale in DESIGN.md §2): newer sets are MERGED rather than adopted
+// verbatim, and a write keeps its once-chosen tag across restarts.
 //
 // Multi-register extension (beyond the paper): registers are named; the
 // paper's register is key "". list_keys() discovers every key any
@@ -27,6 +41,7 @@
 #pragma once
 
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <map>
 #include <optional>
@@ -49,25 +64,36 @@ class AbdClient {
   AbdClient(Env& env, ProcessId self, const SystemConfig& config, Mode mode);
 
   /// Atomic read of register `key`; cb fires once with the (tag, value)
-  /// read. One operation at a time (processes are sequential) — throws
-  /// if busy.
-  void read(RegisterKey key, ReadCallback cb);
-  void read(ReadCallback cb) { read(RegisterKey{}, std::move(cb)); }
+  /// read. Pipelined: any number of operations may be in flight;
+  /// operations on the same key run in issue order.
+  OpId read(RegisterKey key, ReadCallback cb);
+  OpId read(ReadCallback cb) { return read(RegisterKey{}, std::move(cb)); }
 
   /// Atomic write; cb fires once with the tag the value was written
-  /// under.
-  void write(RegisterKey key, Value value, WriteCallback cb);
-  void write(Value value, WriteCallback cb) {
-    write(RegisterKey{}, std::move(value), std::move(cb));
+  /// under. Same pipelining rules as read().
+  OpId write(RegisterKey key, Value value, WriteCallback cb);
+  OpId write(Value value, WriteCallback cb) {
+    return write(RegisterKey{}, std::move(value), std::move(cb));
   }
 
-  /// Discovers every register key stored at some weighted quorum.
-  void list_keys(KeysCallback cb);
+  /// Discovers every register key stored at some weighted quorum. Never
+  /// queued behind keyed operations.
+  OpId list_keys(KeysCallback cb);
 
-  /// Routes R_A / W_A / KEYS_A replies; true iff consumed.
+  /// Routes R_A / W_A / KEYS_A replies; true iff consumed. Replies whose
+  /// OpId belongs to no in-flight operation are NOT consumed (they may
+  /// target a co-located client sharing this mailbox, or be late acks of
+  /// a completed operation).
   bool handle(ProcessId from, const Message& msg);
 
-  bool busy() const { return op_.has_value(); }
+  /// True while any operation is in flight.
+  bool busy() const { return !ops_.empty(); }
+  /// Operations currently in flight (started + queued on a key FIFO).
+  std::size_t in_flight() const { return ops_.size(); }
+  /// High-water mark of concurrently STARTED operations (ops whose
+  /// quorum rounds genuinely overlapped; FIFO-queued ops don't count) —
+  /// lets tests assert that pipelining actually overlapped work.
+  std::size_t max_in_flight() const { return max_started_; }
 
   /// The client's current change set (dynamic mode).
   const ChangeSet& changes() const { return changes_; }
@@ -86,11 +112,13 @@ class AbdClient {
   enum class OpKind { kRead, kWrite, kListKeys };
 
   struct Op {
+    OpId id = 0;
     OpKind kind = OpKind::kRead;
     RegisterKey key;
     Value value;  // payload for writes
+    bool started = false;  // false while waiting on the per-key FIFO
     int phase = 1;
-    std::uint64_t phase_op_id = 0;
+    std::uint32_t seq = 0;  // phase-attempt counter echoed in replies
     std::map<ProcessId, TaggedValue> phase1_replies;
     std::set<ProcessId> phase2_acks;
     TaggedValue to_write;
@@ -104,11 +132,13 @@ class AbdClient {
     std::uint32_t op_restarts = 0;
   };
 
-  void start_phase1();
-  void start_phase2();
+  OpId enqueue(Op op);
+  void start_phase1(Op& op);
+  void start_phase2(Op& op);
+  void complete(OpId id);
   bool merge_and_maybe_restart(const ChangeSetPtr& incoming);
   bool responders_form_quorum(const std::set<ProcessId>& responders) const;
-  std::uint64_t fresh_op_id();
+  static OpId fresh_op_id();
 
   Env& env_;
   ProcessId self_;
@@ -117,7 +147,12 @@ class AbdClient {
   Weight initial_total_;
 
   ChangeSet changes_;
-  std::optional<Op> op_;
+  /// Concurrent operation state machines, keyed by OpId.
+  std::map<OpId, Op> ops_;
+  /// Issue-order FIFO per key; the front op is the started one.
+  std::map<RegisterKey, std::deque<OpId>> key_fifo_;
+  std::size_t started_count_ = 0;
+  std::size_t max_started_ = 0;
   std::uint64_t restarts_ = 0;
   std::uint32_t max_restarts_ = 10'000;
 };

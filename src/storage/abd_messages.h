@@ -1,6 +1,14 @@
 // Wire messages of the (dynamic-weighted) ABD register protocol
 // (Algorithms 5 and 6). The same messages serve the static baseline —
 // then `changes` is null and no set is piggybacked.
+//
+// Operation multiplexing: every request carries the issuing client's
+// OpId (identifies the storage operation; unique across every client in
+// the process so co-located clients never confuse replies) plus a `seq`
+// (the operation's phase-attempt counter, bumped on every phase start
+// and change-set restart). Servers echo both verbatim; the client
+// routes a reply to the operation by OpId and discards it as stale when
+// the seq does not match the operation's current attempt.
 #pragma once
 
 #include <memory>
@@ -19,114 +27,138 @@ inline std::size_t changes_wire_size(const ChangeSetPtr& c) {
   return c ? c->wire_size() : 0;
 }
 
-/// Registers are named; the paper's single atomic register is key "".
-using RegisterKey = std::string;
+/// Identifies one client storage operation across all its phases and
+/// restarts. Process-wide unique (see AbdClient::fresh_op_id).
+using OpId = std::uint64_t;
 
-/// <R, opCnt> — phase-1 request.
+/// <R, opId, seq> — phase-1 request.
 class ReadReq : public MessageBase<ReadReq> {
  public:
-  explicit ReadReq(std::uint64_t op_id, RegisterKey key = "")
-      : op_id_(op_id), key_(std::move(key)) {}
-  std::uint64_t op_id() const { return op_id_; }
+  explicit ReadReq(OpId op_id, RegisterKey key = "", std::uint32_t seq = 0)
+      : op_id_(op_id), seq_(seq), key_(std::move(key)) {}
+  OpId op_id() const { return op_id_; }
+  std::uint32_t seq() const { return seq_; }
   const RegisterKey& key() const { return key_; }
   std::string type_name() const override { return "R"; }
   std::size_t wire_size() const override {
-    return kHeaderBytes + 8 + key_.size();
+    return kHeaderBytes + 12 + key_.size();
   }
 
  private:
-  std::uint64_t op_id_;
+  OpId op_id_;
+  std::uint32_t seq_;
   RegisterKey key_;
 };
 
-/// <KEYS, opCnt> — asks a server for the set of register keys it stores
-/// (used by the multi-register refresh on weight gain).
+/// <KEYS, opId, seq> — asks a server for the set of register keys it
+/// stores (used by the multi-register refresh on weight gain).
 class KeysReq : public MessageBase<KeysReq> {
  public:
-  explicit KeysReq(std::uint64_t op_id) : op_id_(op_id) {}
-  std::uint64_t op_id() const { return op_id_; }
+  explicit KeysReq(OpId op_id, std::uint32_t seq = 0)
+      : op_id_(op_id), seq_(seq) {}
+  OpId op_id() const { return op_id_; }
+  std::uint32_t seq() const { return seq_; }
   std::string type_name() const override { return "KEYS"; }
-  std::size_t wire_size() const override { return kHeaderBytes + 8; }
+  std::size_t wire_size() const override { return kHeaderBytes + 12; }
 
  private:
-  std::uint64_t op_id_;
+  OpId op_id_;
+  std::uint32_t seq_;
 };
 
-/// <KEYS_A, opCnt, keys, C>.
+/// <KEYS_A, opId, seq, keys, C>.
 class KeysAck : public MessageBase<KeysAck> {
  public:
-  KeysAck(std::uint64_t op_id, std::vector<RegisterKey> keys,
-          ChangeSetPtr changes)
-      : op_id_(op_id), keys_(std::move(keys)), changes_(std::move(changes)) {}
-  std::uint64_t op_id() const { return op_id_; }
+  KeysAck(OpId op_id, std::vector<RegisterKey> keys, ChangeSetPtr changes,
+          std::uint32_t seq = 0)
+      : op_id_(op_id),
+        seq_(seq),
+        keys_(std::move(keys)),
+        changes_(std::move(changes)) {}
+  OpId op_id() const { return op_id_; }
+  std::uint32_t seq() const { return seq_; }
   const std::vector<RegisterKey>& keys() const { return keys_; }
   const ChangeSetPtr& changes() const { return changes_; }
   std::string type_name() const override { return "KEYS_A"; }
   std::size_t wire_size() const override {
     std::size_t k = 0;
     for (const auto& key : keys_) k += key.size() + 4;
-    return kHeaderBytes + 8 + k + changes_wire_size(changes_);
+    return kHeaderBytes + 12 + k + changes_wire_size(changes_);
   }
 
  private:
-  std::uint64_t op_id_;
+  OpId op_id_;
+  std::uint32_t seq_;
   std::vector<RegisterKey> keys_;
   ChangeSetPtr changes_;
 };
 
-/// <R_A, reg, opCnt, C> — phase-1 reply: register contents + change set.
+/// <R_A, reg, opId, seq, C> — phase-1 reply: register contents + change
+/// set.
 class ReadAck : public MessageBase<ReadAck> {
  public:
-  ReadAck(std::uint64_t op_id, TaggedValue reg, ChangeSetPtr changes)
-      : op_id_(op_id), reg_(std::move(reg)), changes_(std::move(changes)) {}
-  std::uint64_t op_id() const { return op_id_; }
+  ReadAck(OpId op_id, TaggedValue reg, ChangeSetPtr changes,
+          std::uint32_t seq = 0)
+      : op_id_(op_id),
+        seq_(seq),
+        reg_(std::move(reg)),
+        changes_(std::move(changes)) {}
+  OpId op_id() const { return op_id_; }
+  std::uint32_t seq() const { return seq_; }
   const TaggedValue& reg() const { return reg_; }
   const ChangeSetPtr& changes() const { return changes_; }
   std::string type_name() const override { return "R_A"; }
   std::size_t wire_size() const override {
-    return kHeaderBytes + 8 + 12 + reg_.value.size() +
+    return kHeaderBytes + 12 + 12 + reg_.value.size() +
            changes_wire_size(changes_);
   }
 
  private:
-  std::uint64_t op_id_;
+  OpId op_id_;
+  std::uint32_t seq_;
   TaggedValue reg_;
   ChangeSetPtr changes_;
 };
 
-/// <W, <tag, val>, opCnt> — phase-2 request (write or read write-back).
+/// <W, <tag, val>, opId, seq> — phase-2 request (write or read
+/// write-back).
 class WriteReq : public MessageBase<WriteReq> {
  public:
-  WriteReq(std::uint64_t op_id, TaggedValue reg, RegisterKey key = "")
-      : op_id_(op_id), reg_(std::move(reg)), key_(std::move(key)) {}
-  std::uint64_t op_id() const { return op_id_; }
+  WriteReq(OpId op_id, TaggedValue reg, RegisterKey key = "",
+           std::uint32_t seq = 0)
+      : op_id_(op_id), seq_(seq), reg_(std::move(reg)), key_(std::move(key)) {}
+  OpId op_id() const { return op_id_; }
+  std::uint32_t seq() const { return seq_; }
   const TaggedValue& reg() const { return reg_; }
   const RegisterKey& key() const { return key_; }
   std::string type_name() const override { return "W"; }
   std::size_t wire_size() const override {
-    return kHeaderBytes + 8 + 12 + reg_.value.size() + key_.size();
+    return kHeaderBytes + 12 + 12 + reg_.value.size() + key_.size();
   }
 
  private:
-  std::uint64_t op_id_;
+  OpId op_id_;
+  std::uint32_t seq_;
   TaggedValue reg_;
   RegisterKey key_;
 };
 
-/// <W_A, opCnt, C>.
+/// <W_A, opId, seq, C>.
 class WriteAck : public MessageBase<WriteAck> {
  public:
-  WriteAck(std::uint64_t op_id, ChangeSetPtr changes)
-      : op_id_(op_id), changes_(std::move(changes)) {}
-  std::uint64_t op_id() const { return op_id_; }
+  WriteAck(OpId op_id, ChangeSetPtr changes, std::uint32_t seq = 0)
+      : op_id_(op_id), seq_(seq), changes_(std::move(changes)) {}
+  OpId op_id() const { return op_id_; }
+  std::uint32_t seq() const { return seq_; }
   const ChangeSetPtr& changes() const { return changes_; }
   std::string type_name() const override { return "W_A"; }
   std::size_t wire_size() const override {
-    return kHeaderBytes + 8 + changes_wire_size(changes_);
+    return kHeaderBytes + 12 + changes_wire_size(changes_);
   }
 
  private:
-  std::uint64_t op_id_;
+  OpId op_id_;
+  std::uint32_t seq_;
   ChangeSetPtr changes_;
 };
 

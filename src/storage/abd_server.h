@@ -28,19 +28,20 @@ class AbdServer {
         self_(self),
         changes_provider_(std::move(changes_provider)) {}
 
-  /// Routes R / W / KEYS messages; true iff consumed.
+  /// Routes R / W / KEYS messages; true iff consumed. Replies echo the
+  /// request's (op_id, seq) so the client can route and de-stale them.
   bool handle(ProcessId from, const Message& msg) {
     if (const auto* r = msg_cast<ReadReq>(msg)) {
       env_.send(self_, from,
                 std::make_shared<ReadAck>(r->op_id(), reg(r->key()),
-                                          snapshot()));
+                                          snapshot(), r->seq()));
       return true;
     }
     if (const auto* w = msg_cast<WriteReq>(msg)) {
       TaggedValue& slot = regs_[w->key()];
       if (slot.tag < w->reg().tag) slot = w->reg();
       env_.send(self_, from,
-                std::make_shared<WriteAck>(w->op_id(), snapshot()));
+                std::make_shared<WriteAck>(w->op_id(), snapshot(), w->seq()));
       return true;
     }
     if (const auto* k = msg_cast<KeysReq>(msg)) {
@@ -49,7 +50,7 @@ class AbdServer {
       for (const auto& [key, _] : regs_) keys.push_back(key);
       env_.send(self_, from,
                 std::make_shared<KeysAck>(k->op_id(), std::move(keys),
-                                          snapshot()));
+                                          snapshot(), k->seq()));
       return true;
     }
     return false;

@@ -38,27 +38,35 @@ void DynamicStorageNode::drain_pending_refreshes() {
   // through a weighted quorum (list_keys), which intersects every quorum
   // a past write used.
   refresh_client_.list_keys([this, done](std::vector<RegisterKey> keys) {
-    refresh_keys(std::move(keys), 0, std::move(done));
+    refresh_keys(std::move(keys), std::move(done));
   });
 }
 
 void DynamicStorageNode::refresh_keys(std::vector<RegisterKey> keys,
-                                      std::size_t index,
                                       std::function<void()> done) {
-  if (index >= keys.size()) {
+  if (keys.empty()) {
     done();
     drain_pending_refreshes();
     return;
   }
-  RegisterKey key = keys[index];
-  refresh_client_.read(key, [this, keys = std::move(keys), index,
-                             done = std::move(done),
-                             key](const TaggedValue& tv) mutable {
-    // Install the fresh value locally (the ABD read's write-back already
-    // pushed it to a quorum; this keeps our own replica current too).
-    if (server_.reg(key).tag < tv.tag) server_.set_reg(tv, key);
-    refresh_keys(std::move(keys), index + 1, std::move(done));
-  });
+  // The client multiplexes operations, so refresh every register in one
+  // pipelined burst (distinct keys never serialize) instead of one atomic
+  // read per round trip.
+  auto remaining = std::make_shared<std::size_t>(keys.size());
+  auto when_done = std::make_shared<std::function<void()>>(std::move(done));
+  for (const RegisterKey& key : keys) {
+    refresh_client_.read(key, [this, key, remaining,
+                               when_done](const TaggedValue& tv) {
+      // Install the fresh value locally (the ABD read's write-back
+      // already pushed it to a quorum; this keeps our own replica
+      // current too).
+      if (server_.reg(key).tag < tv.tag) server_.set_reg(tv, key);
+      if (--*remaining == 0) {
+        (*when_done)();
+        drain_pending_refreshes();
+      }
+    });
+  }
 }
 
 ChangeSetPtr DynamicStorageNode::changes_snapshot() {

@@ -44,7 +44,7 @@ class DynamicStorageNode : public Process {
  private:
   ChangeSetPtr changes_snapshot();
   void drain_pending_refreshes();
-  void refresh_keys(std::vector<RegisterKey> keys, std::size_t index,
+  void refresh_keys(std::vector<RegisterKey> keys,
                     std::function<void()> done);
 
   Env& env_;

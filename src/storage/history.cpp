@@ -8,11 +8,12 @@
 namespace wrs {
 
 std::size_t HistoryRecorder::begin(OpRecord::Kind kind, ProcessId process,
-                                   TimeNs start) {
+                                   TimeNs start, RegisterKey key) {
   std::lock_guard lock(mu_);
   Slot slot;
   slot.rec.kind = kind;
   slot.rec.process = process;
+  slot.rec.key = std::move(key);
   slot.rec.start = start;
   slots_.push_back(std::move(slot));
   return slots_.size() - 1;
@@ -56,18 +57,20 @@ namespace {
 std::string describe(const OpRecord& op) {
   std::ostringstream os;
   os << (op.kind == OpRecord::Kind::kRead ? "read" : "write") << " by "
-     << process_name(op.process) << " [" << op.start << "," << op.end
-     << "] tag=" << op.tag.str() << " value=\"" << op.value << "\"";
+     << process_name(op.process);
+  if (!op.key.empty()) os << " key=\"" << op.key << "\"";
+  os << " [" << op.start << "," << op.end << "] tag=" << op.tag.str()
+     << " value=\"" << op.value << "\"";
   return os.str();
 }
 
-}  // namespace
-
-std::optional<std::string> check_atomicity(const std::vector<OpRecord>& ops) {
+/// Checks one register's (single-key) sub-history.
+std::optional<std::string> check_single_key(
+    const std::vector<const OpRecord*>& ops) {
   std::vector<const OpRecord*> reads;
   std::vector<const OpRecord*> writes;
-  for (const auto& op : ops) {
-    (op.kind == OpRecord::Kind::kRead ? reads : writes).push_back(&op);
+  for (const OpRecord* op : ops) {
+    (op->kind == OpRecord::Kind::kRead ? reads : writes).push_back(op);
   }
 
   // (A4) unique write tags, strictly increasing per writer.
@@ -132,6 +135,28 @@ std::optional<std::string> check_atomicity(const std::vector<OpRecord>& ops) {
     }
   }
 
+  return std::nullopt;
+}
+
+}  // namespace
+
+std::optional<std::string> check_atomicity(const std::vector<OpRecord>& ops) {
+  // Each named register is an independent atomic object: partition by key
+  // and check every per-key projection on its own.
+  std::map<RegisterKey, std::vector<const OpRecord*>> by_key;
+  for (const auto& op : ops) by_key[op.key].push_back(&op);
+  for (const auto& [key, key_ops] : by_key) {
+    if (auto err = check_single_key(key_ops)) {
+      if (key.empty()) return err;
+      // Built by append: chained operator+ trips gcc-12's -Wrestrict
+      // false positive (PR105329) at -O2.
+      std::string prefixed = "[key \"";
+      prefixed += key;
+      prefixed += "\"] ";
+      prefixed += *err;
+      return prefixed;
+    }
+  }
   return std::nullopt;
 }
 

@@ -29,6 +29,7 @@ struct OpRecord {
   enum class Kind { kRead, kWrite };
   Kind kind = Kind::kRead;
   ProcessId process = kNoProcess;
+  RegisterKey key;  // register the op targeted ("" = the paper's)
   TimeNs start = 0;
   TimeNs end = 0;
   Tag tag;      // tag read / tag written
@@ -40,7 +41,8 @@ struct OpRecord {
 class HistoryRecorder {
  public:
   /// Begins an operation; returns a token to close it with.
-  std::size_t begin(OpRecord::Kind kind, ProcessId process, TimeNs start);
+  std::size_t begin(OpRecord::Kind kind, ProcessId process, TimeNs start,
+                    RegisterKey key = {});
   void end_read(std::size_t token, TimeNs end, const TaggedValue& result);
   void end_write(std::size_t token, TimeNs end, const Tag& tag,
                  const Value& value);
@@ -61,7 +63,10 @@ class HistoryRecorder {
 };
 
 /// Returns nullopt when the history is atomic; otherwise a description of
-/// the first violation found.
+/// the first violation found. Each named register is an independent
+/// atomic object, so the history is partitioned by key and every per-key
+/// sub-history checked on its own (a multi-key pipelined history is
+/// atomic iff each per-key projection is).
 std::optional<std::string> check_atomicity(const std::vector<OpRecord>& ops);
 
 }  // namespace wrs

@@ -17,7 +17,14 @@ struct Tag {
   friend auto operator<=>(const Tag&, const Tag&) = default;
 
   std::string str() const {
-    return "(" + std::to_string(ts) + "," + process_name(pid) + ")";
+    // Append style: chained operator+ trips gcc's -Wrestrict false
+    // positive (PR105329) when inlined at -O3.
+    std::string out = "(";
+    out += std::to_string(ts);
+    out += ',';
+    out += process_name(pid);
+    out += ')';
+    return out;
   }
 };
 
@@ -26,6 +33,9 @@ inline constexpr Tag kInitialTag{0, kNoProcess};
 
 /// Register values are opaque byte strings.
 using Value = std::string;
+
+/// Registers are named; the paper's single atomic register is key "".
+using RegisterKey = std::string;
 
 struct TaggedValue {
   Tag tag = kInitialTag;

@@ -1,4 +1,7 @@
-// Closed-loop read/write workload clients for the storage benches.
+// Read/write workload clients for the storage benches: a classic closed
+// loop (one op at a time, think time between ops) and an open loop
+// (arrivals at a fixed target rate, pipelined over the multiplexed
+// AbdClient up to a bounded in-flight window).
 #pragma once
 
 #include <functional>
@@ -16,18 +19,33 @@ namespace wrs {
 struct WorkloadParams {
   std::size_t num_ops = 100;      // operations per client
   double read_ratio = 0.5;        // fraction of reads
-  TimeNs think_time = ms(5);      // delay between operations
+  TimeNs think_time = ms(5);      // closed loop: delay between operations
   std::size_t value_size = 64;    // bytes per written value
   std::uint64_t seed = 42;
+  /// Keys the workload spreads over, picked uniformly per op: 1 targets
+  /// the paper's single register (key ""); k > 1 uses "k0".."k<k-1>".
+  /// Pipelining only overlaps ops on DISTINCT keys (the client serializes
+  /// same-key ops), so open-loop runs want num_keys > 1.
+  std::size_t num_keys = 1;
+  /// > 0 switches the client to OPEN-LOOP mode: one operation arrives
+  /// every 1/target_ops_per_sec (fixed clock, independent of completions)
+  /// and rides the pipelined client. 0 keeps the closed loop.
+  double target_ops_per_sec = 0;
+  /// Open loop only: arrivals finding this many ops already in flight are
+  /// shed (counted, not executed) so a stalled quorum cannot queue
+  /// unbounded work.
+  std::size_t max_in_flight = 64;
 };
 
-/// A client process running a closed loop of reads/writes against the
-/// register, recording per-op latency and the global operation history.
-class ClosedLoopClient : public Process {
+/// A client process generating read/write load against the register(s),
+/// recording per-op latency, throughput, and the operation history.
+/// Closed loop: issue → await → think → issue. Open loop: issue on a
+/// fixed arrival clock, many ops in flight (WorkloadParams above).
+class WorkloadClient : public Process {
  public:
-  ClosedLoopClient(Env& env, ProcessId self, const SystemConfig& config,
-                   AbdClient::Mode mode, WorkloadParams params,
-                   std::shared_ptr<HistoryRecorder> history = nullptr)
+  WorkloadClient(Env& env, ProcessId self, const SystemConfig& config,
+                 AbdClient::Mode mode, WorkloadParams params,
+                 std::shared_ptr<HistoryRecorder> history = nullptr)
       : env_(env),
         self_(self),
         client_(env, self, config, mode),
@@ -35,59 +53,152 @@ class ClosedLoopClient : public Process {
         rng_(params.seed ^ (std::uint64_t{self} << 20)),
         history_(std::move(history)) {}
 
-  void on_start() override { next_op(); }
+  void on_start() override {
+    started_at_ = env_.now();
+    if (!open_loop()) {
+      next_op();
+    } else if (params_.num_ops == 0) {
+      finish();  // degenerate run: no arrivals will ever fire
+    } else {
+      schedule_arrival();
+    }
+  }
 
   void on_message(ProcessId from, const Message& msg) override {
     client_.handle(from, msg);
   }
 
-  bool done() const { return completed_ >= params_.num_ops; }
+  bool open_loop() const { return params_.target_ops_per_sec > 0; }
+  bool done() const { return finished_; }
   std::size_t completed() const { return completed_; }
+  /// Open loop: arrivals shed because the in-flight window was full.
+  std::size_t shed() const { return shed_; }
 
   const Histogram& read_latency() const { return read_latency_; }
   const Histogram& write_latency() const { return write_latency_; }
+  /// All operations combined (the open-loop p50/p95/p99 source).
+  const Histogram& op_latency() const { return op_latency_; }
+
+  /// Completed ops per second over the run (meaningful once done()).
+  double achieved_ops_per_sec() const {
+    TimeNs end = finished_ ? finished_at_ : env_.now();
+    if (end <= started_at_) return 0;
+    return static_cast<double>(completed_) * 1e9 /
+           static_cast<double>(end - started_at_);
+  }
+
+  /// High-water mark of concurrently STARTED operations (same-key queued
+  /// ops excluded) — proves the open loop actually pipelined.
+  std::size_t max_in_flight_seen() const { return client_.max_in_flight(); }
+
   AbdClient& abd() { return client_; }
 
   /// Fires once when the client's whole run is finished.
   void set_on_done(std::function<void()> cb) { on_done_ = std::move(cb); }
 
  private:
+  // --- closed loop ---------------------------------------------------------
   void next_op() {
-    if (done()) {
-      if (on_done_) on_done_();
+    if (issued_ >= params_.num_ops) {
+      finish();
       return;
     }
+    ++issued_;
+    issue_one();
+  }
+
+  void after_closed_op() {
+    env_.schedule(self_, params_.think_time, [this] { next_op(); });
+  }
+
+  // --- open loop -----------------------------------------------------------
+  void schedule_arrival() {
+    auto period =
+        static_cast<TimeNs>(1e9 / params_.target_ops_per_sec);
+    env_.schedule(self_, period, [this] { on_arrival(); });
+  }
+
+  void on_arrival() {
+    // Invariant: an arrival is only ever scheduled while
+    // issued_ + shed_ < num_ops (on_start handles num_ops == 0).
+    if (in_flight_ >= params_.max_in_flight) {
+      ++shed_;
+    } else {
+      ++issued_;
+      issue_one();
+    }
+    if (issued_ + shed_ < params_.num_ops) {
+      schedule_arrival();
+    } else {
+      maybe_finish();
+    }
+  }
+
+  // --- shared --------------------------------------------------------------
+  void issue_one() {
     bool is_read = rng_.uniform() < params_.read_ratio;
+    RegisterKey key = pick_key();
     TimeNs start = env_.now();
+    ++in_flight_;
     if (is_read) {
       std::size_t token =
-          history_ ? history_->begin(OpRecord::Kind::kRead, self_, start) : 0;
-      client_.read([this, start, token](const TaggedValue& tv) {
+          history_
+              ? history_->begin(OpRecord::Kind::kRead, self_, start, key)
+              : 0;
+      client_.read(key, [this, start, token](const TaggedValue& tv) {
         read_latency_.add_time(env_.now() - start);
+        op_latency_.add_time(env_.now() - start);
         if (history_) history_->end_read(token, env_.now(), tv);
-        finish_op();
+        op_completed();
       });
     } else {
       Value v = make_value();
       std::size_t token =
-          history_ ? history_->begin(OpRecord::Kind::kWrite, self_, start)
-                   : 0;
-      client_.write(v, [this, start, token, v](const Tag& tag) {
+          history_
+              ? history_->begin(OpRecord::Kind::kWrite, self_, start, key)
+              : 0;
+      client_.write(key, v, [this, start, token, v](const Tag& tag) {
         write_latency_.add_time(env_.now() - start);
+        op_latency_.add_time(env_.now() - start);
         if (history_) history_->end_write(token, env_.now(), tag, v);
-        finish_op();
+        op_completed();
       });
     }
   }
 
-  void finish_op() {
+  void op_completed() {
     ++completed_;
-    env_.schedule(self_, params_.think_time, [this] { next_op(); });
+    --in_flight_;
+    if (open_loop()) {
+      maybe_finish();
+    } else {
+      after_closed_op();
+    }
+  }
+
+  void maybe_finish() {
+    if (issued_ + shed_ >= params_.num_ops && in_flight_ == 0) finish();
+  }
+
+  void finish() {
+    if (finished_) return;
+    finished_ = true;
+    finished_at_ = env_.now();
+    if (on_done_) on_done_();
+  }
+
+  RegisterKey pick_key() {
+    if (params_.num_keys <= 1) return RegisterKey{};
+    RegisterKey key = "k";
+    key += std::to_string(rng_.below(params_.num_keys));
+    return key;
   }
 
   Value make_value() {
     // Unique value per (client, op): required by the atomicity checker.
-    std::string v = process_name(self_) + "#" + std::to_string(completed_);
+    std::string v = process_name(self_);
+    v += '#';
+    v += std::to_string(issued_);
     if (v.size() < params_.value_size) {
       v.resize(params_.value_size, 'x');
     }
@@ -100,10 +211,20 @@ class ClosedLoopClient : public Process {
   WorkloadParams params_;
   Rng rng_;
   std::shared_ptr<HistoryRecorder> history_;
+  std::size_t issued_ = 0;
   std::size_t completed_ = 0;
+  std::size_t shed_ = 0;
+  std::size_t in_flight_ = 0;
+  bool finished_ = false;
+  TimeNs started_at_ = 0;
+  TimeNs finished_at_ = 0;
   Histogram read_latency_;
   Histogram write_latency_;
+  Histogram op_latency_;
   std::function<void()> on_done_;
 };
+
+/// Historical name, kept for drivers written against the closed loop.
+using ClosedLoopClient = WorkloadClient;
 
 }  // namespace wrs

@@ -65,9 +65,10 @@ TEST(AbdServer, RepliesCarryProvidedChangeSet) {
   EXPECT_EQ(cap.last->size(), 3u);
 }
 
-TEST(AbdClient, StaleAcksFromRestartedPhasesIgnored) {
-  // Drive a client manually: deliver a ReadAck with a wrong op id and
-  // verify nothing happens.
+TEST(AbdClient, ForeignAndStaleAcksIgnored) {
+  // Drive a client manually: replies that belong to no in-flight op are
+  // left unconsumed (they may target a co-located client), and replies
+  // from a superseded phase attempt are swallowed without effect.
   SimEnv env(std::make_shared<ConstantLatency>(ms(1)), 1);
   SystemConfig cfg = SystemConfig::uniform(3, 1);
   struct Holder : Process {
@@ -82,10 +83,14 @@ TEST(AbdClient, StaleAcksFromRestartedPhasesIgnored) {
   env.start();
 
   bool fired = false;
-  client.read([&](const TaggedValue&) { fired = true; });
-  // An ack with an op id that can't match the in-flight phase.
-  ReadAck bogus(/*op_id=*/0xdeadbeef, TaggedValue{}, nullptr);
-  EXPECT_TRUE(client.handle(0, bogus));
+  OpId op = client.read([&](const TaggedValue&) { fired = true; });
+  // An op id no operation of this client owns: NOT consumed.
+  ReadAck foreign(/*op_id=*/0xdeadbeef, TaggedValue{}, nullptr);
+  EXPECT_FALSE(client.handle(0, foreign));
+  // The right op id but a phase attempt that was never issued: consumed
+  // silently, no quorum accounting.
+  ReadAck stale(op, TaggedValue{}, nullptr, /*seq=*/99);
+  EXPECT_TRUE(client.handle(0, stale));
   EXPECT_FALSE(fired);
   EXPECT_TRUE(client.busy());
 }

@@ -213,6 +213,24 @@ TEST(Cluster, BuilderValidatesTopology) {
   EXPECT_THROW(c.server(99), std::out_of_range);
   EXPECT_THROW(c.workload(0), std::logic_error);
   EXPECT_THROW(c.adaptive_node(0), std::logic_error);
+
+  // Bad indices name the offender and the valid range.
+  try {
+    c.server(99);
+    FAIL() << "expected std::out_of_range";
+  } catch (const std::out_of_range& e) {
+    EXPECT_NE(std::string(e.what()).find("99"), std::string::npos) << e.what();
+    EXPECT_NE(std::string(e.what()).find("[0, 4)"), std::string::npos)
+        << e.what();
+  }
+  try {
+    c.reassign_client(7);
+    FAIL() << "expected std::out_of_range";
+  } catch (const std::out_of_range& e) {
+    EXPECT_NE(std::string(e.what()).find("7"), std::string::npos) << e.what();
+    EXPECT_NE(std::string(e.what()).find("[0, 1)"), std::string::npos)
+        << e.what();
+  }
 }
 
 TEST(Cluster, SameSeedSameSimSchedule) {
