@@ -34,13 +34,29 @@ inline void banner(const std::string& id, const std::string& title) {
 
 inline void note(const std::string& text) { std::cout << text << "\n"; }
 
+#ifndef WRS_GIT_SHA
+#define WRS_GIT_SHA "unknown"
+#endif
+
 /// Machine-readable experiment output: rows of (name, value) fields per
 /// experiment, written as JSON so the perf trajectory can be tracked
-/// across PRs ({"experiment": ..., "rows": [{...}, ...]}).
+/// across PRs:
+///
+///   {"experiment": ..., "git_sha": "...", "seed": ..., "rows": [{...}]}
+///
+/// `git_sha` is baked in at configure time and `seed` is set by the
+/// harness (null when a run is unseeded), so every recorded BENCH_*.json
+/// line is reproducible: check out the SHA, rerun with the seed.
 class JsonReport {
  public:
   explicit JsonReport(std::string experiment)
       : experiment_(std::move(experiment)) {}
+
+  /// Records the master seed the experiment ran under.
+  JsonReport& seed(std::uint64_t s) {
+    seed_ = std::to_string(s);
+    return *this;
+  }
 
   /// Opens a fresh row; subsequent field() calls fill it.
   JsonReport& row() {
@@ -85,7 +101,9 @@ class JsonReport {
 
   std::string str() const {
     std::ostringstream os;
-    os << "{\"experiment\":\"" << escape(experiment_) << "\",\"rows\":[";
+    os << "{\"experiment\":\"" << escape(experiment_) << "\",\"git_sha\":\""
+       << escape(WRS_GIT_SHA) << "\",\"seed\":"
+       << (seed_.empty() ? "null" : seed_) << ",\"rows\":[";
     for (std::size_t r = 0; r < rows_.size(); ++r) {
       os << (r ? ",{" : "{");
       for (std::size_t f = 0; f < rows_[r].size(); ++f) {
@@ -117,6 +135,7 @@ class JsonReport {
   }
 
   std::string experiment_;
+  std::string seed_;  // empty = unseeded (emitted as null)
   std::vector<std::vector<std::pair<std::string, std::string>>> rows_;
 };
 

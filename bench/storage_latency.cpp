@@ -212,6 +212,9 @@ int main(int argc, char** argv) {
   std::string path = wrs::bench::json_path(argc, argv);
   wrs::bench::JsonReport closed("storage_latency.closed_loop");
   wrs::bench::JsonReport open("storage_latency.open_loop");
+  closed.seed(777);  // the seed every EXP-L1 deployment runs under
+  open.seed(888);    // ... and EXP-L2's
+
   wrs::run_closed_loop(path.empty() ? nullptr : &closed);
   wrs::run_open_loop_sweep(path.empty() ? nullptr : &open);
   if (!path.empty()) {

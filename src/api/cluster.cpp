@@ -1,6 +1,7 @@
 #include "api/cluster.h"
 
 #include <chrono>
+#include <set>
 #include <thread>
 
 namespace wrs {
@@ -82,7 +83,11 @@ Cluster ClusterBuilder::build() { return Cluster(*this); }
 // --- Cluster ----------------------------------------------------------------
 
 Cluster::Cluster(const ClusterBuilder& spec)
-    : runtime_(spec.runtime_), kind_(spec.kind_) {
+    : runtime_(spec.runtime_),
+      kind_(spec.kind_),
+      mode_(spec.mode_),
+      history_(spec.history_),
+      retry_(spec.retry_) {
   if (spec.n_ == 0) {
     throw std::invalid_argument("Cluster: servers(n) is required");
   }
@@ -150,33 +155,32 @@ Cluster::Cluster(const ClusterBuilder& spec)
         break;
       }
     }
+    // Fault-tolerance hardening (defaults off: fault-free deployments run
+    // byte-identically to pre-chaos builds).
+    if (retry_ > 0 && slot.storage != nullptr) {
+      slot.storage->client().set_retry_interval(retry_);
+    }
+    if (spec.anti_entropy_ > 0 && slot.reassign != nullptr) {
+      slot.reassign->enable_sync(spec.anti_entropy_);
+    }
     e.register_process(s, slot.process.get());
     servers_.push_back(std::move(slot));
   }
 
   for (std::uint32_t k = 0; k < spec.clients_; ++k) {
-    ClientSlot slot;
-    ProcessId pid = client_id(k);
     if (kind_ == ClusterBuilder::Kind::kReassign) {
+      std::lock_guard lock(clients_mu_);
+      ClientSlot slot;
+      ProcessId pid = client_id(k);
       auto c = std::make_unique<ReassignClient>(e, pid, config_);
       slot.reassign = c.get();
       slot.process = std::move(c);
-    } else if (spec.workload_.has_value()) {
-      auto c = std::make_unique<WorkloadClient>(
-          e, pid, config_, spec.mode_, *spec.workload_, spec.history_);
-      slot.workload = c.get();
-      slot.abd = &c->abd();
-      slot.done = make_await<bool>();
-      Await<bool> done = slot.done;
-      c->set_on_done([done] { done.fulfill(true); });
-      slot.process = std::move(c);
+      e.register_process(pid, slot.process.get());
+      clients_.push_back(std::move(slot));
     } else {
-      auto c = std::make_unique<StorageClient>(e, pid, config_, spec.mode_);
-      slot.abd = &c->abd();
-      slot.process = std::move(c);
+      make_client_slot(spec.workload_.has_value() ? &*spec.workload_
+                                                  : nullptr);
     }
-    e.register_process(pid, slot.process.get());
-    clients_.push_back(std::move(slot));
   }
 
   for (const auto& [pid, factory] : spec.extras_) {
@@ -218,12 +222,56 @@ Cluster::ServerSlot& Cluster::server_slot(ProcessId s) {
 }
 
 Cluster::ClientSlot& Cluster::client_slot(std::size_t k) {
+  std::lock_guard lock(clients_mu_);
   if (k >= clients_.size()) {
     throw std::out_of_range(
         "Cluster: client index " + std::to_string(k) + " out of range [0, " +
         std::to_string(clients_.size()) + ")");
   }
+  // The reference stays valid after unlock: clients_ is a deque (growth
+  // never moves existing slots) and slots are never destroyed mid-run.
   return clients_[k];
+}
+
+std::size_t Cluster::make_client_slot(const WorkloadParams* wp) {
+  Env& e = env();
+  std::lock_guard lock(clients_mu_);
+  ClientSlot slot;
+  ProcessId pid = client_id(static_cast<std::uint32_t>(clients_.size()));
+  if (wp != nullptr) {
+    auto c =
+        std::make_unique<WorkloadClient>(e, pid, config_, mode_, *wp, history_);
+    slot.workload = c.get();
+    slot.abd = &c->abd();
+    slot.done = make_await<bool>();
+    Await<bool> done = slot.done;
+    c->set_on_done([done] { done.fulfill(true); });
+    slot.process = std::move(c);
+  } else {
+    auto c = std::make_unique<StorageClient>(e, pid, config_, mode_);
+    slot.abd = &c->abd();
+    slot.process = std::move(c);
+  }
+  if (retry_ > 0) slot.abd->set_retry_interval(retry_);
+  e.register_process(pid, slot.process.get());
+  clients_.push_back(std::move(slot));
+  return clients_.size() - 1;
+}
+
+std::size_t Cluster::add_client() {
+  if (kind_ == ClusterBuilder::Kind::kReassign ||
+      kind_ == ClusterBuilder::Kind::kCustom) {
+    throw std::logic_error("Cluster: add_client needs a storage deployment");
+  }
+  return make_client_slot(nullptr);
+}
+
+std::size_t Cluster::add_client(const WorkloadParams& params) {
+  if (kind_ == ClusterBuilder::Kind::kReassign ||
+      kind_ == ClusterBuilder::Kind::kCustom) {
+    throw std::logic_error("Cluster: add_client needs a storage deployment");
+  }
+  return make_client_slot(&params);
 }
 
 ClientHandle Cluster::client(std::size_t k) {
@@ -310,6 +358,89 @@ void Cluster::post(ProcessId pid, std::function<void()> fn) {
 void Cluster::crash(ProcessId pid) { env().crash(pid); }
 
 bool Cluster::is_crashed(ProcessId pid) const { return env().is_crashed(pid); }
+
+void Cluster::partition(ProcessId a, ProcessId b) {
+  env().faults().partition(a, b);
+}
+
+void Cluster::heal(ProcessId a, ProcessId b) { env().faults().heal(a, b); }
+
+namespace {
+
+/// Applies `fn` to every (side, rest) pair of the deployment.
+template <typename Fn>
+void for_split_pairs(const std::vector<ProcessId>& side,
+                     const std::vector<ProcessId>& all, Fn fn) {
+  std::set<ProcessId> in_side(side.begin(), side.end());
+  for (ProcessId a : side) {
+    for (ProcessId b : all) {
+      if (in_side.count(b) == 0) fn(a, b);
+    }
+  }
+}
+
+}  // namespace
+
+void Cluster::partition_split(const std::vector<ProcessId>& side) {
+  LinkFaults& f = env().faults();
+  for_split_pairs(side, process_ids(),
+                  [&f](ProcessId a, ProcessId b) { f.partition(a, b); });
+}
+
+void Cluster::heal_split(const std::vector<ProcessId>& side) {
+  LinkFaults& f = env().faults();
+  for_split_pairs(side, process_ids(),
+                  [&f](ProcessId a, ProcessId b) { f.heal(a, b); });
+}
+
+void Cluster::isolate(ProcessId pid) {
+  LinkFaults& f = env().faults();
+  for (ProcessId other : process_ids()) {
+    if (other != pid) f.partition(pid, other);
+  }
+}
+
+void Cluster::drop_link(ProcessId a, ProcessId b, double p) {
+  env().faults().set_drop(a, b, p);
+}
+
+void Cluster::drop_all_links(double p) { env().faults().set_drop_all(p); }
+
+void Cluster::duplicate_link(ProcessId a, ProcessId b, double p) {
+  env().faults().set_duplicate(a, b, p);
+}
+
+void Cluster::duplicate_all_links(double p) {
+  env().faults().set_duplicate_all(p);
+}
+
+void Cluster::reorder_links(double p, TimeNs max_extra) {
+  // Stored unconditionally; the thread runtime samples real concurrency
+  // instead and ignores it (see LinkFaults).
+  env().faults().set_reorder(p, max_extra);
+}
+
+void Cluster::heal_all_links() { env().faults().heal_all(); }
+
+std::vector<ProcessId> Cluster::process_ids() const {
+  std::vector<ProcessId> out = config_.servers();
+  {
+    std::lock_guard lock(clients_mu_);
+    for (std::size_t k = 0; k < clients_.size(); ++k) {
+      out.push_back(client_id(static_cast<std::uint32_t>(k)));
+    }
+  }
+  for (const auto& [pid, _] : extra_) out.push_back(pid);
+  return out;
+}
+
+void Cluster::set_anti_entropy(TimeNs period) {
+  for (ProcessId s : config_.servers()) {
+    ReassignNode* node = servers_[s].reassign;
+    if (node == nullptr) continue;  // custom factory servers
+    post(s, [node, period] { node->enable_sync(period); });
+  }
+}
 
 void Cluster::slow(ProcessId pid, double factor) {
   if (!degradable_) {

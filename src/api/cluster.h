@@ -30,15 +30,36 @@
 //
 // Scenario injection is first-class: crash(s), slow(s, factor) /
 // clear_slow(s), and set_latency(...) reshape the deployment mid-run, so
-// fault and geo scripts read declaratively.
+// fault and geo scripts read declaratively. The fault plane adds link
+// verbs: partition(a, b) / heal(a, b), partition_split(side), isolate(p),
+// drop_link / drop_all_links(p), duplicate_link / duplicate_all_links(p),
+// reorder_links(p, max) (sim-only), heal_all_links(). Cut or dropped
+// messages are LOST (healing does not resurrect them), so chaos
+// deployments opt into liveness hardening at build time:
+//
+//   Cluster c = Cluster::builder()
+//                   .servers(5).clients(2)
+//                   .retry(ms(10))          // ABD phase retransmission
+//                   .anti_entropy(ms(25))   // <SYNC> change-set gossip
+//                   .seed(seed)             // replay: same seed, same run
+//                   .build();
+//   c.partition(0, 1);                      // ... chaos ...
+//   c.heal(0, 1);
+//
+// On Runtime::kSim an entire chaos episode — including every drop,
+// duplication, and reordering decision — is a pure function of the seed,
+// so any failure replays bit-for-bit (see src/testing/nemesis.h and
+// tests/test_chaos_fuzz.cpp for the seeded scenario drivers).
 //
 // The low-level Env/Process API stays public — protocol internals and
 // white-box tests keep using it; the facade is the deployment surface.
 #pragma once
 
+#include <deque>
 #include <functional>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <stdexcept>
 #include <vector>
 
@@ -171,6 +192,18 @@ class ClusterBuilder {
   /// --- substrate ---------------------------------------------------------
   ClusterBuilder& runtime(Runtime r) { runtime_ = r; return *this; }
   ClusterBuilder& seed(std::uint64_t s) { seed_ = s; return *this; }
+
+  /// --- fault-tolerance hardening ------------------------------------------
+  /// ABD phase retransmission interval for every client in the deployment
+  /// (including each storage node's internal refresh client). Off by
+  /// default; REQUIRED for liveness when the fault plane loses messages.
+  ClusterBuilder& retry(TimeNs interval) { retry_ = interval; return *this; }
+  /// Periodic server anti-entropy (<SYNC> change-set broadcast). Off by
+  /// default; makes reassignment state converge under message loss.
+  ClusterBuilder& anti_entropy(TimeNs period) {
+    anti_entropy_ = period;
+    return *this;
+  }
   ClusterBuilder& latency(std::shared_ptr<LatencyModel> model);
   ClusterBuilder& uniform_latency(TimeNs lo, TimeNs hi);
   /// Geo deployment: servers map round-robin onto the profile's sites,
@@ -229,6 +262,8 @@ class ClusterBuilder {
   std::optional<WorkloadParams> workload_;
   std::shared_ptr<HistoryRecorder> history_;
   std::vector<std::pair<ProcessId, ProcessFactory>> extras_;
+  TimeNs retry_ = 0;
+  TimeNs anti_entropy_ = 0;
 };
 
 class Cluster {
@@ -244,7 +279,10 @@ class Cluster {
   // --- deployment surface --------------------------------------------------
   const SystemConfig& config() const { return config_; }
   std::uint32_t num_servers() const { return config_.n; }
-  std::size_t num_clients() const { return clients_.size(); }
+  std::size_t num_clients() const {
+    std::lock_guard lock(clients_mu_);
+    return clients_.size();
+  }
   Runtime runtime() const { return runtime_; }
 
   /// The k-th storage client endpoint.
@@ -285,6 +323,50 @@ class Cluster {
   /// Crash-stops server or client `pid`.
   void crash(ProcessId pid);
   bool is_crashed(ProcessId pid) const;
+
+  // --- link faults (messages sent while a fault is active are LOST;
+  // liveness after healing needs builder retry()/anti_entropy()) ----------
+  /// Cuts both directions of the a<->b link.
+  void partition(ProcessId a, ProcessId b);
+  void heal(ProcessId a, ProcessId b);
+  /// Full network split: cuts every link between `side` and the rest of
+  /// the deployment (servers AND clients). heal_split is its exact
+  /// inverse, enumerating the deployment at heal time (processes added
+  /// in between are healed too).
+  void partition_split(const std::vector<ProcessId>& side);
+  void heal_split(const std::vector<ProcessId>& side);
+  /// Cuts `pid` off from every other deployed process (use
+  /// env().faults().cut_one_way for asymmetric variants).
+  void isolate(ProcessId pid);
+  /// Message loss / duplication with probability `p`, on one link or as
+  /// a network-wide storm. The storm variants cover EVERY link —
+  /// including processes deployed while the storm is active (restarted
+  /// readers) — and compose with per-link rates by "the stronger wins".
+  void drop_link(ProcessId a, ProcessId b, double p);
+  void drop_all_links(double p);
+  void duplicate_link(ProcessId a, ProcessId b, double p);
+  void duplicate_all_links(double p);
+  /// Seeded bounded reordering: each message gets an extra delay uniform
+  /// in [0, max_extra) with probability p. Deterministic on the
+  /// simulator; ignored by the thread runtime (real threads already
+  /// reorder).
+  void reorder_links(double p, TimeNs max_extra);
+  /// Clears every cut, drop/duplicate rate, and the reorder knob.
+  void heal_all_links();
+
+  /// All deployed process ids: servers, then clients, then extras.
+  std::vector<ProcessId> process_ids() const;
+
+  /// Deploys an additional storage client MID-RUN (a crashed reader
+  /// "restarting" as a new process with fresh state) — plain, or driving
+  /// a workload recorded into the deployment's history recorder. Returns
+  /// the new client's index (thread-safe; storage deployments only).
+  std::size_t add_client();
+  std::size_t add_client(const WorkloadParams& params);
+
+  /// Reconfigures anti-entropy on every live server mid-run (0 stops it —
+  /// chaos drivers do this before quiescing the simulator).
+  void set_anti_entropy(TimeNs period);
 
   /// Multiplies every message delay to/from `pid` (degraded replica).
   void slow(ProcessId pid, double factor);
@@ -341,10 +423,14 @@ class Cluster {
 
   ServerSlot& server_slot(ProcessId s);
   ClientSlot& client_slot(std::size_t k);
+  std::size_t make_client_slot(const WorkloadParams* wp);
 
   Runtime runtime_;
   SystemConfig config_;
   ClusterBuilder::Kind kind_;
+  AbdClient::Mode mode_ = AbdClient::Mode::kDynamic;
+  std::shared_ptr<HistoryRecorder> history_;
+  TimeNs retry_ = 0;
 
   // env_ members are declared before the process slots so workers are
   // stopped (dtor body) and envs destroyed only after all processes died.
@@ -354,7 +440,11 @@ class Cluster {
   std::shared_ptr<AwaitPump> pump_;
 
   std::vector<ServerSlot> servers_;
-  std::vector<ClientSlot> clients_;
+  /// add_client() grows clients_ from scenario threads while accessors
+  /// read it, so every access goes through clients_mu_. A deque so
+  /// existing slots never move when it grows (handles keep references).
+  mutable std::mutex clients_mu_;
+  std::deque<ClientSlot> clients_;
   std::map<ProcessId, std::unique_ptr<Process>> extra_;
 };
 

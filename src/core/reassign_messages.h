@@ -4,6 +4,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <optional>
 
 #include "core/change_set.h"
 #include "runtime/message.h"
@@ -87,6 +88,31 @@ class TransferMsg : public MessageBase<TransferMsg> {
  private:
   Change neg_;
   Change pos_;
+};
+
+/// <SYNC, C, lc?> — anti-entropy round (not in the paper, which assumes
+/// reliable links): a server's periodic broadcast of its full change set,
+/// used to restore convergence and transfer completion when the
+/// fault-injection plane loses T / T_Ack traffic. `pending_counter`
+/// carries the sender's in-flight transfer counter (if any) so receivers
+/// that already stored the pair can RE-acknowledge — the original T_Ack
+/// may have been dropped. Off unless ReassignNode::enable_sync is called.
+class SyncMsg : public MessageBase<SyncMsg> {
+ public:
+  SyncMsg(ChangeSet changes, std::optional<std::uint64_t> pending_counter)
+      : changes_(std::move(changes)), pending_counter_(pending_counter) {}
+  const ChangeSet& changes() const { return changes_; }
+  const std::optional<std::uint64_t>& pending_counter() const {
+    return pending_counter_;
+  }
+  std::string type_name() const override { return "SYNC"; }
+  std::size_t wire_size() const override {
+    return kHeaderBytes + 9 + changes_.wire_size();
+  }
+
+ private:
+  ChangeSet changes_;
+  std::optional<std::uint64_t> pending_counter_;
 };
 
 /// <T_Ack, lc> — acknowledgment that a server stored both changes of the

@@ -107,6 +107,19 @@ bool ReassignNode::handle(ProcessId from, const Message& msg) {
     });
     return true;
   }
+  if (const auto* sync = msg_cast<SyncMsg>(msg)) {
+    std::optional<std::uint64_t> pending = sync->pending_counter();
+    write_changes(sync->changes(), [this, from, pending] {
+      // Re-ack the sender's in-flight pair even when it was acked before:
+      // the original T_Ack may have been dropped by the fault plane.
+      // Duplicate T_Acks collapse in the issuer's ack set.
+      if (pending.has_value() && from != self_ &&
+          changes_.count_pair(from, *pending) >= 2) {
+        env_.send(self_, from, std::make_shared<TAck>(*pending));
+      }
+    });
+    return true;
+  }
   if (const auto* ack = msg_cast<TAck>(msg)) {
     if (pending_transfer_.has_value() &&
         pending_transfer_->counter == ack->counter() && from != self_) {
@@ -118,6 +131,28 @@ bool ReassignNode::handle(ProcessId from, const Message& msg) {
     return true;
   }
   return false;
+}
+
+void ReassignNode::enable_sync(TimeNs period) {
+  sync_period_ = period;
+  ++sync_epoch_;  // cancel any round scheduled under the old setting
+  if (sync_period_ > 0) schedule_sync();
+}
+
+void ReassignNode::schedule_sync() {
+  std::uint64_t epoch = sync_epoch_;
+  env_.schedule(self_, sync_period_, [this, epoch] {
+    if (epoch != sync_epoch_ || sync_period_ <= 0) return;
+    sync_now();
+    schedule_sync();
+  });
+}
+
+void ReassignNode::sync_now() {
+  std::optional<std::uint64_t> pending;
+  if (pending_transfer_.has_value()) pending = pending_transfer_->counter;
+  env_.broadcast_to_servers(self_,
+                            std::make_shared<SyncMsg>(changes_, pending));
 }
 
 void ReassignNode::complete_transfer() {

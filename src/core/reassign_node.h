@@ -78,6 +78,19 @@ class ReassignNode : public Process {
 
   void set_refresh_hook(RefreshHook hook) { refresh_hook_ = std::move(hook); }
 
+  /// Anti-entropy (off by default): every `period` this node broadcasts
+  /// <SYNC, C, lc?> to all servers; receivers merge via write_changes and
+  /// re-acknowledge the sender's pending transfer pair when they already
+  /// store it. Makes change sets converge — and stuck transfers complete
+  /// — even when the fault plane dropped T / T_Ack / RB traffic.
+  /// `period` <= 0 disables (any scheduled round becomes a no-op).
+  void enable_sync(TimeNs period);
+  TimeNs sync_period() const { return sync_period_; }
+
+  /// One immediate anti-entropy round (chaos drivers use this to force
+  /// convergence after healing without waiting out the period).
+  void sync_now();
+
   /// Observer invoked whenever the local change set grows (monitoring,
   /// storage invalidation, tests).
   void set_on_changes_grown(std::function<void()> fn) {
@@ -106,6 +119,7 @@ class ReassignNode : public Process {
 
   void apply_change(const Change& c);
   void maybe_ack_issuer(ProcessId issuer, std::uint64_t counter);
+  void schedule_sync();
   void on_rb_deliver(ProcessId origin, const Message& payload);
   void complete_transfer();
 
@@ -124,6 +138,8 @@ class ReassignNode : public Process {
   std::set<ChangeId> applying_;  // gains waiting on the refresh hook
   RefreshHook refresh_hook_;
   std::function<void()> on_changes_grown_;
+  TimeNs sync_period_ = 0;
+  std::uint64_t sync_epoch_ = 0;  // invalidates in-flight sync timers
 };
 
 }  // namespace wrs

@@ -4,9 +4,12 @@
 // Execution model (both runtimes guarantee it):
 //  * Each process's handlers (`on_message`, scheduled callbacks,
 //    `on_start`) run serially — never two at once for the same process.
-//  * Links are reliable: a message from a correct process to a correct
-//    process is eventually delivered exactly once; delivery order between
-//    a pair of processes is NOT guaranteed (asynchrony).
+//  * Links are reliable BY DEFAULT: a message from a correct process to
+//    a correct process is eventually delivered exactly once; delivery
+//    order between a pair of processes is NOT guaranteed (asynchrony).
+//    The fault-injection plane (faults(), runtime/link_faults.h) can
+//    deliberately violate reliability with partitions, probabilistic
+//    loss, duplication, and (sim-only) bounded reordering.
 //  * Crashing a process silently drops its queued and future messages.
 //
 // Protocols are event-driven state machines written only against this
@@ -18,6 +21,7 @@
 
 #include "common/metrics.h"
 #include "common/types.h"
+#include "runtime/link_faults.h"
 #include "runtime/message.h"
 
 namespace wrs {
@@ -55,6 +59,14 @@ class Env {
 
   /// Crash-stops `pid`: queued and future messages/callbacks are dropped.
   virtual void crash(ProcessId pid) = 0;
+
+  /// The fault-injection plane: partitions, message loss, duplication,
+  /// reordering (see runtime/link_faults.h). Faults apply to messages
+  /// SENT while active; healing does not resurrect dropped messages, so
+  /// protocol liveness under faults needs retries
+  /// (AbdClient::set_retry_interval) / anti-entropy
+  /// (ReassignNode::enable_sync).
+  virtual LinkFaults& faults() = 0;
 
   virtual bool is_crashed(ProcessId pid) const = 0;
 

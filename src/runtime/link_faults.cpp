@@ -1,0 +1,104 @@
+#include "runtime/link_faults.h"
+
+#include <algorithm>
+
+namespace wrs {
+
+void LinkFaults::partition(ProcessId a, ProcessId b) {
+  cut_one_way(a, b);
+  cut_one_way(b, a);
+}
+
+void LinkFaults::heal(ProcessId a, ProcessId b) {
+  heal_one_way(a, b);
+  heal_one_way(b, a);
+}
+
+void LinkFaults::cut_one_way(ProcessId from, ProcessId to) {
+  mutate(from, to, [](Link& l) { l.cut = true; });
+}
+
+void LinkFaults::heal_one_way(ProcessId from, ProcessId to) {
+  mutate(from, to, [](Link& l) { l.cut = false; });
+}
+
+void LinkFaults::set_drop(ProcessId a, ProcessId b, double p) {
+  double clamped = p < 0 ? 0 : (p > 1 ? 1 : p);
+  mutate(a, b, [clamped](Link& l) { l.drop_p = clamped; });
+  mutate(b, a, [clamped](Link& l) { l.drop_p = clamped; });
+}
+
+void LinkFaults::set_duplicate(ProcessId a, ProcessId b, double p) {
+  double clamped = p < 0 ? 0 : (p > 1 ? 1 : p);
+  mutate(a, b, [clamped](Link& l) { l.dup_p = clamped; });
+  mutate(b, a, [clamped](Link& l) { l.dup_p = clamped; });
+}
+
+void LinkFaults::set_drop_all(double p) {
+  std::lock_guard lock(mu_);
+  drop_all_p_ = p < 0 ? 0 : (p > 1 ? 1 : p);
+  refresh_active();
+}
+
+void LinkFaults::set_duplicate_all(double p) {
+  std::lock_guard lock(mu_);
+  dup_all_p_ = p < 0 ? 0 : (p > 1 ? 1 : p);
+  refresh_active();
+}
+
+void LinkFaults::set_reorder(double p, TimeNs max_extra) {
+  std::lock_guard lock(mu_);
+  reorder_p_ = (p > 0 && max_extra > 0) ? (p > 1 ? 1 : p) : 0;
+  reorder_max_ = reorder_p_ > 0 ? max_extra : 0;
+  refresh_active();
+}
+
+void LinkFaults::heal_all() {
+  std::lock_guard lock(mu_);
+  links_.clear();
+  drop_all_p_ = 0;
+  dup_all_p_ = 0;
+  reorder_p_ = 0;
+  reorder_max_ = 0;
+  refresh_active();
+}
+
+bool LinkFaults::is_cut(ProcessId from, ProcessId to) const {
+  if (from == to) return false;
+  std::lock_guard lock(mu_);
+  auto it = links_.find(Key{from, to});
+  return it != links_.end() && it->second.cut;
+}
+
+LinkFaults::Decision LinkFaults::decide(ProcessId from, ProcessId to,
+                                        Rng& rng) {
+  Decision d;
+  if (from == to) return d;  // self-loops are never faulted
+  std::lock_guard lock(mu_);
+  double drop_p = drop_all_p_;
+  double dup_p = dup_all_p_;
+  auto it = links_.find(Key{from, to});
+  if (it != links_.end()) {
+    const Link& link = it->second;
+    if (link.cut) {
+      d.deliver = false;
+      return d;
+    }
+    // Per-link and network-wide rates compose by "the stronger wins"
+    // (one draw each, so rng consumption stays deterministic).
+    drop_p = std::max(drop_p, link.drop_p);
+    dup_p = std::max(dup_p, link.dup_p);
+  }
+  if (drop_p > 0 && rng.uniform() < drop_p) {
+    d.deliver = false;
+    return d;
+  }
+  if (dup_p > 0 && rng.uniform() < dup_p) d.duplicate = true;
+  if (reorder_p_ > 0 && rng.uniform() < reorder_p_) {
+    d.extra_delay = static_cast<TimeNs>(
+        rng.below(static_cast<std::uint64_t>(reorder_max_)));
+  }
+  return d;
+}
+
+}  // namespace wrs

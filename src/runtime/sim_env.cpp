@@ -38,16 +38,33 @@ void SimEnv::send(ProcessId from, ProcessId to, MsgPtr msg) {
   traffic_.inc("bytes", static_cast<std::int64_t>(msg->wire_size()));
   traffic_.inc("msg." + msg->type_name());
   Envelope env{from, to, std::move(msg)};
-  if (held_.count(from) != 0 || held_.count(to) != 0) {
-    ProcessId key = held_.count(to) != 0 ? to : from;
-    held_messages_[key].push_back(std::move(env));
+  if (!faults_.active()) {
+    route(std::move(env), 0);
     return;
   }
-  deliver(std::move(env));
+  LinkFaults::Decision fate = faults_.decide(from, to, rng_);
+  if (!fate.deliver) {
+    traffic_.inc("msgs.lost");
+    return;
+  }
+  if (fate.duplicate) {
+    traffic_.inc("msgs.dup");
+    route(Envelope{env.from, env.to, env.msg}, fate.extra_delay);
+  }
+  route(std::move(env), fate.extra_delay);
 }
 
-void SimEnv::deliver(Envelope env) {
-  TimeNs delay = latency_->sample(env.from, env.to, rng_);
+void SimEnv::route(Envelope env, TimeNs extra_delay) {
+  if (held_.count(env.from) != 0 || held_.count(env.to) != 0) {
+    ProcessId key = held_.count(env.to) != 0 ? env.to : env.from;
+    held_messages_[key].emplace_back(std::move(env), extra_delay);
+    return;
+  }
+  deliver(std::move(env), extra_delay);
+}
+
+void SimEnv::deliver(Envelope env, TimeNs extra_delay) {
+  TimeNs delay = latency_->sample(env.from, env.to, rng_) + extra_delay;
   ProcessId to = env.to;
   ProcessId from = env.from;
   MsgPtr msg = std::move(env.msg);
@@ -91,7 +108,7 @@ void SimEnv::release_holds(ProcessId pid) {
   if (it == held_messages_.end()) return;
   auto msgs = std::move(it->second);
   held_messages_.erase(it);
-  for (auto& env : msgs) deliver(std::move(env));
+  for (auto& [env, extra] : msgs) deliver(std::move(env), extra);
 }
 
 bool SimEnv::step() {

@@ -12,6 +12,7 @@
 #include <memory>
 #include <queue>
 #include <set>
+#include <utility>
 #include <vector>
 
 #include "common/metrics.h"
@@ -36,6 +37,10 @@ class SimEnv : public Env {
   bool is_crashed(ProcessId pid) const override;
   const Counters& traffic() const override { return traffic_; }
   std::vector<ProcessId> server_ids() const override;
+  /// Faults draw from the simulator's seeded rng, so an entire chaos
+  /// episode (including bounded reordering) replays bit-for-bit from the
+  /// seed.
+  LinkFaults& faults() override { return faults_; }
 
   // --- Simulation control -------------------------------------------------
   /// Delivers `on_start` to all registered processes (idempotent).
@@ -82,7 +87,8 @@ class SimEnv : public Env {
   };
 
   void push_event(TimeNs at, ProcessId pid, std::function<void()> fn);
-  void deliver(Envelope env);
+  void route(Envelope env, TimeNs extra_delay);
+  void deliver(Envelope env, TimeNs extra_delay = 0);
 
   std::shared_ptr<LatencyModel> latency_;
   Rng rng_;
@@ -93,7 +99,11 @@ class SimEnv : public Env {
   std::map<ProcessId, Process*> processes_;
   std::set<ProcessId> crashed_;
   std::set<ProcessId> held_;
-  std::map<ProcessId, std::vector<Envelope>> held_messages_;
+  /// Buffered (envelope, reorder-extra) — the extra delay drawn at send
+  /// time survives the hold and applies at release.
+  std::map<ProcessId, std::vector<std::pair<Envelope, TimeNs>>>
+      held_messages_;
+  LinkFaults faults_;
   Counters traffic_;
 };
 

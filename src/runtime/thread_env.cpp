@@ -24,34 +24,61 @@ void ThreadEnv::register_process(ProcessId pid, Process* process) {
   if (process == nullptr) {
     throw std::invalid_argument("ThreadEnv: null process");
   }
+  // The whole registration happens under mu_ so it is atomic with respect
+  // to stop()'s box snapshot: a registration either completes fully
+  // before the snapshot (its worker gets joined) or observes stopping_
+  // and spawns nothing.
   std::lock_guard lock(mu_);
-  if (started_) {
-    throw std::logic_error("ThreadEnv: register_process after start()");
+  if (boxes_.count(pid) != 0) {
+    throw std::logic_error("ThreadEnv: process " + process_name(pid) +
+                           " already registered");
   }
   auto box = std::make_unique<Mailbox>();
   box->process = process;
+  Mailbox* live = box.get();
   boxes_[pid] = std::move(box);
+  if (started_ && !stopping_) {
+    // Mid-run deployment (e.g. a crashed reader restarting as a new
+    // process): spawn the worker and deliver on_start immediately.
+    live->worker = std::thread([this, live] { worker_loop(live); });
+    {
+      std::lock_guard box_lock(live->mu);
+      live->tasks.push_back([live] { live->process->on_start(); });
+    }
+    live->cv.notify_one();
+  }
 }
 
 void ThreadEnv::start() {
-  {
-    std::lock_guard lock(mu_);
-    if (started_) return;
-    started_ = true;
-  }
+  // The whole launch runs under mu_ so it is atomic with respect to a
+  // concurrent (now-legal) register_process: every box is spawned exactly
+  // once — by start() if it was registered before, by register_process if
+  // after.
+  std::lock_guard lock(mu_);
+  if (started_) return;
+  started_ = true;
   timer_thread_ = std::thread([this] { timer_loop(); });
   for (auto& [pid, box] : boxes_) {
     Mailbox* b = box.get();
     b->worker = std::thread([this, b] { worker_loop(b); });
-    enqueue_task(pid, [b] { b->process->on_start(); });
+    {
+      std::lock_guard box_lock(b->mu);
+      b->tasks.push_back([b] { b->process->on_start(); });
+    }
+    b->cv.notify_one();
   }
 }
 
 void ThreadEnv::stop() {
+  std::vector<Mailbox*> boxes;
   {
     std::lock_guard lock(mu_);
     if (!started_ || stopping_) return;
     stopping_ = true;
+    // Snapshot under mu_: late register_process either finished before
+    // this point (worker joined below) or sees stopping_ and stays inert.
+    boxes.reserve(boxes_.size());
+    for (auto& [pid, box] : boxes_) boxes.push_back(box.get());
   }
   {
     std::lock_guard lock(timer_mu_);
@@ -59,14 +86,14 @@ void ThreadEnv::stop() {
   }
   timer_cv_.notify_all();
   if (timer_thread_.joinable()) timer_thread_.join();
-  for (auto& [pid, box] : boxes_) {
+  for (Mailbox* box : boxes) {
     {
       std::lock_guard lock(box->mu);
       box->stopped = true;
     }
     box->cv.notify_all();
   }
-  for (auto& [pid, box] : boxes_) {
+  for (Mailbox* box : boxes) {
     if (box->worker.joinable()) box->worker.join();
   }
 }
@@ -107,11 +134,24 @@ void ThreadEnv::send(ProcessId from, ProcessId to, MsgPtr msg) {
   if (!msg) throw std::invalid_argument("ThreadEnv::send: null message");
   if (is_crashed(from)) return;
   TimeNs delay = 0;
+  TimeNs dup_delay = -1;  // >= 0 iff the message is duplicated
   {
     std::lock_guard lock(mu_);
     traffic_.inc("msgs");
     traffic_.inc("bytes", static_cast<std::int64_t>(msg->wire_size()));
     traffic_.inc("msg." + msg->type_name());
+    if (faults_.active()) {
+      LinkFaults::Decision fate = faults_.decide(from, to, rng_);
+      if (!fate.deliver) {
+        traffic_.inc("msgs.lost");
+        return;
+      }
+      if (fate.duplicate) {
+        traffic_.inc("msgs.dup");
+        dup_delay = latency_ ? latency_->sample(from, to, rng_) : 0;
+      }
+      // fate.extra_delay (bounded reordering) is sim-only; ignored here.
+    }
     if (latency_) delay = latency_->sample(from, to, rng_);
   }
   auto deliver = [this, from, to, msg] {
@@ -126,6 +166,15 @@ void ThreadEnv::send(ProcessId from, ProcessId to, MsgPtr msg) {
     // routed through enqueue_task).
     box->process->on_message(from, *msg);
   };
+  if (dup_delay >= 0) {
+    auto copy = deliver;
+    if (dup_delay <= 0) {
+      enqueue_task(to, std::move(copy));
+    } else {
+      timer_schedule(Clock::now() + std::chrono::nanoseconds(dup_delay), to,
+                     std::move(copy));
+    }
+  }
   if (delay <= 0) {
     enqueue_task(to, std::move(deliver));
   } else {

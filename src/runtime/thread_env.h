@@ -42,6 +42,10 @@ class ThreadEnv : public Env {
   TimeNs now() const override;
   void send(ProcessId from, ProcessId to, MsgPtr msg) override;
   void schedule(ProcessId pid, TimeNs delay, std::function<void()> fn) override;
+  /// Unlike the pre-chaos runtime, registration is allowed after start():
+  /// the new process gets its worker thread and on_start immediately
+  /// (mid-run "restart as a new reader" scenarios). Re-registering an id
+  /// is an error on this runtime (the old worker owns the mailbox).
   void register_process(ProcessId pid, Process* process) override;
   void crash(ProcessId pid) override;
   bool is_crashed(ProcessId pid) const override;
@@ -49,6 +53,10 @@ class ThreadEnv : public Env {
   /// concurrent readers while workers run.
   const Counters& traffic() const override { return traffic_; }
   std::vector<ProcessId> server_ids() const override;
+  /// Drop/duplicate decisions draw from the env's seeded rng under the
+  /// env lock; the reorder knob is ignored (reordering is the simulator's
+  /// deterministic specialty — real threads reorder for free).
+  LinkFaults& faults() override { return faults_; }
 
   // --- Lifecycle ----------------------------------------------------------
   /// Launches worker and timer threads and delivers on_start.
@@ -91,6 +99,7 @@ class ThreadEnv : public Env {
 
   mutable std::mutex mu_;  // guards maps, rng, traffic, crashed set
   std::map<ProcessId, std::unique_ptr<Mailbox>> boxes_;
+  LinkFaults faults_;
   Rng rng_;
   Counters traffic_;
   bool started_ = false;

@@ -86,7 +86,23 @@ void AbdClient::start_phase1(Op& op) {
   op.phase2_acks.clear();
   op.keys_acks.clear();
   op.keys_acc.clear();
-  if (op.kind == OpKind::kListKeys) {
+  broadcast_phase(op);
+  schedule_retry(op.id, op.seq);
+}
+
+void AbdClient::start_phase2(Op& op) {
+  op.phase = 2;
+  ++op.seq;
+  op.phase2_acks.clear();
+  broadcast_phase(op);
+  schedule_retry(op.id, op.seq);
+}
+
+void AbdClient::broadcast_phase(const Op& op) {
+  if (op.phase == 2) {
+    env_.broadcast_to_servers(
+        self_, std::make_shared<WriteReq>(op.id, op.to_write, op.key, op.seq));
+  } else if (op.kind == OpKind::kListKeys) {
     env_.broadcast_to_servers(self_, std::make_shared<KeysReq>(op.id, op.seq));
   } else {
     env_.broadcast_to_servers(
@@ -94,13 +110,19 @@ void AbdClient::start_phase1(Op& op) {
   }
 }
 
-void AbdClient::start_phase2(Op& op) {
-  op.phase = 2;
-  ++op.seq;
-  op.phase2_acks.clear();
-  env_.broadcast_to_servers(
-      self_,
-      std::make_shared<WriteReq>(op.id, op.to_write, op.key, op.seq));
+void AbdClient::schedule_retry(OpId id, std::uint32_t seq) {
+  if (retry_interval_ <= 0) return;
+  env_.schedule(self_, retry_interval_, [this, id, seq] {
+    auto it = ops_.find(id);
+    if (it == ops_.end()) return;       // completed
+    const Op& op = it->second;
+    if (!op.started || op.seq != seq) return;  // progressed or restarted
+    // Same (op_id, seq) on the wire: servers re-reply, the client's
+    // per-server reply maps absorb duplicates.
+    ++retransmits_;
+    broadcast_phase(op);
+    schedule_retry(id, seq);
+  });
 }
 
 void AbdClient::complete(OpId id) {

@@ -108,6 +108,19 @@ class AbdClient {
   /// client reports a bug (liveness assumes finitely many transfers).
   void set_max_restarts(std::uint32_t m) { max_restarts_ = m; }
 
+  /// Retransmission (off by default, interval <= 0): while an operation
+  /// sits in the same (phase, seq) for `interval`, its current phase
+  /// broadcast is re-sent with the SAME (op_id, seq) — servers are
+  /// idempotent and duplicate replies collapse, so this is always safe.
+  /// Required for liveness when the fault plane (Env::faults()) loses
+  /// messages: without it a dropped quorum message stalls the operation
+  /// forever, even after the link heals.
+  void set_retry_interval(TimeNs interval) { retry_interval_ = interval; }
+  TimeNs retry_interval() const { return retry_interval_; }
+
+  /// Phase broadcasts re-sent by the retry timer (observability/tests).
+  std::uint64_t retransmits() const { return retransmits_; }
+
  private:
   enum class OpKind { kRead, kWrite, kListKeys };
 
@@ -135,6 +148,8 @@ class AbdClient {
   OpId enqueue(Op op);
   void start_phase1(Op& op);
   void start_phase2(Op& op);
+  void broadcast_phase(const Op& op);
+  void schedule_retry(OpId id, std::uint32_t seq);
   void complete(OpId id);
   bool merge_and_maybe_restart(const ChangeSetPtr& incoming);
   bool responders_form_quorum(const std::set<ProcessId>& responders) const;
@@ -155,6 +170,8 @@ class AbdClient {
   std::size_t max_started_ = 0;
   std::uint64_t restarts_ = 0;
   std::uint32_t max_restarts_ = 10'000;
+  TimeNs retry_interval_ = 0;
+  std::uint64_t retransmits_ = 0;
 };
 
 }  // namespace wrs

@@ -65,6 +65,14 @@ std::string describe(const OpRecord& op) {
 }
 
 /// Checks one register's (single-key) sub-history.
+///
+/// Fuzz-length histories made the original pairwise scans (A2: reads x
+/// writes, A3: reads x reads) the bottleneck, so both are sort + sweep:
+/// order the candidate predecessors by completion time, the successors by
+/// start time, and carry the running maximum tag (with the op that set
+/// it) across the sweep — O(n log n) total, and the reported violation
+/// still names both offending operations with their (process, key, tag,
+/// interval).
 std::optional<std::string> check_single_key(
     const std::vector<const OpRecord*>& ops) {
   std::vector<const OpRecord*> reads;
@@ -96,43 +104,67 @@ std::optional<std::string> check_single_key(
     }
   }
 
+  // (A1) tag validity (O(log n) lookups against the by_tag index).
   for (const auto* r : reads) {
-    // (A1) tag validity.
     if (r->tag == kInitialTag) {
       // Reading the initial value is fine as long as (A2) below holds.
-    } else {
-      auto it = by_tag.find(r->tag);
-      if (it == by_tag.end()) {
-        return "read of a tag never written: " + describe(*r);
-      }
-      const OpRecord* w = it->second;
-      if (w->start > r->end) {
-        return "read returned a write from its future: " + describe(*r) +
-               " vs " + describe(*w);
-      }
-      if (w->value != r->value) {
-        return "read value does not match the write with its tag: " +
-               describe(*r) + " vs " + describe(*w);
-      }
+      continue;
     }
-    // (A2) regularity: at least as new as every write completed before
-    // the read started.
-    for (const auto* w : writes) {
-      if (w->end < r->start && r->tag < w->tag) {
-        return "stale read (write completed before it started): " +
-               describe(*r) + " missed " + describe(*w);
-      }
+    auto it = by_tag.find(r->tag);
+    if (it == by_tag.end()) {
+      return "read of a tag never written: " + describe(*r);
+    }
+    const OpRecord* w = it->second;
+    if (w->start > r->end) {
+      return "read returned a write from its future: " + describe(*r) +
+             " vs " + describe(*w);
+    }
+    if (w->value != r->value) {
+      return "read value does not match the write with its tag: " +
+             describe(*r) + " vs " + describe(*w);
     }
   }
 
-  // (A3) Definition 6: no new/old inversion between non-overlapping reads.
-  for (const auto* r1 : reads) {
-    for (const auto* r2 : reads) {
-      if (r1->end < r2->start && r2->tag < r1->tag) {
-        return "new/old inversion: " + describe(*r1) + " then " +
-               describe(*r2);
+  // Shared sweep machinery for (A2) and (A3): predecessors sorted by end,
+  // successors sorted by start; a two-pointer walk folds every
+  // predecessor with pred->end < succ->start into a running max tag.
+  auto sweep = [](std::vector<const OpRecord*>& preds,
+                  std::vector<const OpRecord*>& succs,
+                  const char* what) -> std::optional<std::string> {
+    std::sort(preds.begin(), preds.end(), [](const auto* a, const auto* b) {
+      return a->end < b->end;
+    });
+    std::sort(succs.begin(), succs.end(), [](const auto* a, const auto* b) {
+      return a->start < b->start;
+    });
+    const OpRecord* max_pred = nullptr;  // highest tag completed so far
+    std::size_t next = 0;
+    for (const auto* s : succs) {
+      while (next < preds.size() && preds[next]->end < s->start) {
+        if (max_pred == nullptr || max_pred->tag < preds[next]->tag) {
+          max_pred = preds[next];
+        }
+        ++next;
+      }
+      if (max_pred != nullptr && s->tag < max_pred->tag) {
+        return std::string(what) + ": " + describe(*s) + " missed " +
+               describe(*max_pred);
       }
     }
+    return std::nullopt;
+  };
+
+  // (A2) regularity: a read is at least as new as every write completed
+  // before it started.
+  if (auto err = sweep(writes, reads,
+                       "stale read (write completed before it started)")) {
+    return err;
+  }
+
+  // (A3) Definition 6: no new/old inversion between non-overlapping reads.
+  std::vector<const OpRecord*> reads_by_end = reads;
+  if (auto err = sweep(reads_by_end, reads, "new/old inversion")) {
+    return err;
   }
 
   return std::nullopt;

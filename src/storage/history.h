@@ -63,10 +63,17 @@ class HistoryRecorder {
 };
 
 /// Returns nullopt when the history is atomic; otherwise a description of
-/// the first violation found. Each named register is an independent
+/// the first violation found, naming the offending operations with their
+/// (process, key, tag, [start, end]) so a chaos-fuzz failure is
+/// actionable without replaying. Each named register is an independent
 /// atomic object, so the history is partitioned by key and every per-key
 /// sub-history checked on its own (a multi-key pipelined history is
 /// atomic iff each per-key projection is).
+///
+/// Scales to fuzz-length histories: the (A2) read-vs-completed-write and
+/// (A3) read-vs-read checks are per-key sort + sweep with a running
+/// maximum tag — O(n log n) overall, not the previous O(n^2) pairwise
+/// scan.
 std::optional<std::string> check_atomicity(const std::vector<OpRecord>& ops);
 
 }  // namespace wrs

@@ -1,0 +1,150 @@
+// Seeded chaos-scenario drivers for wrs::Cluster deployments.
+//
+// Nemesis composes a timed fault schedule — symmetric/asymmetric
+// partitions, probabilistic drop and duplication storms, bounded
+// reordering windows, slowdowns, rolling server crashes (optionally
+// "restarting" crashed capacity as fresh reader processes) — from a
+// single RNG seed. The WHOLE timeline is drawn up-front at unleash()
+// time and executed through Cluster::at, so on Runtime::kSim an episode
+// is a pure function of (cluster seed, nemesis seed) and any failure
+// replays bit-for-bit. Every fault heals itself by `horizon`, and a
+// final safety net heals all links at the horizon, so episodes always
+// reach a fault-free tail in which retries/anti-entropy can restore
+// liveness.
+//
+// Overlap semantics: events draw independent windows, so they may
+// overlap on the same links; LinkFaults state is last-writer-wins, which
+// means one event's heal can END an overlapping event's fault early
+// (never extend it — faults never outlive their printed window, and the
+// horizon safety net bounds everything). The printed timeline is the
+// SCHEDULE; under overlap the realized fault exposure can be weaker.
+// Replay determinism is unaffected.
+//
+// TransferStorm drives the reconfiguration side of a chaos episode: it
+// posts seeded weight transfers (random source/destination/delta) into
+// server contexts across the same horizon, skipping servers whose
+// previous transfer is still in flight (the protocol is sequential per
+// node) and counting effective/null/skipped outcomes thread-safely.
+//
+// Both drivers only touch thread-safe Cluster state (the fault plane,
+// crash, slow factors, add_client, per-process posts), so their timeline
+// callbacks may run on the thread runtime's timer thread.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "api/cluster.h"
+
+namespace wrs::testing {
+
+struct NemesisParams {
+  /// Faults are injected in [start, horizon); everything is healed by
+  /// `horizon` at the latest.
+  TimeNs start = ms(20);
+  TimeNs horizon = ms(300);
+  /// Number of fault events drawn from the seed.
+  std::size_t events = 8;
+  /// How long one fault stays active (uniform in [min_hold, max_hold],
+  /// clamped to end by `horizon`).
+  TimeNs min_hold = ms(20);
+  TimeNs max_hold = ms(120);
+  /// Servers crashed at most (must stay <= config().f or quorums die
+  /// with the fault budget); 0 disables crash events.
+  std::uint32_t crash_budget = 0;
+  /// Crashed-server events schedule a fresh reader process (running
+  /// `restart_workload`) shortly after the crash — the paper's model of a
+  /// restarted process rejoining with empty state as a new client.
+  bool reader_restarts = false;
+  WorkloadParams restart_workload;
+  /// Enabled fault kinds.
+  bool partitions = true;
+  bool asymmetric = true;
+  bool drops = true;
+  bool duplicates = true;
+  bool slow_downs = true;
+  bool reorder = true;  // applied by the simulator only
+  /// Probability caps for the storm events.
+  double drop_p_max = 0.5;
+  double dup_p_max = 0.5;
+};
+
+class Nemesis {
+ public:
+  Nemesis(Cluster& cluster, std::uint64_t seed, NemesisParams params = {});
+
+  /// Draws the whole fault timeline from the seed and schedules it.
+  /// Call at most once.
+  void unleash();
+
+  /// Human-readable schedule ("t=120ms partition {s0 s2 | rest}" ...),
+  /// available after unleash() — printed by harnesses on failure so a
+  /// seed's episode can be read without replaying it.
+  const std::vector<std::string>& timeline() const { return timeline_; }
+
+  std::uint32_t crashes_scheduled() const { return crashes_scheduled_; }
+
+ private:
+  enum class Kind {
+    kSymPartition,
+    kAsymPartition,
+    kDropStorm,
+    kDupStorm,
+    kReorderWindow,
+    kSlow,
+    kCrash,
+  };
+
+  std::vector<Kind> enabled_kinds() const;
+  void schedule_event(Kind kind, TimeNs at, TimeNs until);
+  void note(TimeNs at, const std::string& text);
+
+  Cluster& cluster_;
+  Rng rng_;
+  NemesisParams params_;
+  bool unleashed_ = false;
+  std::vector<std::string> timeline_;
+  std::vector<ProcessId> crash_order_;  // pre-drawn distinct crash victims
+  std::uint32_t crashes_scheduled_ = 0;
+};
+
+struct TransferStormParams {
+  TimeNs start = ms(10);
+  TimeNs horizon = ms(300);
+  std::size_t attempts = 8;
+  /// Transferred weight is 1/denominator with denominator drawn from
+  /// [min_denom, max_denom] — small enough that C2 usually passes.
+  std::uint64_t min_denom = 4;
+  std::uint64_t max_denom = 16;
+};
+
+class TransferStorm {
+ public:
+  TransferStorm(Cluster& cluster, std::uint64_t seed,
+                TransferStormParams params = {});
+
+  /// Draws and schedules all transfer attempts. Call at most once.
+  void unleash();
+
+  // Outcome counters (thread-safe snapshots).
+  std::size_t attempts_scheduled() const;
+  std::size_t completed() const;  // callbacks fired (effective or null)
+  std::size_t effective() const;
+  std::size_t skipped() const;  // server still had a transfer in flight
+
+ private:
+  Cluster& cluster_;
+  Rng rng_;
+  TransferStormParams params_;
+  bool unleashed_ = false;
+  std::size_t scheduled_ = 0;
+
+  mutable std::mutex mu_;
+  std::size_t completed_ = 0;
+  std::size_t effective_ = 0;
+  std::size_t skipped_ = 0;
+};
+
+}  // namespace wrs::testing

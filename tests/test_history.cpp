@@ -157,6 +157,59 @@ TEST(HistoryChecker, RejectsNonMonotoneWriterTags) {
   EXPECT_NE(err->find("non-monotone"), std::string::npos);
 }
 
+TEST(HistoryChecker, ViolationNamesBothOpsWithProcessKeyTagAndTimes) {
+  OpRecord w = write_op(1, 0, 10, Tag{1, 1}, "a");
+  OpRecord r = read_op(2, 20, 30, kInitialTag, "");
+  w.key = "hot";
+  r.key = "hot";
+  auto err = check_atomicity({w, r});
+  ASSERT_TRUE(err.has_value());
+  // Both operations appear, each with process, key, interval, and tag —
+  // enough to act on a chaos-fuzz failure without replaying it.
+  EXPECT_NE(err->find(process_name(1)), std::string::npos);
+  EXPECT_NE(err->find(process_name(2)), std::string::npos);
+  EXPECT_NE(err->find("key \"hot\""), std::string::npos);
+  EXPECT_NE(err->find("[20,30]"), std::string::npos);
+  EXPECT_NE(err->find("[0,10]"), std::string::npos);
+  EXPECT_NE(err->find(Tag{1, 1}.str()), std::string::npos);
+  EXPECT_NE(err->find(kInitialTag.str()), std::string::npos);
+}
+
+TEST(HistoryChecker, SweepMatchesSemanticsOnInterleavedBatches) {
+  // Mixed overlapping/non-overlapping batch exercising the sweep's
+  // running-max bookkeeping: every read returns the newest completed
+  // write at its start — atomic.
+  std::vector<OpRecord> h;
+  for (int i = 0; i < 50; ++i) {
+    TimeNs base = i * 100;
+    h.push_back(write_op(1, base, base + 40, Tag{i + 1, 1}, "v"));
+    h.push_back(
+        read_op(2, base + 50, base + 60, Tag{i + 1, 1}, "v"));
+    // A long-running read from way back may surface anywhere overlapping.
+    h.push_back(read_op(3, base + 10, base + 90, Tag{i + 1, 1}, "v"));
+  }
+  EXPECT_FALSE(check_atomicity(h).has_value());
+}
+
+TEST(HistoryChecker, ScalesToFuzzLengthHistories) {
+  // 60k sequential ops: quadratic pairwise scans made this take minutes;
+  // the sort + sweep finishes instantly. The test's 600s ctest timeout is
+  // the regression tripwire.
+  std::vector<OpRecord> h;
+  h.reserve(60'000);
+  for (int i = 0; i < 30'000; ++i) {
+    TimeNs base = i * 10;
+    h.push_back(write_op(1, base, base + 4, Tag{i + 1, 1}, "v"));
+    h.push_back(read_op(2, base + 5, base + 9, Tag{i + 1, 1}, "v"));
+  }
+  EXPECT_FALSE(check_atomicity(h).has_value());
+  // And it still catches a violation buried at the end.
+  h.push_back(read_op(3, 400'000, 400'001, Tag{1, 1}, "v"));
+  auto err = check_atomicity(h);
+  ASSERT_TRUE(err.has_value());
+  EXPECT_NE(err->find("stale read"), std::string::npos);
+}
+
 TEST(HistoryRecorder, TracksCompletionsOnly) {
   HistoryRecorder rec;
   auto t1 = rec.begin(OpRecord::Kind::kWrite, 1, 0);

@@ -135,14 +135,24 @@ TEST(ThreadEnv, CrashedProcessReceivesNothing) {
   EXPECT_TRUE(env.is_crashed(1));
 }
 
-TEST(ThreadEnv, RegisterAfterStartThrows) {
+TEST(ThreadEnv, RegisterAfterStartSpawnsWorker) {
+  // Mid-run registration is allowed (restart-as-new-reader scenarios):
+  // the late process gets a worker and receives messages. Re-registering
+  // an existing id is the error now — the old worker owns that mailbox.
   ThreadEnv env;
   CountingProcess a;
   env.register_process(0, &a);
   env.start();
   CountingProcess b;
-  EXPECT_THROW(env.register_process(1, &b), std::logic_error);
+  env.register_process(1, &b);
+  env.send(0, 1, std::make_shared<NoteMsg>(1));
+  for (int spin = 0; spin < 1000 && b.count.load() < 1; ++spin) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  CountingProcess dup;
+  EXPECT_THROW(env.register_process(1, &dup), std::logic_error);
   env.stop();
+  EXPECT_EQ(b.count.load(), 1);
 }
 
 TEST(ThreadEnv, StopIsIdempotentAndDestructorSafe) {
