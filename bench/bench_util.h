@@ -64,6 +64,28 @@ class JsonReport {
     return *this;
   }
 
+  /// Opens a row describing one shard of a sharded run (shard < 0 opens
+  /// the aggregate row, tagged "all") — keeps per-shard and aggregate
+  /// rows of the same experiment distinguishable to consumers.
+  JsonReport& shard_row(std::int64_t shard) {
+    row();
+    if (shard < 0) {
+      field("shard", std::string("all"));
+    } else {
+      field("shard", static_cast<double>(shard));
+    }
+    return *this;
+  }
+
+  /// Emits every counter of `c` as "<prefix><name>" fields on the open
+  /// row (e.g. the per-shard msgs/bytes counters next to the aggregate).
+  JsonReport& counters(const Counters& c, const std::string& prefix = "") {
+    for (const auto& [name, value] : c.map()) {
+      field(prefix + name, static_cast<double>(value));
+    }
+    return *this;
+  }
+
   JsonReport& field(const std::string& name, double value) {
     std::ostringstream os;
     if (std::isfinite(value)) {

@@ -1,0 +1,229 @@
+// EXP-SH1/SH2: sharded keyspace scale-out.
+//
+// Sweeps 1 -> 8 shards at FIXED per-shard cluster size (n=3, f=1) under a
+// fixed aggregate offered load, on both runtimes. Every storage server
+// models a serial per-request service time (Cluster::Builder::
+// service_time, an M/D/1-style busy-until queue — think SSD access or a
+// CPU-bound storage engine), so one shard has a finite capacity of
+// roughly (1/service_time)/2 ops/s: each op costs every group server one
+// R and one W request. Adding shards multiplies that capacity — the
+// measured near-linear aggregate-throughput scaling is the system's
+// behavior against the modeled per-node bottleneck, independent of the
+// benchmarking host's core count.
+//
+// Reported per (runtime, shard count):
+//   * aggregate row — completed ops, achieved ops/s, shed arrivals,
+//     p50/p95/p99 latency, total msgs/bytes, speedup vs the 1-shard run;
+//   * one row per shard — ops routed there, per-shard p50/p95, and the
+//     shard's msgs/bytes from the runtime's per-shard traffic counters.
+//
+// EXP-SH2 repeats the 4-shard sim point with Zipfian key popularity
+// (theta = 0.99) to show skewed-load imbalance across shards.
+//
+//   shard_scaleout [--json <path>] [--ops <per-client arrivals>]
+//                  [--runtime sim|threads|both] [--shards 1,2,4,8]
+#include <cstring>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+
+namespace wrs::bench {
+namespace {
+
+constexpr std::uint64_t kSeed = 20260727;
+constexpr std::uint32_t kPerShardN = 3;
+constexpr std::uint32_t kPerShardF = 1;
+constexpr std::uint32_t kClients = 4;
+constexpr TimeNs kServiceTime = ms(1);
+constexpr double kOfferedOpsPerSec = 4000;  // aggregate, across clients
+
+struct SweepPoint {
+  std::uint32_t shards = 1;
+  double ops_per_sec = 0;
+  std::size_t completed = 0;
+};
+
+std::string runtime_name(Runtime rt) {
+  return rt == Runtime::kSim ? "sim" : "threads";
+}
+
+/// One deployment at `shards` groups; returns the achieved aggregate
+/// throughput and appends its rows to `report`.
+SweepPoint run_point(Runtime rt, std::uint32_t shards, std::size_t ops,
+                     double zipf_theta, JsonReport& report) {
+  WorkloadParams wp;
+  wp.num_ops = ops;
+  wp.read_ratio = 0.5;
+  wp.value_size = 16;
+  wp.num_keys = 512;
+  wp.zipf_theta = zipf_theta;
+  wp.target_ops_per_sec = kOfferedOpsPerSec / kClients;
+  wp.max_in_flight = 32;
+  wp.seed = kSeed;
+
+  ClusterBuilder b = Cluster::builder()
+                         .servers(kPerShardN)
+                         .faults(kPerShardF)
+                         .shards(shards)
+                         .clients(kClients)
+                         .workload(wp)
+                         .service_time(kServiceTime)
+                         .runtime(rt)
+                         .seed(kSeed);
+  if (rt == Runtime::kSim) {
+    b.uniform_latency(us(100), us(500));
+  }
+  Cluster c = b.build();
+
+  TimeNs t0 = c.now();
+  for (std::uint32_t k = 0; k < kClients; ++k) {
+    c.workload_done(k).get();
+  }
+  TimeNs t1 = c.now();
+  c.quiesce(seconds(60));
+
+  SweepPoint point;
+  point.shards = shards;
+  Histogram latency;
+  std::size_t shed = 0;
+  double sum_client_rate = 0;
+  std::vector<std::size_t> shard_ops(shards, 0);
+  std::vector<Histogram> shard_latency(shards);
+  for (std::uint32_t k = 0; k < kClients; ++k) {
+    WorkloadClient& w = c.workload(k);
+    point.completed += w.completed();
+    shed += w.shed();
+    sum_client_rate += w.achieved_ops_per_sec();
+    latency.merge(w.op_latency());
+    for (ShardId g = 0; g < shards; ++g) {
+      shard_ops[g] += w.shard_completed(g);
+      shard_latency[g].merge(w.shard_latency(g));
+    }
+  }
+  point.ops_per_sec = t1 > t0 ? static_cast<double>(point.completed) * 1e9 /
+                                    static_cast<double>(t1 - t0)
+                              : 0;
+
+  for (ShardId g = 0; g < shards; ++g) {
+    const Counters& t = c.shard_traffic(g);
+    report.shard_row(g)
+        .field("runtime", runtime_name(rt))
+        .field("shards", static_cast<double>(shards))
+        .field("zipf_theta", zipf_theta)
+        .field("ops_completed", static_cast<double>(shard_ops[g]))
+        .field("p50_ms",
+               shard_latency[g].empty()
+                   ? 0.0
+                   : shard_latency[g].percentile(50) / 1e6)
+        .field("p95_ms",
+               shard_latency[g].empty()
+                   ? 0.0
+                   : shard_latency[g].percentile(95) / 1e6)
+        .counters(t);
+  }
+
+  // The aggregate row is opened LAST so the caller can append
+  // cross-point fields (the speedup) to it.
+  report.shard_row(-1)
+      .field("runtime", runtime_name(rt))
+      .field("shards", static_cast<double>(shards))
+      .field("servers_per_shard", static_cast<double>(kPerShardN))
+      .field("clients", static_cast<double>(kClients))
+      .field("service_time_ms", to_ms(kServiceTime))
+      .field("offered_ops_per_sec", kOfferedOpsPerSec)
+      .field("zipf_theta", zipf_theta)
+      .field("ops_completed", static_cast<double>(point.completed))
+      .field("ops_shed", static_cast<double>(shed))
+      .field("ops_per_sec", point.ops_per_sec)
+      .field("sum_client_ops_per_sec", sum_client_rate)
+      .field("p50_ms", latency.percentile(50) / 1e6)
+      .field("p95_ms", latency.percentile(95) / 1e6)
+      .field("p99_ms", latency.percentile(99) / 1e6)
+      .field("msgs", static_cast<double>(c.traffic().get("msgs")))
+      .field("bytes", static_cast<double>(c.traffic().get("bytes")));
+  return point;
+}
+
+void sweep(Runtime rt, const std::vector<std::uint32_t>& shard_counts,
+           std::size_t ops, JsonReport& report, Table& table) {
+  double base = 0;
+  for (std::uint32_t shards : shard_counts) {
+    SweepPoint p = run_point(rt, shards, ops, /*zipf_theta=*/0, report);
+    if (base <= 0) base = p.ops_per_sec;
+    double speedup = base > 0 ? p.ops_per_sec / base : 0;
+    // Lands on the aggregate ("all") row, which run_point opened last.
+    report.field("speedup_vs_first", speedup);
+    table.add_row({runtime_name(rt), std::to_string(shards),
+                   std::to_string(p.completed), Table::fmt(p.ops_per_sec),
+                   Table::fmt(speedup)});
+  }
+}
+
+}  // namespace
+}  // namespace wrs::bench
+
+int main(int argc, char** argv) {
+  using namespace wrs;
+  using namespace wrs::bench;
+
+  std::string json = json_path(argc, argv);
+  std::size_t ops = 2000;
+  std::string runtime = "both";
+  std::vector<std::uint32_t> shard_counts = {1, 2, 4, 8};
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--ops") == 0 && i + 1 < argc) {
+      ops = static_cast<std::size_t>(std::strtoull(argv[++i], nullptr, 10));
+    } else if (std::strcmp(argv[i], "--runtime") == 0 && i + 1 < argc) {
+      runtime = argv[++i];
+    } else if (std::strcmp(argv[i], "--shards") == 0 && i + 1 < argc) {
+      shard_counts.clear();
+      std::stringstream ss(argv[++i]);
+      std::string tok;
+      while (std::getline(ss, tok, ',')) {
+        shard_counts.push_back(
+            static_cast<std::uint32_t>(std::strtoul(tok.c_str(), nullptr, 10)));
+      }
+    }
+  }
+
+  banner("EXP-SH1", "sharded keyspace scale-out (fixed per-shard size n=" +
+                        std::to_string(kPerShardN) + ", service time " +
+                        std::to_string(to_ms(kServiceTime)) + "ms/request)");
+  note("offered load " + Table::fmt(kOfferedOpsPerSec) +
+       " ops/s across " + std::to_string(kClients) +
+       " open-loop clients; capacity ~= shards * (1/service_time)/2");
+
+  Table table({"runtime", "shards", "ops", "ops/s", "speedup"});
+  JsonReport scaleout("EXP-SH1 shard scale-out");
+  scaleout.seed(kSeed);
+  if (runtime == "sim" || runtime == "both") {
+    sweep(Runtime::kSim, shard_counts, ops, scaleout, table);
+  }
+  if (runtime == "threads" || runtime == "both") {
+    sweep(Runtime::kThread, shard_counts, ops, scaleout, table);
+  }
+  table.print();
+
+  banner("EXP-SH2", "zipfian key popularity across shards (theta=0.99)");
+  JsonReport zipf("EXP-SH2 zipfian shard skew");
+  zipf.seed(kSeed);
+  {
+    Table zt({"shards", "zipf", "ops", "ops/s"});
+    SweepPoint p =
+        run_point(Runtime::kSim, 4, ops, /*zipf_theta=*/0.99, zipf);
+    zt.add_row({"4", "0.99", std::to_string(p.completed),
+                Table::fmt(p.ops_per_sec)});
+    zt.print();
+    note("per-shard ops in the JSON rows show the skew (hottest keys "
+         "concentrate on their shards)");
+  }
+
+  if (!json.empty()) {
+    bool ok = scaleout.write(json);
+    ok = zipf.write(json) && ok;
+    return ok ? 0 : 1;
+  }
+  return 0;
+}

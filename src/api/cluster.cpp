@@ -82,15 +82,30 @@ Cluster ClusterBuilder::build() { return Cluster(*this); }
 
 // --- Cluster ----------------------------------------------------------------
 
+ShardMap Cluster::build_shard_map(const ClusterBuilder& spec) {
+  if (spec.n_ == 0) {
+    throw std::invalid_argument("Cluster: servers(n) is required");
+  }
+  if (spec.shards_ == 0) {
+    throw std::invalid_argument("Cluster: shards(s) needs s >= 1");
+  }
+  std::uint32_t f = spec.has_f_ ? spec.f_ : (spec.n_ - 1) / 2;
+  WeightMap tmpl =
+      spec.weights_ ? *spec.weights_ : WeightMap::uniform(spec.n_);
+  // shards(1) — and the unsharded default — is exactly one group with
+  // base 0: the same SystemConfig today's unsharded path built.
+  return ShardMap::uniform(spec.shards_, spec.n_, f, std::move(tmpl));
+}
+
 Cluster::Cluster(const ClusterBuilder& spec)
     : runtime_(spec.runtime_),
+      shard_map_(build_shard_map(spec)),
+      config_(shard_map_.config(0)),
+      service_time_(spec.service_time_),
       kind_(spec.kind_),
       mode_(spec.mode_),
       history_(spec.history_),
       retry_(spec.retry_) {
-  if (spec.n_ == 0) {
-    throw std::invalid_argument("Cluster: servers(n) is required");
-  }
   if (spec.workload_.has_value() &&
       (kind_ == ClusterBuilder::Kind::kReassign ||
        kind_ == ClusterBuilder::Kind::kCustom)) {
@@ -98,10 +113,12 @@ Cluster::Cluster(const ClusterBuilder& spec)
         "Cluster: workload() needs storage clients — incompatible with "
         "reassign_only()/server_factory()");
   }
-  std::uint32_t f = spec.has_f_ ? spec.f_ : (spec.n_ - 1) / 2;
-  WeightMap weights =
-      spec.weights_ ? *spec.weights_ : WeightMap::uniform(spec.n_);
-  config_ = SystemConfig::make(spec.n_, f, std::move(weights));
+  if (shard_map_.num_shards() > 1 &&
+      kind_ != ClusterBuilder::Kind::kStorage) {
+    throw std::invalid_argument(
+        "Cluster: shards(s > 1) needs storage servers — incompatible with "
+        "adaptive()/reassign_only()/server_factory()");
+  }
 
   std::shared_ptr<LatencyModel> base = spec.latency_;
   if (!base && runtime_ == Runtime::kSim) {
@@ -119,52 +136,77 @@ Cluster::Cluster(const ClusterBuilder& spec)
   }
   Env& e = env();
 
-  for (ProcessId s : config_.servers()) {
-    ServerSlot slot;
-    switch (kind_) {
-      case ClusterBuilder::Kind::kStorage: {
-        auto node = std::make_unique<DynamicStorageNode>(e, s, config_);
-        slot.storage = node.get();
-        slot.reassign = &node->reassign();
-        slot.process = std::move(node);
-        break;
-      }
-      case ClusterBuilder::Kind::kAdaptive: {
-        auto node = std::make_unique<AdaptiveNode>(e, s, config_,
-                                                   spec.adaptive_params_);
-        slot.adaptive = node.get();
-        slot.storage = &node->storage();
-        slot.reassign = &node->reassign();
-        slot.process = std::move(node);
-        break;
-      }
-      case ClusterBuilder::Kind::kReassign: {
-        auto node = std::make_unique<ReassignNode>(e, s, config_);
-        slot.reassign = node.get();
-        slot.process = std::move(node);
-        break;
-      }
-      case ClusterBuilder::Kind::kCustom: {
-        if (!spec.server_factory_) {
-          throw std::invalid_argument("Cluster: null server factory");
+  // Per-shard message accounting rides the send hot path, so it is only
+  // installed when the deployment was built with shards().
+  if (spec.has_shards_) {
+    const std::uint32_t per = config_.n;
+    const std::uint32_t total = shard_map_.total_servers();
+    e.enable_shard_traffic(
+        shard_map_.num_shards(),
+        [per, total](ProcessId from, ProcessId to) -> int {
+          // Attribute to the server endpoint: the destination server's
+          // shard, else (replies to clients) the sending server's.
+          if (is_server(to) && to < total) return static_cast<int>(to / per);
+          if (is_server(from) && from < total) {
+            return static_cast<int>(from / per);
+          }
+          return -1;
+        });
+  }
+
+  for (ShardId g = 0; g < shard_map_.num_shards(); ++g) {
+    const SystemConfig& shard_cfg = shard_map_.config(g);
+    for (ProcessId s : shard_cfg.servers()) {
+      ServerSlot slot;
+      switch (kind_) {
+        case ClusterBuilder::Kind::kStorage: {
+          auto node = std::make_unique<DynamicStorageNode>(e, s, shard_cfg);
+          slot.storage = node.get();
+          slot.reassign = &node->reassign();
+          slot.process = std::move(node);
+          break;
         }
-        slot.process = spec.server_factory_(e, s, config_);
-        if (!slot.process) {
-          throw std::invalid_argument("Cluster: server factory returned null");
+        case ClusterBuilder::Kind::kAdaptive: {
+          auto node = std::make_unique<AdaptiveNode>(e, s, shard_cfg,
+                                                     spec.adaptive_params_);
+          slot.adaptive = node.get();
+          slot.storage = &node->storage();
+          slot.reassign = &node->reassign();
+          slot.process = std::move(node);
+          break;
         }
-        break;
+        case ClusterBuilder::Kind::kReassign: {
+          auto node = std::make_unique<ReassignNode>(e, s, shard_cfg);
+          slot.reassign = node.get();
+          slot.process = std::move(node);
+          break;
+        }
+        case ClusterBuilder::Kind::kCustom: {
+          if (!spec.server_factory_) {
+            throw std::invalid_argument("Cluster: null server factory");
+          }
+          slot.process = spec.server_factory_(e, s, shard_cfg);
+          if (!slot.process) {
+            throw std::invalid_argument(
+                "Cluster: server factory returned null");
+          }
+          break;
+        }
       }
+      // Fault-tolerance hardening (defaults off: fault-free deployments
+      // run byte-identically to pre-chaos builds).
+      if (retry_ > 0 && slot.storage != nullptr) {
+        slot.storage->client().set_retry_interval(retry_);
+      }
+      if (service_time_ > 0 && slot.storage != nullptr) {
+        slot.storage->server().set_service_time(service_time_);
+      }
+      if (spec.anti_entropy_ > 0 && slot.reassign != nullptr) {
+        slot.reassign->enable_sync(spec.anti_entropy_);
+      }
+      e.register_process(s, slot.process.get());
+      servers_.push_back(std::move(slot));
     }
-    // Fault-tolerance hardening (defaults off: fault-free deployments run
-    // byte-identically to pre-chaos builds).
-    if (retry_ > 0 && slot.storage != nullptr) {
-      slot.storage->client().set_retry_interval(retry_);
-    }
-    if (spec.anti_entropy_ > 0 && slot.reassign != nullptr) {
-      slot.reassign->enable_sync(spec.anti_entropy_);
-    }
-    e.register_process(s, slot.process.get());
-    servers_.push_back(std::move(slot));
   }
 
   for (std::uint32_t k = 0; k < spec.clients_; ++k) {
@@ -239,20 +281,20 @@ std::size_t Cluster::make_client_slot(const WorkloadParams* wp) {
   ClientSlot slot;
   ProcessId pid = client_id(static_cast<std::uint32_t>(clients_.size()));
   if (wp != nullptr) {
-    auto c =
-        std::make_unique<WorkloadClient>(e, pid, config_, mode_, *wp, history_);
+    auto c = std::make_unique<WorkloadClient>(e, pid, shard_map_, mode_, *wp,
+                                              history_);
     slot.workload = c.get();
-    slot.abd = &c->abd();
+    slot.router = &c->router();
     slot.done = make_await<bool>();
     Await<bool> done = slot.done;
     c->set_on_done([done] { done.fulfill(true); });
     slot.process = std::move(c);
   } else {
-    auto c = std::make_unique<StorageClient>(e, pid, config_, mode_);
-    slot.abd = &c->abd();
+    auto c = std::make_unique<StorageClient>(e, pid, shard_map_, mode_);
+    slot.router = &c->router();
     slot.process = std::move(c);
   }
-  if (retry_ > 0) slot.abd->set_retry_interval(retry_);
+  if (retry_ > 0) slot.router->set_retry_interval(retry_);
   e.register_process(pid, slot.process.get());
   clients_.push_back(std::move(slot));
   return clients_.size() - 1;
@@ -276,11 +318,11 @@ std::size_t Cluster::add_client(const WorkloadParams& params) {
 
 ClientHandle Cluster::client(std::size_t k) {
   ClientSlot& slot = client_slot(k);
-  if (slot.abd == nullptr) {
+  if (slot.router == nullptr) {
     throw std::logic_error("Cluster: client(k) needs a storage deployment");
   }
   return ClientHandle(this, client_id(static_cast<std::uint32_t>(k)),
-                      slot.abd);
+                      slot.router);
 }
 
 ReassignHandle Cluster::server(ProcessId s) {
@@ -355,15 +397,59 @@ void Cluster::post(ProcessId pid, std::function<void()> fn) {
   env().schedule(pid, 0, std::move(fn));
 }
 
-void Cluster::crash(ProcessId pid) { env().crash(pid); }
+void Cluster::check_process(ProcessId pid) const {
+  // Extras may use arbitrary ids (oracles etc.), so they are checked
+  // before the server-range test.
+  if (extra_.count(pid) != 0) return;
+  if (is_server(pid) && pid < servers_.size()) return;
+  if (is_client(pid)) {
+    std::lock_guard lock(clients_mu_);
+    if (pid - kClientIdBase < clients_.size()) return;
+    throw std::out_of_range(
+        "Cluster: client " + process_name(pid) + " out of range [c0, c" +
+        std::to_string(clients_.size()) + ")");
+  }
+  throw std::out_of_range(
+      "Cluster: no process " + process_name(pid) + " (valid servers [s0, s" +
+      std::to_string(servers_.size()) + "))");
+}
+
+ProcessId Cluster::server_id(ShardId g, std::uint32_t i) const {
+  const SystemConfig& cfg = shard_map_.config(g);  // validates g
+  if (i >= cfg.n) {
+    throw std::out_of_range(
+        "Cluster: server index " + std::to_string(i) + " out of range [0, " +
+        std::to_string(cfg.n) + ") in shard " + std::to_string(g));
+  }
+  return cfg.base + i;
+}
+
+const Counters& Cluster::shard_traffic(ShardId g) const {
+  if (!env().shard_traffic_enabled()) {
+    throw std::logic_error(
+        "Cluster: shard_traffic needs a deployment built with shards()");
+  }
+  return env().shard_traffic(g);
+}
+
+void Cluster::crash(ProcessId pid) {
+  check_process(pid);
+  env().crash(pid);
+}
 
 bool Cluster::is_crashed(ProcessId pid) const { return env().is_crashed(pid); }
 
 void Cluster::partition(ProcessId a, ProcessId b) {
+  check_process(a);
+  check_process(b);
   env().faults().partition(a, b);
 }
 
-void Cluster::heal(ProcessId a, ProcessId b) { env().faults().heal(a, b); }
+void Cluster::heal(ProcessId a, ProcessId b) {
+  check_process(a);
+  check_process(b);
+  env().faults().heal(a, b);
+}
 
 namespace {
 
@@ -382,31 +468,44 @@ void for_split_pairs(const std::vector<ProcessId>& side,
 }  // namespace
 
 void Cluster::partition_split(const std::vector<ProcessId>& side) {
+  for (ProcessId p : side) check_process(p);
   LinkFaults& f = env().faults();
   for_split_pairs(side, process_ids(),
                   [&f](ProcessId a, ProcessId b) { f.partition(a, b); });
 }
 
 void Cluster::heal_split(const std::vector<ProcessId>& side) {
+  for (ProcessId p : side) check_process(p);
   LinkFaults& f = env().faults();
   for_split_pairs(side, process_ids(),
                   [&f](ProcessId a, ProcessId b) { f.heal(a, b); });
 }
 
 void Cluster::isolate(ProcessId pid) {
+  check_process(pid);
   LinkFaults& f = env().faults();
   for (ProcessId other : process_ids()) {
     if (other != pid) f.partition(pid, other);
   }
 }
 
+void Cluster::partition_shard(ShardId g) {
+  partition_split(shard_servers(g));  // shard_servers validates g
+}
+
+void Cluster::heal_shard(ShardId g) { heal_split(shard_servers(g)); }
+
 void Cluster::drop_link(ProcessId a, ProcessId b, double p) {
+  check_process(a);
+  check_process(b);
   env().faults().set_drop(a, b, p);
 }
 
 void Cluster::drop_all_links(double p) { env().faults().set_drop_all(p); }
 
 void Cluster::duplicate_link(ProcessId a, ProcessId b, double p) {
+  check_process(a);
+  check_process(b);
   env().faults().set_duplicate(a, b, p);
 }
 
@@ -423,7 +522,7 @@ void Cluster::reorder_links(double p, TimeNs max_extra) {
 void Cluster::heal_all_links() { env().faults().heal_all(); }
 
 std::vector<ProcessId> Cluster::process_ids() const {
-  std::vector<ProcessId> out = config_.servers();
+  std::vector<ProcessId> out = shard_map_.all_server_ids();
   {
     std::lock_guard lock(clients_mu_);
     for (std::size_t k = 0; k < clients_.size(); ++k) {
@@ -435,7 +534,7 @@ std::vector<ProcessId> Cluster::process_ids() const {
 }
 
 void Cluster::set_anti_entropy(TimeNs period) {
-  for (ProcessId s : config_.servers()) {
+  for (ProcessId s = 0; s < servers_.size(); ++s) {
     ReassignNode* node = servers_[s].reassign;
     if (node == nullptr) continue;  // custom factory servers
     post(s, [node, period] { node->enable_sync(period); });
@@ -443,6 +542,7 @@ void Cluster::set_anti_entropy(TimeNs period) {
 }
 
 void Cluster::slow(ProcessId pid, double factor) {
+  check_process(pid);
   if (!degradable_) {
     throw std::logic_error("Cluster: no latency model to degrade");
   }
@@ -450,6 +550,7 @@ void Cluster::slow(ProcessId pid, double factor) {
 }
 
 void Cluster::clear_slow(ProcessId pid) {
+  check_process(pid);
   if (!degradable_) return;
   degradable_->clear_factor(pid);
 }
@@ -493,19 +594,19 @@ const Counters& Cluster::traffic() const { return env().traffic(); }
 
 Await<TaggedValue> ClientHandle::read(RegisterKey key) const {
   auto aw = cluster_->make_await<TaggedValue>();
-  AbdClient* abd = abd_;
-  cluster_->post(id_, [abd, key = std::move(key), aw] {
-    abd->read(key, [aw](const TaggedValue& tv) { aw.fulfill(tv); });
+  ShardRouter* router = router_;
+  cluster_->post(id_, [router, key = std::move(key), aw] {
+    router->read(key, [aw](const TaggedValue& tv) { aw.fulfill(tv); });
   });
   return aw;
 }
 
 Await<Tag> ClientHandle::write(RegisterKey key, Value value) const {
   auto aw = cluster_->make_await<Tag>();
-  AbdClient* abd = abd_;
-  cluster_->post(id_, [abd, key = std::move(key), value = std::move(value),
+  ShardRouter* router = router_;
+  cluster_->post(id_, [router, key = std::move(key), value = std::move(value),
                        aw] {
-    abd->write(key, value, [aw](const Tag& tag) { aw.fulfill(tag); });
+    router->write(key, value, [aw](const Tag& tag) { aw.fulfill(tag); });
   });
   return aw;
 }
@@ -517,13 +618,13 @@ std::vector<Await<TaggedValue>> ClientHandle::read_batch(
   for (std::size_t i = 0; i < keys.size(); ++i) {
     awaits.push_back(cluster_->make_await<TaggedValue>());
   }
-  AbdClient* abd = abd_;
+  ShardRouter* router = router_;
   // One hop into the client's context issues the whole batch, so every
   // operation is in flight before the first reply is processed.
-  cluster_->post(id_, [abd, keys = std::move(keys), awaits] {
+  cluster_->post(id_, [router, keys = std::move(keys), awaits] {
     for (std::size_t i = 0; i < keys.size(); ++i) {
       Await<TaggedValue> aw = awaits[i];
-      abd->read(keys[i], [aw](const TaggedValue& tv) { aw.fulfill(tv); });
+      router->read(keys[i], [aw](const TaggedValue& tv) { aw.fulfill(tv); });
     }
   });
   return awaits;
@@ -536,12 +637,12 @@ std::vector<Await<Tag>> ClientHandle::write_batch(
   for (std::size_t i = 0; i < puts.size(); ++i) {
     awaits.push_back(cluster_->make_await<Tag>());
   }
-  AbdClient* abd = abd_;
-  cluster_->post(id_, [abd, puts = std::move(puts), awaits] {
+  ShardRouter* router = router_;
+  cluster_->post(id_, [router, puts = std::move(puts), awaits] {
     for (std::size_t i = 0; i < puts.size(); ++i) {
       Await<Tag> aw = awaits[i];
-      abd->write(puts[i].first, puts[i].second,
-                 [aw](const Tag& tag) { aw.fulfill(tag); });
+      router->write(puts[i].first, puts[i].second,
+                    [aw](const Tag& tag) { aw.fulfill(tag); });
     }
   });
   return awaits;
@@ -549,9 +650,9 @@ std::vector<Await<Tag>> ClientHandle::write_batch(
 
 Await<std::vector<RegisterKey>> ClientHandle::list_keys() const {
   auto aw = cluster_->make_await<std::vector<RegisterKey>>();
-  AbdClient* abd = abd_;
-  cluster_->post(id_, [abd, aw] {
-    abd->list_keys(
+  ShardRouter* router = router_;
+  cluster_->post(id_, [router, aw] {
+    router->list_keys(
         [aw](const std::vector<RegisterKey>& keys) { aw.fulfill(keys); });
   });
   return aw;

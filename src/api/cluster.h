@@ -51,6 +51,25 @@
 // so any failure replays bit-for-bit (see src/testing/nemesis.h and
 // tests/test_chaos_fuzz.cpp for the seeded scenario drivers).
 //
+// Sharded deployments scale the keyspace out over independent replica
+// groups: builder.shards(g) deploys g groups of servers(n) servers each
+// (global server ids are shard-major: shard g owns [g*n, (g+1)*n)), and
+// every client routes operations by key through a ShardRouter. Weight
+// reassignment becomes a per-shard knob — each group runs its own
+// ReassignNode protocol — and the scenario verbs grow shard selectors:
+//
+//   Cluster c = Cluster::builder()
+//                   .servers(3).shards(4).clients(2)
+//                   .service_time(ms(1))   // modeled per-server capacity
+//                   .build();
+//   c.crash(/*shard=*/2, /*index=*/0);     // server s6
+//   c.partition_shard(1);                  // wall off group 1
+//   c.server(3, 1).transfer(c.server_id(3, 0), Weight(1, 4));
+//
+// shards(1) (or never calling shards) is byte-for-byte today's
+// unsharded deployment — one group, key "" included. All shard and
+// server ids are validated and errors name the offender + valid range.
+//
 // The low-level Env/Process API stays public — protocol internals and
 // white-box tests keep using it; the facade is the deployment surface.
 #pragma once
@@ -69,6 +88,7 @@
 #include "monitor/adaptive_node.h"
 #include "runtime/sim_env.h"
 #include "runtime/thread_env.h"
+#include "shard/shard_map.h"
 #include "storage/dynamic_node.h"
 #include "workload/wan_profiles.h"
 #include "workload/workload.h"
@@ -94,6 +114,7 @@ class ClusterBuilder;
 class ClientHandle {
  public:
   /// Atomic read of register `key` (the paper's register is key "").
+  /// Sharded deployments route the op to the key's shard.
   Await<TaggedValue> read(RegisterKey key = {}) const;
 
   /// Atomic write; resolves to the tag the value was written under.
@@ -110,21 +131,25 @@ class ClientHandle {
   std::vector<Await<Tag>> write_batch(
       std::vector<std::pair<RegisterKey, Value>> puts) const;
 
-  /// Discovers every register key stored at some weighted quorum.
+  /// Discovers every register key stored at some weighted quorum (on a
+  /// sharded deployment: the union over every shard's quorum).
   Await<std::vector<RegisterKey>> list_keys() const;
 
-  /// Low-level escape hatch (callback API, client-context only).
-  AbdClient& abd() const { return *abd_; }
+  /// Low-level escape hatches (callback API, client-context only).
+  /// abd() is the single-group client; it throws on sharded deployments
+  /// — use router() or router().shard_client(g) there.
+  AbdClient& abd() const { return router_->only_client(); }
+  ShardRouter& router() const { return *router_; }
   ProcessId id() const { return id_; }
 
  private:
   friend class Cluster;
-  ClientHandle(Cluster* cluster, ProcessId id, AbdClient* abd)
-      : cluster_(cluster), id_(id), abd_(abd) {}
+  ClientHandle(Cluster* cluster, ProcessId id, ShardRouter* router)
+      : cluster_(cluster), id_(id), router_(router) {}
 
   Cluster* cluster_;
   ProcessId id_;
-  AbdClient* abd_;
+  ShardRouter* router_;
 };
 
 /// Awaitable reassignment endpoint of one deployed server.
@@ -184,10 +209,32 @@ class ClusterBuilder {
       std::function<std::unique_ptr<Process>(Env&, const SystemConfig&)>;
 
   /// --- topology ----------------------------------------------------------
+  /// Servers PER SHARD (unsharded deployments have exactly one shard).
   ClusterBuilder& servers(std::uint32_t n) { n_ = n; return *this; }
+  /// Fault threshold per shard.
   ClusterBuilder& faults(std::uint32_t f) { f_ = f; has_f_ = true; return *this; }
-  /// Initial weight assignment; defaults to uniform weight 1 per server.
+  /// Initial weight assignment, keyed 0..n-1; defaults to uniform weight
+  /// 1 per server. Sharded deployments apply it as every shard's
+  /// per-group template.
   ClusterBuilder& weights(WeightMap w) { weights_ = std::move(w); return *this; }
+  /// Sharded keyspace: `s` independent replica groups of servers(n)
+  /// servers each, client operations routed by key. shards(1) behaves
+  /// identically to an unsharded deployment. Storage deployments only
+  /// (incompatible with adaptive()/reassign_only()/server_factory()).
+  ClusterBuilder& shards(std::uint32_t s) {
+    shards_ = s;
+    has_shards_ = true;
+    return *this;
+  }
+  /// Modeled serial per-request service time of every storage server
+  /// (an M/D/1-style busy-until queue; see AbdServer). Gives each node a
+  /// finite capacity of 1/t requests per second on BOTH runtimes — the
+  /// per-shard bottleneck scale-out benchmarks measure against. 0 (the
+  /// default) replies inline, event-identical to the unmodeled server.
+  ClusterBuilder& service_time(TimeNs per_request) {
+    service_time_ = per_request;
+    return *this;
+  }
 
   /// --- substrate ---------------------------------------------------------
   ClusterBuilder& runtime(Runtime r) { runtime_ = r; return *this; }
@@ -250,6 +297,9 @@ class ClusterBuilder {
   std::uint32_t n_ = 0;
   std::uint32_t f_ = 0;
   bool has_f_ = false;
+  std::uint32_t shards_ = 1;
+  bool has_shards_ = false;
+  TimeNs service_time_ = 0;
   std::optional<WeightMap> weights_;
   Runtime runtime_ = Runtime::kSim;
   std::uint64_t seed_ = 1;
@@ -277,19 +327,47 @@ class Cluster {
   Cluster& operator=(const Cluster&) = delete;
 
   // --- deployment surface --------------------------------------------------
+  /// Shard 0's config (== THE config of an unsharded deployment).
   const SystemConfig& config() const { return config_; }
-  std::uint32_t num_servers() const { return config_.n; }
+  /// Total deployed servers across every shard.
+  std::uint32_t num_servers() const { return shard_map_.total_servers(); }
+  std::uint32_t servers_per_shard() const { return config_.n; }
   std::size_t num_clients() const {
     std::lock_guard lock(clients_mu_);
     return clients_.size();
   }
   Runtime runtime() const { return runtime_; }
 
+  // --- sharding ------------------------------------------------------------
+  std::uint32_t num_shards() const { return shard_map_.num_shards(); }
+  const ShardMap& shard_map() const { return shard_map_; }
+  /// Config of shard `g`; throws std::out_of_range naming offender+range.
+  const SystemConfig& shard_config(ShardId g) const {
+    return shard_map_.config(g);
+  }
+  /// Global server ids of shard `g` (validated).
+  std::vector<ProcessId> shard_servers(ShardId g) const {
+    return shard_map_.servers(g);
+  }
+  /// Global id of the i-th server of shard `g` (both validated).
+  ProcessId server_id(ShardId g, std::uint32_t i) const;
+  /// Every deployed server id, shard-major ascending.
+  std::vector<ProcessId> all_server_ids() const {
+    return shard_map_.all_server_ids();
+  }
+  /// Per-shard message counters (deployments built with shards(); on the
+  /// thread runtime only stable once quiescent, like traffic()).
+  const Counters& shard_traffic(ShardId g) const;
+
   /// The k-th storage client endpoint.
   ClientHandle client(std::size_t k = 0);
 
   /// The reassignment endpoint of server `s` (any non-custom deployment).
   ReassignHandle server(ProcessId s);
+  /// The reassignment endpoint of shard g's i-th server.
+  ReassignHandle server(ShardId g, std::uint32_t i) {
+    return server(server_id(g, i));
+  }
 
   /// The k-th reassignment-service client (reassign_only deployments).
   ReassignClientHandle reassign_client(std::size_t k = 0);
@@ -320,8 +398,14 @@ class Cluster {
   void post(ProcessId pid, std::function<void()> fn);
 
   // --- scenario injection --------------------------------------------------
+  // Every verb validates its target: unknown process/server/shard ids
+  // throw std::out_of_range naming the offender and the valid range
+  // instead of silently no-opping against a mistyped id.
+
   /// Crash-stops server or client `pid`.
   void crash(ProcessId pid);
+  /// Crash-stops shard g's i-th server.
+  void crash(ShardId g, std::uint32_t i) { crash(server_id(g, i)); }
   bool is_crashed(ProcessId pid) const;
 
   // --- link faults (messages sent while a fault is active are LOST;
@@ -338,6 +422,14 @@ class Cluster {
   /// Cuts `pid` off from every other deployed process (use
   /// env().faults().cut_one_way for asymmetric variants).
   void isolate(ProcessId pid);
+  /// Isolates shard g's i-th server.
+  void isolate(ShardId g, std::uint32_t i) { isolate(server_id(g, i)); }
+  /// Walls off shard `g`: cuts every link between the shard's servers
+  /// and everything outside the shard (clients AND other shards), so the
+  /// group stalls while the rest of the deployment keeps serving.
+  /// heal_shard is its exact inverse (enumerated at heal time).
+  void partition_shard(ShardId g);
+  void heal_shard(ShardId g);
   /// Message loss / duplication with probability `p`, on one link or as
   /// a network-wide storm. The storm variants cover EVERY link —
   /// including processes deployed while the storm is active (restarted
@@ -371,6 +463,11 @@ class Cluster {
   /// Multiplies every message delay to/from `pid` (degraded replica).
   void slow(ProcessId pid, double factor);
   void clear_slow(ProcessId pid);
+  /// Degrades shard g's i-th server.
+  void slow(ShardId g, std::uint32_t i, double factor) {
+    slow(server_id(g, i), factor);
+  }
+  void clear_slow(ShardId g, std::uint32_t i) { clear_slow(server_id(g, i)); }
 
   /// Swaps the latency model underneath the running deployment (slow()
   /// factors are preserved on top of the new model).
@@ -415,18 +512,26 @@ class Cluster {
   };
   struct ClientSlot {
     std::unique_ptr<Process> process;
-    AbdClient* abd = nullptr;
+    ShardRouter* router = nullptr;
     ReassignClient* reassign = nullptr;
     WorkloadClient* workload = nullptr;
     Await<bool> done;
   };
 
+  static ShardMap build_shard_map(const ClusterBuilder& spec);
+
   ServerSlot& server_slot(ProcessId s);
   ClientSlot& client_slot(std::size_t k);
   std::size_t make_client_slot(const WorkloadParams* wp);
+  /// Verb-target validation: `pid` must be a deployed server, client, or
+  /// extra process; throws std::out_of_range naming offender + ranges.
+  void check_process(ProcessId pid) const;
 
   Runtime runtime_;
+  /// Declared before config_: config_ aliases shard 0's config.
+  ShardMap shard_map_;
   SystemConfig config_;
+  TimeNs service_time_ = 0;
   ClusterBuilder::Kind kind_;
   AbdClient::Mode mode_ = AbdClient::Mode::kDynamic;
   std::shared_ptr<HistoryRecorder> history_;

@@ -48,18 +48,25 @@ class RbMsg : public MessageBase<RbMsg> {
 /// Per-process reliable broadcast endpoint. Owned by a protocol component;
 /// not itself a Process. The owner must route RbMsg instances received in
 /// its on_message into handle().
+///
+/// A non-empty `group` scopes both the origin broadcast and the forward
+/// step to exactly that server set (one replica group of a sharded
+/// deployment); an empty group falls back to every server registered in
+/// the Env (the classic single-group behavior).
 class ReliableBroadcast {
  public:
   using DeliverFn = std::function<void(ProcessId origin, const Message&)>;
 
-  ReliableBroadcast(Env& env, ProcessId self, DeliverFn deliver)
-      : env_(env), self_(self), deliver_(std::move(deliver)) {}
+  ReliableBroadcast(Env& env, ProcessId self, DeliverFn deliver,
+                    std::vector<ProcessId> group = {})
+      : env_(env),
+        self_(self),
+        deliver_(std::move(deliver)),
+        group_(std::move(group)) {}
 
-  /// R-broadcasts `payload` to all servers (including self).
+  /// R-broadcasts `payload` to the group (including self).
   void broadcast(MsgPtr payload) {
-    auto wrapped = std::make_shared<RbMsg>(self_, next_seq_++,
-                                           std::move(payload));
-    env_.broadcast_to_servers(self_, wrapped);
+    send_all(std::make_shared<RbMsg>(self_, next_seq_++, std::move(payload)));
   }
 
   /// Returns true iff `msg` was an RbMsg and has been consumed.
@@ -71,9 +78,8 @@ class ReliableBroadcast {
     // Forward before delivering so Agreement holds even if the local
     // deliver callback crashes this process.
     if (rb->origin() != self_) {
-      env_.broadcast_to_servers(
-          self_, std::make_shared<RbMsg>(rb->origin(), rb->seq(),
-                                         rb->payload()));
+      send_all(std::make_shared<RbMsg>(rb->origin(), rb->seq(),
+                                       rb->payload()));
     }
     deliver_(rb->origin(), *rb->payload());
     return true;
@@ -82,9 +88,18 @@ class ReliableBroadcast {
   std::size_t delivered_count() const { return delivered_.size(); }
 
  private:
+  void send_all(const MsgPtr& wrapped) {
+    if (group_.empty()) {
+      env_.broadcast_to_servers(self_, wrapped);
+    } else {
+      env_.broadcast_to_group(self_, group_, wrapped);
+    }
+  }
+
   Env& env_;
   ProcessId self_;
   DeliverFn deliver_;
+  std::vector<ProcessId> group_;
   std::uint64_t next_seq_ = 0;
   std::set<std::pair<ProcessId, std::uint64_t>> delivered_;
 };

@@ -40,6 +40,14 @@ class Histogram {
     sorted_ = false;
   }
 
+  /// Appends every sample of `other` — used to aggregate per-shard or
+  /// per-client histograms into one distribution.
+  void merge(const Histogram& other) {
+    samples_.insert(samples_.end(), other.samples_.begin(),
+                    other.samples_.end());
+    sorted_ = false;
+  }
+
   const std::vector<double>& samples() const { return samples_; }
 
   /// "n=__ mean=__ p50=__ p99=__ max=__" with values scaled by `scale`
@@ -80,6 +88,11 @@ class Counters {
   }
   void merge(const Counters& other) {
     for (const auto& [k, v] : other.map_) map_[k] += v;
+  }
+  /// Folds `other` in under "<prefix><name>" — reports that show
+  /// per-shard counters next to the aggregate use e.g. prefix "shard0.".
+  void merge_prefixed(const Counters& other, const std::string& prefix) {
+    for (const auto& [k, v] : other.map_) map_[prefix + k] += v;
   }
   const std::map<std::string, std::int64_t>& map() const { return map_; }
   void clear() { map_.clear(); }

@@ -5,8 +5,12 @@
 namespace wrs {
 
 std::vector<ProcessId> all_servers(std::uint32_t n) {
+  return server_range(0, n);
+}
+
+std::vector<ProcessId> server_range(ProcessId base, std::uint32_t n) {
   std::vector<ProcessId> out(n);
-  std::iota(out.begin(), out.end(), ProcessId{0});
+  std::iota(out.begin(), out.end(), base);
   return out;
 }
 

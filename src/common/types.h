@@ -10,8 +10,14 @@ namespace wrs {
 
 /// Identifies a process (server or client). Servers are numbered
 /// 0..n-1; clients use ids >= kClientIdBase so the two ranges never
-/// collide (the paper's S and Pi are disjoint sets).
+/// collide (the paper's S and Pi are disjoint sets). Sharded
+/// deployments lay server groups out contiguously: shard g of size n
+/// owns ids [g*n, (g+1)*n).
 using ProcessId = std::uint32_t;
+
+/// Identifies one replica group (shard) in a sharded deployment. The
+/// paper's single-group system is shard 0.
+using ShardId = std::uint32_t;
 
 inline constexpr ProcessId kClientIdBase = 1u << 16;
 inline constexpr ProcessId kNoProcess = std::numeric_limits<ProcessId>::max();
@@ -46,6 +52,9 @@ constexpr double to_ms(TimeNs t) {
 
 /// The set of server ids {0, 1, ..., n-1}.
 std::vector<ProcessId> all_servers(std::uint32_t n);
+
+/// The contiguous server-id range {base, ..., base+n-1} of one group.
+std::vector<ProcessId> server_range(ProcessId base, std::uint32_t n);
 
 /// Human-readable process name ("s3" / "c1").
 std::string process_name(ProcessId id);

@@ -15,6 +15,11 @@ struct SystemConfig {
   std::uint32_t n = 0;
   std::uint32_t f = 0;
   WeightMap initial_weights;
+  /// The replica group this config describes. Unsharded deployments (and
+  /// the paper's model) are shard 0 with base 0; shard g of a sharded
+  /// deployment owns the contiguous server ids [base, base+n).
+  ShardId shard = 0;
+  ProcessId base = 0;
 
   /// Uniform initial weights (weight 1 each): the MQS starting point.
   static SystemConfig uniform(std::uint32_t n, std::uint32_t f) {
@@ -31,7 +36,22 @@ struct SystemConfig {
     return cfg;
   }
 
-  std::vector<ProcessId> servers() const { return all_servers(n); }
+  /// One shard of a multi-group deployment: the group's weights must be
+  /// keyed by the GLOBAL server ids [base, base+n).
+  static SystemConfig make_shard(ShardId shard, ProcessId base,
+                                 std::uint32_t n, std::uint32_t f,
+                                 WeightMap initial) {
+    SystemConfig cfg;
+    cfg.n = n;
+    cfg.f = f;
+    cfg.initial_weights = std::move(initial);
+    cfg.shard = shard;
+    cfg.base = base;
+    cfg.validate();
+    return cfg;
+  }
+
+  std::vector<ProcessId> servers() const { return server_range(base, n); }
 
   /// W_{S,0}.
   Weight initial_total() const { return initial_weights.total(); }
@@ -48,6 +68,11 @@ struct SystemConfig {
     if (n == 0) throw std::invalid_argument("SystemConfig: n == 0");
     if (n < 2 * f + 1) {
       throw std::invalid_argument("SystemConfig: need n >= 2f+1");
+    }
+    if (base + n > kClientIdBase) {
+      throw std::invalid_argument(
+          "SystemConfig: server range [" + std::to_string(base) + ", " +
+          std::to_string(base + n) + ") collides with the client id space");
     }
     if (initial_weights.size() != n) {
       throw std::invalid_argument("SystemConfig: weights/servers mismatch");

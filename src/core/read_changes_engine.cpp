@@ -7,7 +7,8 @@ void ReadChangesEngine::start(ProcessId target, Callback cb) {
   Pending& p = pending_[op_id];
   p.target = target;
   p.cb = std::move(cb);
-  env_.broadcast_to_servers(self_, std::make_shared<RcReq>(op_id, target));
+  env_.broadcast_to_group(
+      self_, servers_, std::make_shared<RcReq>(op_id, target, config_.shard));
 }
 
 bool ReadChangesEngine::handle(ProcessId from, const Message& msg) {
@@ -39,7 +40,8 @@ bool ReadChangesEngine::handle(ProcessId from, const Message& msg) {
 void ReadChangesEngine::maybe_finish_phase1(std::uint64_t op_id, Pending& p) {
   if (p.phase1_acks.size() < config_.f + 1) return;
   p.phase = 2;
-  env_.broadcast_to_servers(self_, std::make_shared<WcReq>(op_id, p.acc));
+  env_.broadcast_to_group(
+      self_, servers_, std::make_shared<WcReq>(op_id, p.acc, config_.shard));
 }
 
 }  // namespace wrs

@@ -27,7 +27,7 @@ class ReadChangesEngine {
   using Callback = std::function<void(const ChangeSet&)>;
 
   ReadChangesEngine(Env& env, ProcessId self, const SystemConfig& config)
-      : env_(env), self_(self), config_(config) {}
+      : env_(env), self_(self), config_(config), servers_(config.servers()) {}
 
   /// Starts a read_changes(target) invocation; `cb` fires exactly once
   /// with the returned set. (If more than f servers are faulty, liveness
@@ -54,6 +54,7 @@ class ReadChangesEngine {
   Env& env_;
   ProcessId self_;
   SystemConfig config_;
+  std::vector<ProcessId> servers_;  // the group broadcasts are scoped to
   std::uint64_t next_op_id_ = 1;
   std::map<std::uint64_t, Pending> pending_;
 };

@@ -11,20 +11,26 @@
 
 namespace wrs {
 
-/// <RC, s> — phase 1 of read_changes: asks a server for the changes it
+/// Requests and server-to-server traffic carry the shard id of their
+/// replica group; a server drops reassignment traffic addressed to a
+/// different group (see abd_messages.h for the sharding rationale).
+
+/// <RC, s, g> — phase 1 of read_changes: asks a server for the changes it
 /// stores for target `s`. op_id correlates responses with invocations.
 class RcReq : public MessageBase<RcReq> {
  public:
-  RcReq(std::uint64_t op_id, ProcessId target)
-      : op_id_(op_id), target_(target) {}
+  RcReq(std::uint64_t op_id, ProcessId target, ShardId shard = 0)
+      : op_id_(op_id), target_(target), shard_(shard) {}
   std::uint64_t op_id() const { return op_id_; }
   ProcessId target() const { return target_; }
+  ShardId shard() const { return shard_; }
   std::string type_name() const override { return "RC"; }
-  std::size_t wire_size() const override { return kHeaderBytes + 12; }
+  std::size_t wire_size() const override { return kHeaderBytes + 16; }
 
  private:
   std::uint64_t op_id_;
   ProcessId target_;
+  ShardId shard_;
 };
 
 /// <RC_Ack, C_s> — a server's stored changes for the requested target.
@@ -44,22 +50,24 @@ class RcAck : public MessageBase<RcAck> {
   ChangeSet changes_;
 };
 
-/// <WC, C> — phase 2 of read_changes: write back the unioned set so that
-/// n-f servers store it before the invocation returns.
+/// <WC, C, g> — phase 2 of read_changes: write back the unioned set so
+/// that n-f servers store it before the invocation returns.
 class WcReq : public MessageBase<WcReq> {
  public:
-  WcReq(std::uint64_t op_id, ChangeSet changes)
-      : op_id_(op_id), changes_(std::move(changes)) {}
+  WcReq(std::uint64_t op_id, ChangeSet changes, ShardId shard = 0)
+      : op_id_(op_id), changes_(std::move(changes)), shard_(shard) {}
   std::uint64_t op_id() const { return op_id_; }
   const ChangeSet& changes() const { return changes_; }
+  ShardId shard() const { return shard_; }
   std::string type_name() const override { return "WC"; }
   std::size_t wire_size() const override {
-    return kHeaderBytes + 8 + changes_.wire_size();
+    return kHeaderBytes + 12 + changes_.wire_size();
   }
 
  private:
   std::uint64_t op_id_;
   ChangeSet changes_;
+  ShardId shard_;
 };
 
 /// <WC_Ack>.
@@ -74,20 +82,22 @@ class WcAck : public MessageBase<WcAck> {
   std::uint64_t op_id_;
 };
 
-/// <T, c, c'> — the transfer announcement, reliably broadcast by the
+/// <T, c, c', g> — the transfer announcement, reliably broadcast by the
 /// issuer (Algorithm 4 line 14). Carries both changes of the pair.
 class TransferMsg : public MessageBase<TransferMsg> {
  public:
-  TransferMsg(Change neg, Change pos)
-      : neg_(std::move(neg)), pos_(std::move(pos)) {}
+  TransferMsg(Change neg, Change pos, ShardId shard = 0)
+      : neg_(std::move(neg)), pos_(std::move(pos)), shard_(shard) {}
   const Change& neg() const { return neg_; }
   const Change& pos() const { return pos_; }
+  ShardId shard() const { return shard_; }
   std::string type_name() const override { return "T"; }
-  std::size_t wire_size() const override { return kHeaderBytes + 2 * 32; }
+  std::size_t wire_size() const override { return kHeaderBytes + 4 + 2 * 32; }
 
  private:
   Change neg_;
   Change pos_;
+  ShardId shard_;
 };
 
 /// <SYNC, C, lc?> — anti-entropy round (not in the paper, which assumes
@@ -99,33 +109,41 @@ class TransferMsg : public MessageBase<TransferMsg> {
 /// may have been dropped. Off unless ReassignNode::enable_sync is called.
 class SyncMsg : public MessageBase<SyncMsg> {
  public:
-  SyncMsg(ChangeSet changes, std::optional<std::uint64_t> pending_counter)
-      : changes_(std::move(changes)), pending_counter_(pending_counter) {}
+  SyncMsg(ChangeSet changes, std::optional<std::uint64_t> pending_counter,
+          ShardId shard = 0)
+      : changes_(std::move(changes)),
+        pending_counter_(pending_counter),
+        shard_(shard) {}
   const ChangeSet& changes() const { return changes_; }
   const std::optional<std::uint64_t>& pending_counter() const {
     return pending_counter_;
   }
+  ShardId shard() const { return shard_; }
   std::string type_name() const override { return "SYNC"; }
   std::size_t wire_size() const override {
-    return kHeaderBytes + 9 + changes_.wire_size();
+    return kHeaderBytes + 13 + changes_.wire_size();
   }
 
  private:
   ChangeSet changes_;
   std::optional<std::uint64_t> pending_counter_;
+  ShardId shard_;
 };
 
-/// <T_Ack, lc> — acknowledgment that a server stored both changes of the
-/// transfer identified by (issuer, counter).
+/// <T_Ack, lc, g> — acknowledgment that a server stored both changes of
+/// the transfer identified by (issuer, counter).
 class TAck : public MessageBase<TAck> {
  public:
-  explicit TAck(std::uint64_t counter) : counter_(counter) {}
+  explicit TAck(std::uint64_t counter, ShardId shard = 0)
+      : counter_(counter), shard_(shard) {}
   std::uint64_t counter() const { return counter_; }
+  ShardId shard() const { return shard_; }
   std::string type_name() const override { return "T_ACK"; }
-  std::size_t wire_size() const override { return kHeaderBytes + 8; }
+  std::size_t wire_size() const override { return kHeaderBytes + 12; }
 
  private:
   std::uint64_t counter_;
+  ShardId shard_;
 };
 
 }  // namespace wrs

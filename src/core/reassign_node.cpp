@@ -13,12 +13,14 @@ ReassignNode::ReassignNode(Env& env, ProcessId self,
     : env_(env),
       self_(self),
       config_(config),
+      servers_(config.servers()),
       floor_(config.floor()),
       changes_(ChangeSet::initial(config.initial_weights)),
       rb_(env, self,
           [this](ProcessId origin, const Message& payload) {
             on_rb_deliver(origin, payload);
-          }),
+          },
+          config.servers()),
       read_engine_(env, self, config),
       refresh_hook_([](std::function<void()> done) { done(); }) {
   // The paper's model assumes RP-Integrity at t=0. Starting below the
@@ -44,8 +46,12 @@ void ReassignNode::transfer(ProcessId to, const Weight& delta,
   if (!(delta.is_positive())) {
     throw std::invalid_argument("ReassignNode::transfer: delta must be > 0");
   }
-  if (to == self_ || !is_server(to) || to >= config_.n) {
-    throw std::invalid_argument("ReassignNode::transfer: bad destination");
+  if (to == self_ || to < config_.base || to >= config_.base + config_.n) {
+    throw std::invalid_argument(
+        "ReassignNode::transfer: destination " + process_name(to) +
+        " outside this group's server range [" +
+        std::to_string(config_.base) + ", " +
+        std::to_string(config_.base + config_.n) + ")");
   }
 
   std::uint64_t counter = lc_++;
@@ -61,7 +67,7 @@ void ReassignNode::transfer(ProcessId to, const Weight& delta,
     p.neg = neg;
     p.cb = std::move(cb);
     pending_transfer_ = std::move(p);
-    rb_.broadcast(std::make_shared<TransferMsg>(neg, pos));
+    rb_.broadcast(std::make_shared<TransferMsg>(neg, pos, config_.shard));
     // Completion once n-f-1 other servers acked (line 15). With n-f-1 == 0
     // (n = f+1 is excluded by SystemConfig, so this cannot happen) the
     // transfer would complete immediately.
@@ -93,6 +99,7 @@ bool ReassignNode::handle(ProcessId from, const Message& msg) {
   if (read_engine_.handle(from, msg)) return true;
 
   if (const auto* rc = msg_cast<RcReq>(msg)) {
+    if (misrouted(rc->shard())) return true;
     // Algorithm 3 line 12-13: reply with the changes stored for target.
     env_.send(self_, from,
               std::make_shared<RcAck>(rc->op_id(),
@@ -100,6 +107,7 @@ bool ReassignNode::handle(ProcessId from, const Message& msg) {
     return true;
   }
   if (const auto* wc = msg_cast<WcReq>(msg)) {
+    if (misrouted(wc->shard())) return true;
     // Algorithm 3 line 14-15: store, then acknowledge.
     std::uint64_t op_id = wc->op_id();
     write_changes(wc->changes(), [this, from, op_id] {
@@ -108,6 +116,7 @@ bool ReassignNode::handle(ProcessId from, const Message& msg) {
     return true;
   }
   if (const auto* sync = msg_cast<SyncMsg>(msg)) {
+    if (misrouted(sync->shard())) return true;
     std::optional<std::uint64_t> pending = sync->pending_counter();
     write_changes(sync->changes(), [this, from, pending] {
       // Re-ack the sender's in-flight pair even when it was acked before:
@@ -115,12 +124,14 @@ bool ReassignNode::handle(ProcessId from, const Message& msg) {
       // Duplicate T_Acks collapse in the issuer's ack set.
       if (pending.has_value() && from != self_ &&
           changes_.count_pair(from, *pending) >= 2) {
-        env_.send(self_, from, std::make_shared<TAck>(*pending));
+        env_.send(self_, from,
+                  std::make_shared<TAck>(*pending, config_.shard));
       }
     });
     return true;
   }
   if (const auto* ack = msg_cast<TAck>(msg)) {
+    if (misrouted(ack->shard())) return true;
     if (pending_transfer_.has_value() &&
         pending_transfer_->counter == ack->counter() && from != self_) {
       pending_transfer_->acks.insert(from);
@@ -151,8 +162,9 @@ void ReassignNode::schedule_sync() {
 void ReassignNode::sync_now() {
   std::optional<std::uint64_t> pending;
   if (pending_transfer_.has_value()) pending = pending_transfer_->counter;
-  env_.broadcast_to_servers(self_,
-                            std::make_shared<SyncMsg>(changes_, pending));
+  env_.broadcast_to_group(
+      self_, servers_,
+      std::make_shared<SyncMsg>(changes_, pending, config_.shard));
 }
 
 void ReassignNode::complete_transfer() {
@@ -174,6 +186,7 @@ void ReassignNode::on_rb_deliver(ProcessId /*origin*/,
                              << payload.type_name());
     return;
   }
+  if (misrouted(t->shard())) return;
   ChangeSet pair;
   pair.add(t->neg());
   pair.add(t->pos());
@@ -228,7 +241,7 @@ void ReassignNode::maybe_ack_issuer(ProcessId issuer, std::uint64_t counter) {
   if (changes_.count_pair(issuer, counter) < 2) return;  // wait for pair
   auto key = std::make_pair(issuer, counter);
   if (!acked_pairs_.insert(key).second) return;  // already acked
-  env_.send(self_, issuer, std::make_shared<TAck>(counter));
+  env_.send(self_, issuer, std::make_shared<TAck>(counter, config_.shard));
 }
 
 }  // namespace wrs

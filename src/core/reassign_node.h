@@ -74,6 +74,10 @@ class ReassignNode : public Process {
   const SystemConfig& config() const { return config_; }
   ProcessId id() const { return self_; }
 
+  /// Reassignment messages dropped because they carried another group's
+  /// shard id (should stay 0 — scoped broadcasts never produce them).
+  std::uint64_t misrouted_count() const { return misrouted_; }
+
   bool transfer_in_flight() const { return pending_transfer_.has_value(); }
 
   void set_refresh_hook(RefreshHook hook) { refresh_hook_ = std::move(hook); }
@@ -123,10 +127,18 @@ class ReassignNode : public Process {
   void on_rb_deliver(ProcessId origin, const Message& payload);
   void complete_transfer();
 
+  bool misrouted(ShardId requested) {
+    if (requested == config_.shard) return false;
+    ++misrouted_;
+    return true;
+  }
+
   Env& env_;
   ProcessId self_;
   SystemConfig config_;
+  std::vector<ProcessId> servers_;  // the group anti-entropy is scoped to
   Weight floor_;
+  std::uint64_t misrouted_ = 0;
 
   ChangeSet changes_;
   std::uint64_t lc_ = kFirstCounter;

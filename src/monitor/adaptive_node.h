@@ -79,6 +79,7 @@ class AdaptiveNode : public Process {
       : env_(env),
         self_(self),
         config_(config),
+        servers_(config.servers()),
         params_(std::move(params)),
         node_(env, self, config),
         policy_(params_.step, params_.slow_factor) {}
@@ -130,7 +131,7 @@ class AdaptiveNode : public Process {
 
  private:
   void probe() {
-    for (ProcessId s : config_.servers()) {
+    for (ProcessId s : servers_) {
       if (s == self_) continue;
       env_.send(self_, s, std::make_shared<PingMsg>(env_.now()));
     }
@@ -138,8 +139,9 @@ class AdaptiveNode : public Process {
     if (!monitor_.estimates().empty()) {
       auto snapshot = monitor_.estimates();
       reports_[self_] = snapshot;  // include ourselves as a reporter
-      env_.broadcast_to_servers(
-          self_, std::make_shared<RttReportMsg>(std::move(snapshot)));
+      env_.broadcast_to_group(
+          self_, servers_,
+          std::make_shared<RttReportMsg>(std::move(snapshot)));
     }
     env_.schedule(self_, params_.probe_interval, [this] { probe(); });
   }
@@ -159,6 +161,7 @@ class AdaptiveNode : public Process {
   Env& env_;
   ProcessId self_;
   SystemConfig config_;
+  std::vector<ProcessId> servers_;  // cached group for probe broadcasts
   AdaptiveParams params_;
   DynamicStorageNode node_;
   LatencyMonitor monitor_;

@@ -14,6 +14,12 @@ WeightMap WeightMap::uniform(std::uint32_t n, Weight w) {
   return WeightMap(std::move(m));
 }
 
+WeightMap WeightMap::shifted_by(ProcessId offset) const {
+  std::map<ProcessId, Weight> m;
+  for (const auto& [s, w] : weights_) m[s + offset] = w;
+  return WeightMap(std::move(m));
+}
+
 Weight WeightMap::of(ProcessId server) const {
   auto it = weights_.find(server);
   return it == weights_.end() ? Weight(0) : it->second;

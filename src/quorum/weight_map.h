@@ -21,6 +21,11 @@ class WeightMap {
   /// n servers, all weight 1 — the regular majority quorum system.
   static WeightMap uniform(std::uint32_t n, Weight w = Weight(1));
 
+  /// The same assignment with every server id shifted by `offset` —
+  /// rebases a per-shard weight template (keyed 0..n-1) onto the global
+  /// ids of shard g (keyed base..base+n-1).
+  WeightMap shifted_by(ProcessId offset) const;
+
   void set(ProcessId server, Weight w) { weights_[server] = w; }
   Weight of(ProcessId server) const;
   bool contains(ProcessId server) const {

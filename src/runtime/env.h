@@ -78,8 +78,42 @@ class Env {
   /// "broadcast to all servers" which includes the sender.
   void broadcast_to_servers(ProcessId from, const MsgPtr& msg);
 
+  /// Group-scoped broadcast: sends to exactly `group` (including `from`
+  /// when it is a member). Sharded deployments run several independent
+  /// replica groups in one Env, so protocol components broadcast to
+  /// their own config's server set rather than every registered server.
+  void broadcast_to_group(ProcessId from, const std::vector<ProcessId>& group,
+                          const MsgPtr& msg);
+
   /// All currently registered server ids (sorted).
   virtual std::vector<ProcessId> server_ids() const = 0;
+
+  // --- per-shard traffic accounting ---------------------------------------
+  /// Attributes a message to a shard: the destination server's shard, or
+  /// (for replies to clients) the sending server's. Returns a negative
+  /// value for messages touching no server.
+  using ShardOfMessage = std::function<int(ProcessId from, ProcessId to)>;
+
+  /// Installs per-shard msgs/bytes counters next to traffic(). Call
+  /// before the deployment starts; on the thread runtime the counters
+  /// are only stable once the deployment is quiescent (like traffic()).
+  void enable_shard_traffic(std::size_t shards, ShardOfMessage shard_of);
+
+  bool shard_traffic_enabled() const { return !shard_traffic_.empty(); }
+  std::size_t shard_traffic_shards() const { return shard_traffic_.size(); }
+
+  /// Message counters of shard `g`; throws std::out_of_range naming the
+  /// offender and valid range.
+  const Counters& shard_traffic(std::size_t g) const;
+
+ protected:
+  /// Implementations call this from send(), inside the same critical
+  /// section that updates traffic().
+  void count_shard_traffic(ProcessId from, ProcessId to, const Message& msg);
+
+ private:
+  std::vector<Counters> shard_traffic_;
+  ShardOfMessage shard_of_;
 };
 
 }  // namespace wrs

@@ -37,6 +37,7 @@ void SimEnv::send(ProcessId from, ProcessId to, MsgPtr msg) {
   traffic_.inc("msgs");
   traffic_.inc("bytes", static_cast<std::int64_t>(msg->wire_size()));
   traffic_.inc("msg." + msg->type_name());
+  count_shard_traffic(from, to, *msg);
   Envelope env{from, to, std::move(msg)};
   if (!faults_.active()) {
     route(std::move(env), 0);

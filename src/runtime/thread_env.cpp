@@ -140,6 +140,7 @@ void ThreadEnv::send(ProcessId from, ProcessId to, MsgPtr msg) {
     traffic_.inc("msgs");
     traffic_.inc("bytes", static_cast<std::int64_t>(msg->wire_size()));
     traffic_.inc("msg." + msg->type_name());
+    count_shard_traffic(from, to, *msg);
     if (faults_.active()) {
       LinkFaults::Decision fate = faults_.decide(from, to, rng_);
       if (!fate.deliver) {

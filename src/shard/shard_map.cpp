@@ -1,0 +1,93 @@
+#include "shard/shard_map.h"
+
+#include <stdexcept>
+#include <string>
+
+namespace wrs {
+
+ShardMap::ShardMap(std::vector<SystemConfig> configs)
+    : configs_(std::move(configs)) {
+  bool uniform = true;
+  for (ShardId g = 0; g < configs_.size(); ++g) {
+    const SystemConfig& cfg = configs_[g];
+    uniform = uniform && cfg.n == configs_[0].n && cfg.base == g * cfg.n;
+    total_servers_ += cfg.n;
+  }
+  if (uniform) uniform_n_ = configs_[0].n;
+}
+
+ShardMap ShardMap::single(SystemConfig config) {
+  std::vector<SystemConfig> configs;
+  configs.push_back(std::move(config));
+  return ShardMap(std::move(configs));
+}
+
+ShardMap ShardMap::uniform(std::uint32_t shards, std::uint32_t per_shard_n,
+                           std::uint32_t f,
+                           std::optional<WeightMap> weight_template) {
+  if (shards == 0) {
+    throw std::invalid_argument("ShardMap: need at least 1 shard");
+  }
+  WeightMap tmpl =
+      weight_template ? *weight_template : WeightMap::uniform(per_shard_n);
+  if (tmpl.size() != per_shard_n) {
+    throw std::invalid_argument(
+        "ShardMap: weight template has " + std::to_string(tmpl.size()) +
+        " entries, want one per shard server (" +
+        std::to_string(per_shard_n) + ")");
+  }
+  std::vector<SystemConfig> configs;
+  configs.reserve(shards);
+  for (ShardId g = 0; g < shards; ++g) {
+    ProcessId base = g * per_shard_n;
+    configs.push_back(SystemConfig::make_shard(g, base, per_shard_n, f,
+                                               tmpl.shifted_by(base)));
+  }
+  return ShardMap(std::move(configs));
+}
+
+const SystemConfig& ShardMap::config(ShardId g) const {
+  if (g >= configs_.size()) {
+    throw std::out_of_range("ShardMap: shard id " + std::to_string(g) +
+                            " out of range [0, " +
+                            std::to_string(configs_.size()) + ")");
+  }
+  return configs_[g];
+}
+
+std::optional<ShardId> ShardMap::scan_shard_of_server(ProcessId s) const {
+  for (ShardId g = 0; g < configs_.size(); ++g) {
+    const SystemConfig& cfg = configs_[g];
+    if (s >= cfg.base && s < cfg.base + cfg.n) return g;
+  }
+  return std::nullopt;
+}
+
+ShardId ShardMap::shard_of_server(ProcessId s) const {
+  if (auto g = try_shard_of_server(s)) return *g;
+  throw std::out_of_range("ShardMap: " + process_name(s) +
+                          " is no deployed server (total " +
+                          std::to_string(total_servers_) + " across " +
+                          std::to_string(configs_.size()) + " shards)");
+}
+
+std::vector<ProcessId> ShardMap::all_server_ids() const {
+  std::vector<ProcessId> out;
+  out.reserve(total_servers_);
+  for (const SystemConfig& cfg : configs_) {
+    for (ProcessId s : cfg.servers()) out.push_back(s);
+  }
+  return out;
+}
+
+std::uint64_t ShardMap::key_hash(const RegisterKey& key) {
+  // FNV-1a 64-bit.
+  std::uint64_t h = 14695981039346656037ull;
+  for (unsigned char ch : key) {
+    h ^= ch;
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+}  // namespace wrs

@@ -1,0 +1,92 @@
+// Key -> shard assignment for a multi-group WMQS deployment.
+//
+// A ShardMap describes N independent replica groups ("shards") living in
+// one runtime: shard g owns the contiguous global server ids
+// [g*n, (g+1)*n), its own SystemConfig (weights, fault threshold) and —
+// deployed on top of it — its own Wmqs quorum geometry and ReassignNode
+// group. Weight reassignment thereby becomes a PER-SHARD tuning knob:
+// each group's change sets, floors, and transfer protocols are fully
+// independent of every other group's.
+//
+// Keys route by hash: FNV-1a(key) mod N. The function is a pure,
+// process-independent function of the key bytes, so every client, every
+// test, and every replayed chaos episode agrees on the placement without
+// coordination. The paper's single-group system is exactly the N=1 map
+// (every key, including the paper's register "", maps to shard 0).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "core/config.h"
+#include "storage/tag.h"
+
+namespace wrs {
+
+class ShardMap {
+ public:
+  /// Wraps an unsharded deployment as its own single shard (the config
+  /// is used verbatim; shard/base keep whatever the config says).
+  static ShardMap single(SystemConfig config);
+
+  /// `shards` uniform groups of `per_shard_n` servers each, fault
+  /// threshold `f` per group. `weight_template` (keyed 0..per_shard_n-1)
+  /// seeds every group's initial weights; defaults to uniform weight 1.
+  static ShardMap uniform(std::uint32_t shards, std::uint32_t per_shard_n,
+                          std::uint32_t f,
+                          std::optional<WeightMap> weight_template = {});
+
+  std::uint32_t num_shards() const {
+    return static_cast<std::uint32_t>(configs_.size());
+  }
+  std::uint32_t total_servers() const { return total_servers_; }
+
+  /// The shard responsible for `key` (deterministic, hash-based).
+  ShardId shard_of(const RegisterKey& key) const {
+    return static_cast<ShardId>(key_hash(key) % configs_.size());
+  }
+
+  /// Config of shard `g`; throws std::out_of_range naming the offender
+  /// and the valid range.
+  const SystemConfig& config(ShardId g) const;
+
+  /// The shard owning global server id `s`; throws std::out_of_range
+  /// when `s` is no deployed server.
+  ShardId shard_of_server(ProcessId s) const;
+
+  /// Non-throwing variant for hot paths (reply routing): O(1) on the
+  /// uniform shard-major layout, a group scan otherwise.
+  std::optional<ShardId> try_shard_of_server(ProcessId s) const {
+    if (uniform_n_ > 0) {
+      if (s >= total_servers_) return std::nullopt;
+      return static_cast<ShardId>(s / uniform_n_);
+    }
+    return scan_shard_of_server(s);
+  }
+
+  /// Global server ids of shard `g` (validated like config(g)).
+  std::vector<ProcessId> servers(ShardId g) const {
+    return config(g).servers();
+  }
+
+  /// Every deployed server id, shard-major ascending.
+  std::vector<ProcessId> all_server_ids() const;
+
+  /// FNV-1a 64-bit over the key bytes (exposed so tests can pin the
+  /// placement function).
+  static std::uint64_t key_hash(const RegisterKey& key);
+
+ private:
+  explicit ShardMap(std::vector<SystemConfig> configs);
+
+  std::optional<ShardId> scan_shard_of_server(ProcessId s) const;
+
+  std::vector<SystemConfig> configs_;
+  std::uint32_t total_servers_ = 0;
+  /// Per-shard size when groups are uniform and contiguous from id 0
+  /// (the Cluster layout) — enables O(1) server->shard; 0 otherwise.
+  std::uint32_t uniform_n_ = 0;
+};
+
+}  // namespace wrs

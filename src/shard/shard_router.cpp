@@ -1,0 +1,116 @@
+#include "shard/shard_router.h"
+
+#include <algorithm>
+#include <set>
+#include <stdexcept>
+
+namespace wrs {
+
+ShardRouter::ShardRouter(Env& env, ProcessId self, ShardMap map,
+                         AbdClient::Mode mode)
+    : map_(std::move(map)) {
+  clients_.reserve(map_.num_shards());
+  for (ShardId g = 0; g < map_.num_shards(); ++g) {
+    clients_.push_back(
+        std::make_unique<AbdClient>(env, self, map_.config(g), mode));
+  }
+}
+
+OpId ShardRouter::read(RegisterKey key, AbdClient::ReadCallback cb) {
+  AbdClient& c = *clients_[map_.shard_of(key)];
+  return c.read(std::move(key), std::move(cb));
+}
+
+OpId ShardRouter::write(RegisterKey key, Value value,
+                        AbdClient::WriteCallback cb) {
+  AbdClient& c = *clients_[map_.shard_of(key)];
+  return c.write(std::move(key), std::move(value), std::move(cb));
+}
+
+OpId ShardRouter::list_keys(AbdClient::KeysCallback cb) {
+  struct FanOut {
+    std::size_t remaining;
+    std::set<RegisterKey> keys;
+    AbdClient::KeysCallback cb;
+  };
+  auto state = std::make_shared<FanOut>();
+  state->remaining = clients_.size();
+  state->cb = std::move(cb);
+  OpId first = 0;
+  for (std::size_t g = 0; g < clients_.size(); ++g) {
+    OpId id = clients_[g]->list_keys(
+        [state](const std::vector<RegisterKey>& keys) {
+          state->keys.insert(keys.begin(), keys.end());
+          if (--state->remaining == 0) {
+            state->cb(std::vector<RegisterKey>(state->keys.begin(),
+                                               state->keys.end()));
+          }
+        });
+    if (g == 0) first = id;
+  }
+  return first;
+}
+
+bool ShardRouter::handle(ProcessId from, const Message& msg) {
+  if (!is_server(from)) return false;
+  // O(1) on the uniform shard-major layout — this is the per-reply hot
+  // path (every quorum ack of every shard funnels through here).
+  std::optional<ShardId> g = map_.try_shard_of_server(from);
+  if (!g.has_value()) return false;  // outside every group (co-located)
+  return clients_[*g]->handle(from, msg);
+}
+
+AbdClient& ShardRouter::shard_client(ShardId g) {
+  map_.config(g);  // validates, naming offender + range
+  return *clients_[g];
+}
+
+AbdClient& ShardRouter::only_client() {
+  if (clients_.size() != 1) {
+    throw std::logic_error(
+        "ShardRouter: the raw AbdClient surface needs a single-shard "
+        "deployment (" +
+        std::to_string(clients_.size()) +
+        " shards here) — use shard_client(g)");
+  }
+  return *clients_[0];
+}
+
+bool ShardRouter::busy() const {
+  return std::any_of(clients_.begin(), clients_.end(),
+                     [](const auto& c) { return c->busy(); });
+}
+
+std::size_t ShardRouter::in_flight() const {
+  std::size_t sum = 0;
+  for (const auto& c : clients_) sum += c->in_flight();
+  return sum;
+}
+
+std::size_t ShardRouter::max_in_flight() const {
+  std::size_t best = 0;
+  for (const auto& c : clients_) best = std::max(best, c->max_in_flight());
+  return best;
+}
+
+std::uint64_t ShardRouter::restarts() const {
+  std::uint64_t sum = 0;
+  for (const auto& c : clients_) sum += c->restarts();
+  return sum;
+}
+
+std::uint64_t ShardRouter::retransmits() const {
+  std::uint64_t sum = 0;
+  for (const auto& c : clients_) sum += c->retransmits();
+  return sum;
+}
+
+void ShardRouter::set_retry_interval(TimeNs interval) {
+  for (const auto& c : clients_) c->set_retry_interval(interval);
+}
+
+void ShardRouter::set_max_restarts(std::uint32_t m) {
+  for (const auto& c : clients_) c->set_max_restarts(m);
+}
+
+}  // namespace wrs

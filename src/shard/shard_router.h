@@ -1,0 +1,75 @@
+// Client-side shard routing layer: one operation-multiplexed AbdClient
+// per shard, every read/write routed by ShardMap::shard_of(key).
+//
+// The router preserves the pipelined client's semantics exactly:
+//  * per-key FIFO — a key deterministically maps to one shard, so all of
+//    a client's operations on that key flow through the same AbdClient,
+//    which serializes them in issue order;
+//  * pipelining — operations on distinct keys multiplex freely, now both
+//    within a shard (the AbdClient's op map) and across shards (disjoint
+//    replica groups never share quorum traffic at all);
+//  * change-set restarts stay shard-local: a reassignment in shard g
+//    restarts only the operations routed to g.
+//
+// list_keys() fans out to every shard and resolves with the union once
+// all groups answered — the sharded analogue of the single weighted
+// quorum's key discovery.
+//
+// Replies route back by SENDER: a server's global id names its shard, so
+// handle() dispatches to exactly one inner client (no per-client probing
+// on the reply hot path).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "shard/shard_map.h"
+#include "storage/abd_client.h"
+
+namespace wrs {
+
+class ShardRouter {
+ public:
+  ShardRouter(Env& env, ProcessId self, ShardMap map, AbdClient::Mode mode);
+
+  /// Routed atomic operations (see AbdClient for the callback contracts).
+  OpId read(RegisterKey key, AbdClient::ReadCallback cb);
+  OpId write(RegisterKey key, Value value, AbdClient::WriteCallback cb);
+
+  /// Key discovery across every shard; cb fires once with the sorted
+  /// union after all groups answered.
+  OpId list_keys(AbdClient::KeysCallback cb);
+
+  /// Routes a server reply to the inner client of the sender's shard;
+  /// true iff consumed. Messages from non-servers are not the router's.
+  bool handle(ProcessId from, const Message& msg);
+
+  const ShardMap& map() const { return map_; }
+  std::uint32_t num_shards() const { return map_.num_shards(); }
+  ShardId shard_of(const RegisterKey& key) const { return map_.shard_of(key); }
+
+  /// The inner client of shard `g` (validated like ShardMap::config).
+  AbdClient& shard_client(ShardId g);
+
+  /// Single-shard deployments only: the one inner client (the legacy
+  /// AbdClient surface); throws std::logic_error on a multi-shard map.
+  AbdClient& only_client();
+
+  // --- aggregated observability (sums/maxima over the inner clients) ------
+  bool busy() const;
+  std::size_t in_flight() const;
+  /// Max over shards of each inner client's started-op high-water mark
+  /// (a lower bound on the true cross-shard concurrency).
+  std::size_t max_in_flight() const;
+  std::uint64_t restarts() const;
+  std::uint64_t retransmits() const;
+
+  void set_retry_interval(TimeNs interval);
+  void set_max_restarts(std::uint32_t m);
+
+ private:
+  ShardMap map_;
+  std::vector<std::unique_ptr<AbdClient>> clients_;
+};
+
+}  // namespace wrs

@@ -20,6 +20,7 @@ AbdClient::AbdClient(Env& env, ProcessId self, const SystemConfig& config,
     : env_(env),
       self_(self),
       config_(config),
+      servers_(config.servers()),
       mode_(mode),
       initial_total_(config.initial_total()),
       changes_(ChangeSet::initial(config.initial_weights)) {}
@@ -30,7 +31,7 @@ OpId AbdClient::fresh_op_id() {
 
 WeightMap AbdClient::current_weights() const {
   if (mode_ == Mode::kStatic) return config_.initial_weights;
-  return changes_.to_weight_map(config_.servers());
+  return changes_.to_weight_map(servers_);
 }
 
 OpId AbdClient::read(RegisterKey key, ReadCallback cb) {
@@ -100,13 +101,18 @@ void AbdClient::start_phase2(Op& op) {
 
 void AbdClient::broadcast_phase(const Op& op) {
   if (op.phase == 2) {
-    env_.broadcast_to_servers(
-        self_, std::make_shared<WriteReq>(op.id, op.to_write, op.key, op.seq));
+    env_.broadcast_to_group(
+        self_, servers_,
+        std::make_shared<WriteReq>(op.id, op.to_write, op.key, op.seq,
+                                   config_.shard));
   } else if (op.kind == OpKind::kListKeys) {
-    env_.broadcast_to_servers(self_, std::make_shared<KeysReq>(op.id, op.seq));
+    env_.broadcast_to_group(
+        self_, servers_,
+        std::make_shared<KeysReq>(op.id, op.seq, config_.shard));
   } else {
-    env_.broadcast_to_servers(
-        self_, std::make_shared<ReadReq>(op.id, op.key, op.seq));
+    env_.broadcast_to_group(
+        self_, servers_,
+        std::make_shared<ReadReq>(op.id, op.key, op.seq, config_.shard));
   }
 }
 

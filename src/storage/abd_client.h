@@ -158,6 +158,10 @@ class AbdClient {
   Env& env_;
   ProcessId self_;
   SystemConfig config_;
+  /// The group's server ids, cached: broadcasts go to exactly this set
+  /// (one replica group of a possibly sharded deployment), never to
+  /// every server registered in the Env.
+  std::vector<ProcessId> servers_;
   Mode mode_;
   Weight initial_total_;
 

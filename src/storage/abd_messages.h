@@ -31,39 +31,51 @@ inline std::size_t changes_wire_size(const ChangeSetPtr& c) {
 /// restarts. Process-wide unique (see AbdClient::fresh_op_id).
 using OpId = std::uint64_t;
 
-/// <R, opId, seq> — phase-1 request.
+/// Sharded deployments run several replica groups in one runtime, so
+/// every REQUEST carries the shard id of the group the client addressed;
+/// servers drop requests whose shard does not match their own group
+/// (defense in depth against routing bugs — scoped broadcasts should
+/// never produce them). Unsharded deployments are shard 0 throughout.
+/// Replies are point-to-point and matched by OpId, so they carry none.
+
+/// <R, opId, seq, g> — phase-1 request.
 class ReadReq : public MessageBase<ReadReq> {
  public:
-  explicit ReadReq(OpId op_id, RegisterKey key = "", std::uint32_t seq = 0)
-      : op_id_(op_id), seq_(seq), key_(std::move(key)) {}
+  explicit ReadReq(OpId op_id, RegisterKey key = "", std::uint32_t seq = 0,
+                   ShardId shard = 0)
+      : op_id_(op_id), seq_(seq), shard_(shard), key_(std::move(key)) {}
   OpId op_id() const { return op_id_; }
   std::uint32_t seq() const { return seq_; }
+  ShardId shard() const { return shard_; }
   const RegisterKey& key() const { return key_; }
   std::string type_name() const override { return "R"; }
   std::size_t wire_size() const override {
-    return kHeaderBytes + 12 + key_.size();
+    return kHeaderBytes + 16 + key_.size();
   }
 
  private:
   OpId op_id_;
   std::uint32_t seq_;
+  ShardId shard_;
   RegisterKey key_;
 };
 
-/// <KEYS, opId, seq> — asks a server for the set of register keys it
+/// <KEYS, opId, seq, g> — asks a server for the set of register keys it
 /// stores (used by the multi-register refresh on weight gain).
 class KeysReq : public MessageBase<KeysReq> {
  public:
-  explicit KeysReq(OpId op_id, std::uint32_t seq = 0)
-      : op_id_(op_id), seq_(seq) {}
+  explicit KeysReq(OpId op_id, std::uint32_t seq = 0, ShardId shard = 0)
+      : op_id_(op_id), seq_(seq), shard_(shard) {}
   OpId op_id() const { return op_id_; }
   std::uint32_t seq() const { return seq_; }
+  ShardId shard() const { return shard_; }
   std::string type_name() const override { return "KEYS"; }
-  std::size_t wire_size() const override { return kHeaderBytes + 12; }
+  std::size_t wire_size() const override { return kHeaderBytes + 16; }
 
  private:
   OpId op_id_;
   std::uint32_t seq_;
+  ShardId shard_;
 };
 
 /// <KEYS_A, opId, seq, keys, C>.
@@ -120,25 +132,31 @@ class ReadAck : public MessageBase<ReadAck> {
   ChangeSetPtr changes_;
 };
 
-/// <W, <tag, val>, opId, seq> — phase-2 request (write or read
+/// <W, <tag, val>, opId, seq, g> — phase-2 request (write or read
 /// write-back).
 class WriteReq : public MessageBase<WriteReq> {
  public:
   WriteReq(OpId op_id, TaggedValue reg, RegisterKey key = "",
-           std::uint32_t seq = 0)
-      : op_id_(op_id), seq_(seq), reg_(std::move(reg)), key_(std::move(key)) {}
+           std::uint32_t seq = 0, ShardId shard = 0)
+      : op_id_(op_id),
+        seq_(seq),
+        shard_(shard),
+        reg_(std::move(reg)),
+        key_(std::move(key)) {}
   OpId op_id() const { return op_id_; }
   std::uint32_t seq() const { return seq_; }
+  ShardId shard() const { return shard_; }
   const TaggedValue& reg() const { return reg_; }
   const RegisterKey& key() const { return key_; }
   std::string type_name() const override { return "W"; }
   std::size_t wire_size() const override {
-    return kHeaderBytes + 12 + 12 + reg_.value.size() + key_.size();
+    return kHeaderBytes + 16 + 12 + reg_.value.size() + key_.size();
   }
 
  private:
   OpId op_id_;
   std::uint32_t seq_;
+  ShardId shard_;
   TaggedValue reg_;
   RegisterKey key_;
 };

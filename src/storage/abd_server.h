@@ -7,8 +7,24 @@
 //  * registers are NAMED: the paper's single register is key "". The
 //    multi-register ("key-value") mode is an extension of the paper —
 //    see DynamicStorageNode for the gain-refresh implications.
+//
+// Sharding: the server belongs to one replica group and DROPS requests
+// whose shard id differs from its own (misrouted traffic — counted, so
+// routing bugs surface in tests instead of silently inflating quorums).
+//
+// Service-time model (off by default): set_service_time(t) makes the
+// server behave like a node whose storage engine needs `t` of serial
+// per-request work (disk/SSD access, CPU-bound state machine, ...).
+// Requests are queued through a busy-until watermark — exactly an
+// M/D/1-style serial queue — so a server's capacity is 1/t requests per
+// second on BOTH runtimes. This is what gives a shard a finite, honest
+// capacity in scale-out benchmarks: the quorum protocol above it is
+// measured against a modeled per-node bottleneck instead of whatever
+// the host machine's core count happens to be.
 #pragma once
 
+#include <algorithm>
+#include <cstdint>
 #include <functional>
 #include <map>
 
@@ -23,34 +39,37 @@ class AbdServer {
   /// for piggybacking, or null in static deployments.
   using ChangesProvider = std::function<ChangeSetPtr()>;
 
-  AbdServer(Env& env, ProcessId self, ChangesProvider changes_provider)
+  AbdServer(Env& env, ProcessId self, ChangesProvider changes_provider,
+            ShardId shard = 0)
       : env_(env),
         self_(self),
+        shard_(shard),
         changes_provider_(std::move(changes_provider)) {}
 
   /// Routes R / W / KEYS messages; true iff consumed. Replies echo the
   /// request's (op_id, seq) so the client can route and de-stale them.
+  /// Requests addressed to another shard are consumed but never answered.
   bool handle(ProcessId from, const Message& msg) {
     if (const auto* r = msg_cast<ReadReq>(msg)) {
-      env_.send(self_, from,
-                std::make_shared<ReadAck>(r->op_id(), reg(r->key()),
-                                          snapshot(), r->seq()));
+      if (misrouted(r->shard())) return true;
+      reply(from, std::make_shared<ReadAck>(r->op_id(), reg(r->key()),
+                                            snapshot(), r->seq()));
       return true;
     }
     if (const auto* w = msg_cast<WriteReq>(msg)) {
+      if (misrouted(w->shard())) return true;
       TaggedValue& slot = regs_[w->key()];
       if (slot.tag < w->reg().tag) slot = w->reg();
-      env_.send(self_, from,
-                std::make_shared<WriteAck>(w->op_id(), snapshot(), w->seq()));
+      reply(from, std::make_shared<WriteAck>(w->op_id(), snapshot(), w->seq()));
       return true;
     }
     if (const auto* k = msg_cast<KeysReq>(msg)) {
+      if (misrouted(k->shard())) return true;
       std::vector<RegisterKey> keys;
       keys.reserve(regs_.size());
       for (const auto& [key, _] : regs_) keys.push_back(key);
-      env_.send(self_, from,
-                std::make_shared<KeysAck>(k->op_id(), std::move(keys),
-                                          snapshot(), k->seq()));
+      reply(from, std::make_shared<KeysAck>(k->op_id(), std::move(keys),
+                                            snapshot(), k->seq()));
       return true;
     }
     return false;
@@ -67,15 +86,51 @@ class AbdServer {
   }
   std::size_t register_count() const { return regs_.size(); }
 
+  ShardId shard() const { return shard_; }
+  /// Requests dropped because they carried another group's shard id.
+  std::uint64_t misrouted_count() const { return misrouted_; }
+
+  /// Serial per-request service time (0 = reply inline, the default —
+  /// byte- and event-identical to the pre-model server).
+  void set_service_time(TimeNs t) { service_time_ = t; }
+  TimeNs service_time() const { return service_time_; }
+
  private:
   ChangeSetPtr snapshot() const {
     return changes_provider_ ? changes_provider_() : nullptr;
   }
 
+  bool misrouted(ShardId requested) {
+    if (requested == shard_) return false;
+    ++misrouted_;
+    return true;
+  }
+
+  /// Replies inline, or through the serial service queue: each request
+  /// occupies the server for `service_time_`, requests arriving while
+  /// busy wait their turn (handlers are serialized per process, so the
+  /// watermark needs no lock).
+  void reply(ProcessId to, MsgPtr ack) {
+    if (service_time_ <= 0) {
+      env_.send(self_, to, std::move(ack));
+      return;
+    }
+    TimeNs free_at = std::max(env_.now(), busy_until_) + service_time_;
+    busy_until_ = free_at;
+    env_.schedule(self_, free_at - env_.now(),
+                  [this, to, ack = std::move(ack)]() mutable {
+                    env_.send(self_, to, std::move(ack));
+                  });
+  }
+
   Env& env_;
   ProcessId self_;
+  ShardId shard_;
   ChangesProvider changes_provider_;
   std::map<RegisterKey, TaggedValue> regs_;
+  std::uint64_t misrouted_ = 0;
+  TimeNs service_time_ = 0;
+  TimeNs busy_until_ = 0;
 };
 
 }  // namespace wrs

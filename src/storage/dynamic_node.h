@@ -16,6 +16,7 @@
 #include <memory>
 
 #include "core/reassign_node.h"
+#include "shard/shard_router.h"
 #include "storage/abd_client.h"
 #include "storage/abd_server.h"
 
@@ -60,22 +61,29 @@ class DynamicStorageNode : public Process {
 };
 
 /// A standalone storage client process (reader or writer, member of Pi).
+/// Runs over a ShardRouter: a one-shard map IS the paper's client; a
+/// sharded map routes every operation by key.
 class StorageClient : public Process {
  public:
   StorageClient(Env& env, ProcessId self, const SystemConfig& config,
                 AbdClient::Mode mode)
-      : self_(self), client_(env, self, config, mode) {}
+      : StorageClient(env, self, ShardMap::single(config), mode) {}
 
-  AbdClient& abd() { return client_; }
+  StorageClient(Env& env, ProcessId self, ShardMap map, AbdClient::Mode mode)
+      : self_(self), router_(env, self, std::move(map), mode) {}
+
+  /// The raw single-group client (throws on sharded deployments).
+  AbdClient& abd() { return router_.only_client(); }
+  ShardRouter& router() { return router_; }
   ProcessId id() const { return self_; }
 
   void on_message(ProcessId from, const Message& msg) override {
-    client_.handle(from, msg);
+    router_.handle(from, msg);
   }
 
  private:
   ProcessId self_;
-  AbdClient client_;
+  ShardRouter router_;
 };
 
 }  // namespace wrs

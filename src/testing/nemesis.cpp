@@ -24,7 +24,10 @@ std::vector<Nemesis::Kind> Nemesis::enabled_kinds() const {
   if (params_.asymmetric) kinds.push_back(Kind::kAsymPartition);
   if (params_.drops) kinds.push_back(Kind::kDropStorm);
   if (params_.duplicates) kinds.push_back(Kind::kDupStorm);
-  if (params_.reorder) kinds.push_back(Kind::kReorderWindow);
+  // The reorder knob is deployment-global on the simulator, so a
+  // shard-scoped nemesis cannot use it without leaking faults into
+  // other shards.
+  if (params_.reorder && !params_.shard) kinds.push_back(Kind::kReorderWindow);
   if (params_.slow_downs) kinds.push_back(Kind::kSlow);
   if (params_.crash_budget > 0) kinds.push_back(Kind::kCrash);
   return kinds;
@@ -38,15 +41,20 @@ void Nemesis::unleash() {
   if (unleashed_) throw std::logic_error("Nemesis: unleash() called twice");
   unleashed_ = true;
 
-  std::uint32_t budget =
-      std::min(params_.crash_budget, cluster_.config().f);
+  // Victim pool: one shard's servers when scoped, every deployed server
+  // otherwise (identical to config().servers() on unsharded clusters,
+  // so pre-shard seeds replay the exact same timelines).
+  victims_ = params_.shard ? cluster_.shard_servers(*params_.shard)
+                           : cluster_.all_server_ids();
+  std::uint32_t f = params_.shard ? cluster_.shard_config(*params_.shard).f
+                                  : cluster_.config().f;
+  std::uint32_t budget = std::min(params_.crash_budget, f);
   if (budget < params_.crash_budget) {
-    // Crashing more than f servers would kill quorums permanently; the
-    // nemesis never exceeds the model's fault budget.
+    // Crashing more than f servers (of one group) would kill its quorums
+    // permanently; the nemesis never exceeds the model's fault budget.
     params_.crash_budget = budget;
   }
-  std::vector<ProcessId> servers = cluster_.config().servers();
-  crash_order_ = servers;
+  crash_order_ = victims_;
   for (std::size_t i = crash_order_.size(); i > 1; --i) {
     std::swap(crash_order_[i - 1], crash_order_[rng_.below(i)]);
   }
@@ -83,10 +91,52 @@ void Nemesis::unleash() {
   note(params_.horizon, "heal_all_links (horizon safety net)");
 }
 
+void Nemesis::schedule_storm(const std::string& label, double p, TimeNs at,
+                             TimeNs until,
+                             void (Cluster::*per_link)(ProcessId, ProcessId,
+                                                       double),
+                             void (Cluster::*global)(double)) {
+  std::ostringstream os;
+  os << label << " p=" << p
+     << (params_.shard ? " (shard " + std::to_string(*params_.shard) + ")"
+                       : "")
+     << " until t=" << ms_str(until);
+  note(at, os.str());
+  Cluster* c = &cluster_;
+  if (params_.shard) {
+    // Shard-scoped: per-link rates on the shard's links only (the
+    // network-wide knob would leak faults into other groups). Links are
+    // enumerated when each application runs; a midpoint re-application
+    // extends coverage to readers restarted inside the window (per-link
+    // rates, unlike the global storm, cannot cover processes registered
+    // after they were set). Teardown zeroes the shard's per-link rates:
+    // like every Nemesis overlap (see the header), last writer wins, so
+    // an overlapping scoped storm — or an externally set rate on these
+    // links — can be ended early but never extended.
+    std::vector<ProcessId> pool = victims_;
+    auto set_links = [c, pool, per_link](double rate) {
+      for (ProcessId s : pool) {
+        for (ProcessId other : c->process_ids()) {
+          if (other != s) (c->*per_link)(s, other, rate);
+        }
+      }
+    };
+    cluster_.at(at, [set_links, p] { set_links(p); });
+    cluster_.at(at + (until - at) / 2, [set_links, p] { set_links(p); });
+    cluster_.at(until, [set_links] { set_links(0); });
+  } else {
+    cluster_.at(at, [c, global, p] { (c->*global)(p); });
+    cluster_.at(until, [c, global] { (c->*global)(0); });
+  }
+}
+
 void Nemesis::schedule_event(Kind kind, TimeNs at, TimeNs until) {
   Cluster* c = &cluster_;
-  std::vector<ProcessId> all = cluster_.process_ids();
-  std::vector<ProcessId> servers = cluster_.config().servers();
+  // Scoped episodes draw every victim — including partition sides — from
+  // the selected shard's servers, so other shards never see a fault.
+  std::vector<ProcessId> all =
+      params_.shard ? victims_ : cluster_.process_ids();
+  const std::vector<ProcessId>& servers = victims_;
 
   switch (kind) {
     case Kind::kSymPartition: {
@@ -152,21 +202,15 @@ void Nemesis::schedule_event(Kind kind, TimeNs at, TimeNs until) {
       // Floor of 0.1 so storms bite, unless the configured cap is gentler.
       double lo = std::min(0.1, params_.drop_p_max);
       double p = lo + rng_.uniform() * (params_.drop_p_max - lo);
-      std::ostringstream os;
-      os << "drop storm p=" << p << " until t=" << ms_str(until);
-      note(at, os.str());
-      cluster_.at(at, [c, p] { c->drop_all_links(p); });
-      cluster_.at(until, [c] { c->drop_all_links(0); });
+      schedule_storm("drop storm", p, at, until, &Cluster::drop_link,
+                     &Cluster::drop_all_links);
       break;
     }
     case Kind::kDupStorm: {
       double lo = std::min(0.1, params_.dup_p_max);
       double p = lo + rng_.uniform() * (params_.dup_p_max - lo);
-      std::ostringstream os;
-      os << "duplicate storm p=" << p << " until t=" << ms_str(until);
-      note(at, os.str());
-      cluster_.at(at, [c, p] { c->duplicate_all_links(p); });
-      cluster_.at(until, [c] { c->duplicate_all_links(0); });
+      schedule_storm("duplicate storm", p, at, until, &Cluster::duplicate_link,
+                     &Cluster::duplicate_all_links);
       break;
     }
     case Kind::kReorderWindow: {
@@ -218,15 +262,26 @@ void TransferStorm::unleash() {
     throw std::logic_error("TransferStorm: unleash() called twice");
   }
   unleashed_ = true;
-  std::vector<ProcessId> servers = cluster_.config().servers();
-  if (servers.size() < 2) return;
+  // Reassignment is intra-group: each attempt draws its pair within one
+  // shard. Unsharded clusters take the num_shards()==1 path, which
+  // consumes exactly the pre-shard rng sequence (replay-stable seeds).
+  std::uint32_t shards = cluster_.num_shards();
   for (std::size_t i = 0; i < params_.attempts; ++i) {
+    ShardId g = 0;
+    if (params_.shard) {
+      g = *params_.shard;
+    } else if (shards > 1) {
+      g = static_cast<ShardId>(rng_.below(shards));
+    }
+    std::vector<ProcessId> servers = cluster_.shard_servers(g);
+    if (servers.size() < 2) return;
     TimeNs at = params_.start +
                 static_cast<TimeNs>(rng_.below(static_cast<std::uint64_t>(
                     params_.horizon - params_.start)));
     ProcessId from = servers[rng_.below(servers.size())];
     ProcessId to = servers[rng_.below(servers.size())];
-    if (to == from) to = servers[(to + 1) % servers.size()];
+    // Contiguous group ids: (to - base + 1) mod n indexes the next server.
+    if (to == from) to = servers[(to - servers.front() + 1) % servers.size()];
     std::uint64_t denom =
         params_.min_denom +
         rng_.below(params_.max_denom - params_.min_denom + 1);

@@ -33,6 +33,7 @@
 
 #include <cstdint>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -69,6 +70,13 @@ struct NemesisParams {
   /// Probability caps for the storm events.
   double drop_p_max = 0.5;
   double dup_p_max = 0.5;
+  /// Restricts the chaos to ONE shard of a sharded deployment: crash /
+  /// slow / partition victims come from that shard's servers only, and
+  /// drop/duplicate storms become per-link rates on that shard's links
+  /// (other shards keep serving untouched). The crash budget is checked
+  /// against the selected shard's f. Unset = whole deployment (on a
+  /// sharded cluster victims are drawn across every shard).
+  std::optional<ShardId> shard;
 };
 
 class Nemesis {
@@ -99,6 +107,12 @@ class Nemesis {
 
   std::vector<Kind> enabled_kinds() const;
   void schedule_event(Kind kind, TimeNs at, TimeNs until);
+  /// One drop/duplicate storm window: the global knob, or (shard-scoped)
+  /// per-link rates applied at start + midpoint and zeroed at `until`.
+  void schedule_storm(const std::string& label, double p, TimeNs at,
+                      TimeNs until,
+                      void (Cluster::*per_link)(ProcessId, ProcessId, double),
+                      void (Cluster::*global)(double));
   void note(TimeNs at, const std::string& text);
 
   Cluster& cluster_;
@@ -106,6 +120,7 @@ class Nemesis {
   NemesisParams params_;
   bool unleashed_ = false;
   std::vector<std::string> timeline_;
+  std::vector<ProcessId> victims_;      // server pool faults draw from
   std::vector<ProcessId> crash_order_;  // pre-drawn distinct crash victims
   std::uint32_t crashes_scheduled_ = 0;
 };
@@ -118,6 +133,10 @@ struct TransferStormParams {
   /// [min_denom, max_denom] — small enough that C2 usually passes.
   std::uint64_t min_denom = 4;
   std::uint64_t max_denom = 16;
+  /// Reassignment is intra-group, so every attempt picks its (from, to)
+  /// pair within one shard: this one when set, a seeded-random shard per
+  /// attempt otherwise.
+  std::optional<ShardId> shard;
 };
 
 class TransferStorm {

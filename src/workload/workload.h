@@ -2,16 +2,26 @@
 // loop (one op at a time, think time between ops) and an open loop
 // (arrivals at a fixed target rate, pipelined over the multiplexed
 // AbdClient up to a bounded in-flight window).
+//
+// Every workload runs over a ShardRouter, so the same client drives the
+// paper's single group (a one-shard map — zero routing overhead, the
+// inner AbdClient is the whole data path) or a sharded deployment (ops
+// route by key; latency and completions are additionally tracked per
+// shard). Key popularity is uniform by default or Zipfian
+// (WorkloadParams::zipf_theta) for skewed-load experiments.
 #pragma once
 
+#include <algorithm>
+#include <cmath>
 #include <functional>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "common/metrics.h"
 #include "common/rng.h"
 #include "core/config.h"
-#include "storage/abd_client.h"
+#include "shard/shard_router.h"
 #include "storage/history.h"
 
 namespace wrs {
@@ -22,11 +32,16 @@ struct WorkloadParams {
   TimeNs think_time = ms(5);      // closed loop: delay between operations
   std::size_t value_size = 64;    // bytes per written value
   std::uint64_t seed = 42;
-  /// Keys the workload spreads over, picked uniformly per op: 1 targets
-  /// the paper's single register (key ""); k > 1 uses "k0".."k<k-1>".
+  /// Keys the workload spreads over, picked per op: 1 targets the
+  /// paper's single register (key ""); k > 1 uses "k0".."k<k-1>".
   /// Pipelining only overlaps ops on DISTINCT keys (the client serializes
   /// same-key ops), so open-loop runs want num_keys > 1.
   std::size_t num_keys = 1;
+  /// 0 picks keys uniformly. > 0 picks them from a Zipfian popularity
+  /// distribution with skew theta (rank r drawn with probability
+  /// proportional to 1/(r+1)^theta; key "k0" is the hottest). Seeded and
+  /// deterministic like the rest of the workload.
+  double zipf_theta = 0;
   /// > 0 switches the client to OPEN-LOOP mode: one operation arrives
   /// every 1/target_ops_per_sec (fixed clock, independent of completions)
   /// and rides the pipelined client. 0 keeps the closed loop.
@@ -43,15 +58,37 @@ struct WorkloadParams {
 /// fixed arrival clock, many ops in flight (WorkloadParams above).
 class WorkloadClient : public Process {
  public:
+  /// Single-group client (the paper's deployment).
   WorkloadClient(Env& env, ProcessId self, const SystemConfig& config,
+                 AbdClient::Mode mode, WorkloadParams params,
+                 std::shared_ptr<HistoryRecorder> history = nullptr)
+      : WorkloadClient(env, self, ShardMap::single(config), mode,
+                       std::move(params), std::move(history)) {}
+
+  /// Sharded client: operations route by key over `map`.
+  WorkloadClient(Env& env, ProcessId self, ShardMap map,
                  AbdClient::Mode mode, WorkloadParams params,
                  std::shared_ptr<HistoryRecorder> history = nullptr)
       : env_(env),
         self_(self),
-        client_(env, self, config, mode),
+        router_(env, self, std::move(map), mode),
         params_(params),
         rng_(params.seed ^ (std::uint64_t{self} << 20)),
-        history_(std::move(history)) {}
+        history_(std::move(history)),
+        shard_completed_(router_.num_shards(), 0),
+        shard_latency_(router_.num_shards()) {
+    if (params_.zipf_theta > 0 && params_.num_keys > 1) {
+      // Zipfian CDF over key ranks, built once: cheap for the key counts
+      // workloads use and keeps sampling a single uniform draw.
+      zipf_cdf_.reserve(params_.num_keys);
+      double sum = 0;
+      for (std::size_t r = 0; r < params_.num_keys; ++r) {
+        sum += 1.0 / std::pow(static_cast<double>(r + 1), params_.zipf_theta);
+        zipf_cdf_.push_back(sum);
+      }
+      for (double& v : zipf_cdf_) v /= sum;
+    }
+  }
 
   void on_start() override {
     started_at_ = env_.now();
@@ -65,7 +102,7 @@ class WorkloadClient : public Process {
   }
 
   void on_message(ProcessId from, const Message& msg) override {
-    client_.handle(from, msg);
+    router_.handle(from, msg);
   }
 
   bool open_loop() const { return params_.target_ops_per_sec > 0; }
@@ -79,6 +116,17 @@ class WorkloadClient : public Process {
   /// All operations combined (the open-loop p50/p95/p99 source).
   const Histogram& op_latency() const { return op_latency_; }
 
+  // --- per-shard metrics ---------------------------------------------------
+  std::uint32_t num_shards() const { return router_.num_shards(); }
+  /// Completed operations routed to shard `g`.
+  std::size_t shard_completed(ShardId g) const {
+    return shard_completed_.at(g);
+  }
+  /// Latency of the operations routed to shard `g`.
+  const Histogram& shard_latency(ShardId g) const {
+    return shard_latency_.at(g);
+  }
+
   /// Completed ops per second over the run (meaningful once done()).
   double achieved_ops_per_sec() const {
     TimeNs end = finished_ ? finished_at_ : env_.now();
@@ -89,9 +137,12 @@ class WorkloadClient : public Process {
 
   /// High-water mark of concurrently STARTED operations (same-key queued
   /// ops excluded) — proves the open loop actually pipelined.
-  std::size_t max_in_flight_seen() const { return client_.max_in_flight(); }
+  std::size_t max_in_flight_seen() const { return router_.max_in_flight(); }
 
-  AbdClient& abd() { return client_; }
+  /// The raw single-group client (throws on sharded deployments).
+  AbdClient& abd() { return router_.only_client(); }
+  /// The routing layer (always available; == abd()'s shard on 1 shard).
+  ShardRouter& router() { return router_; }
 
   /// Fires once when the client's whole run is finished.
   void set_on_done(std::function<void()> cb) { on_done_ = std::move(cb); }
@@ -138,6 +189,7 @@ class WorkloadClient : public Process {
   void issue_one() {
     bool is_read = rng_.uniform() < params_.read_ratio;
     RegisterKey key = pick_key();
+    ShardId g = router_.shard_of(key);
     TimeNs start = env_.now();
     ++in_flight_;
     if (is_read) {
@@ -145,11 +197,10 @@ class WorkloadClient : public Process {
           history_
               ? history_->begin(OpRecord::Kind::kRead, self_, start, key)
               : 0;
-      client_.read(key, [this, start, token](const TaggedValue& tv) {
-        read_latency_.add_time(env_.now() - start);
-        op_latency_.add_time(env_.now() - start);
+      router_.read(key, [this, start, token, g](const TaggedValue& tv) {
+        record_latency(read_latency_, start, g);
         if (history_) history_->end_read(token, env_.now(), tv);
-        op_completed();
+        op_completed(g);
       });
     } else {
       Value v = make_value();
@@ -157,17 +208,24 @@ class WorkloadClient : public Process {
           history_
               ? history_->begin(OpRecord::Kind::kWrite, self_, start, key)
               : 0;
-      client_.write(key, v, [this, start, token, v](const Tag& tag) {
-        write_latency_.add_time(env_.now() - start);
-        op_latency_.add_time(env_.now() - start);
+      router_.write(key, v, [this, start, token, v, g](const Tag& tag) {
+        record_latency(write_latency_, start, g);
         if (history_) history_->end_write(token, env_.now(), tag, v);
-        op_completed();
+        op_completed(g);
       });
     }
   }
 
-  void op_completed() {
+  void record_latency(Histogram& kind_hist, TimeNs start, ShardId g) {
+    TimeNs elapsed = env_.now() - start;
+    kind_hist.add_time(elapsed);
+    op_latency_.add_time(elapsed);
+    shard_latency_[g].add_time(elapsed);
+  }
+
+  void op_completed(ShardId g) {
     ++completed_;
+    ++shard_completed_[g];
     --in_flight_;
     if (open_loop()) {
       maybe_finish();
@@ -189,8 +247,18 @@ class WorkloadClient : public Process {
 
   RegisterKey pick_key() {
     if (params_.num_keys <= 1) return RegisterKey{};
+    std::size_t idx;
+    if (!zipf_cdf_.empty()) {
+      double u = rng_.uniform();
+      idx = static_cast<std::size_t>(
+          std::lower_bound(zipf_cdf_.begin(), zipf_cdf_.end(), u) -
+          zipf_cdf_.begin());
+      if (idx >= params_.num_keys) idx = params_.num_keys - 1;
+    } else {
+      idx = rng_.below(params_.num_keys);
+    }
     RegisterKey key = "k";
-    key += std::to_string(rng_.below(params_.num_keys));
+    key += std::to_string(idx);
     return key;
   }
 
@@ -207,10 +275,11 @@ class WorkloadClient : public Process {
 
   Env& env_;
   ProcessId self_;
-  AbdClient client_;
+  ShardRouter router_;
   WorkloadParams params_;
   Rng rng_;
   std::shared_ptr<HistoryRecorder> history_;
+  std::vector<double> zipf_cdf_;  // empty = uniform keys
   std::size_t issued_ = 0;
   std::size_t completed_ = 0;
   std::size_t shed_ = 0;
@@ -221,6 +290,8 @@ class WorkloadClient : public Process {
   Histogram read_latency_;
   Histogram write_latency_;
   Histogram op_latency_;
+  std::vector<std::size_t> shard_completed_;
+  std::vector<Histogram> shard_latency_;
   std::function<void()> on_done_;
 };
 
