@@ -132,6 +132,17 @@ class JsonReport {
         os << (f ? "," : "") << "\"" << escape(rows_[r][f].first)
            << "\":" << rows_[r][f].second;
       }
+      // Derived field: every row carrying both a message count and a
+      // completed-op count also reports msgs/op, the batching/overhead
+      // metric CI gates on — readers no longer divide by hand.
+      if (!has_field(rows_[r], "msgs_per_op")) {
+        double msgs = 0, ops = 0;
+        if (numeric_field(rows_[r], "msgs", &msgs) &&
+            numeric_field(rows_[r], "ops_completed", &ops) && ops > 0) {
+          os << (rows_[r].empty() ? "" : ",") << "\"msgs_per_op\":"
+             << msgs / ops;
+        }
+      }
       os << "}";
     }
     os << "]}";
@@ -139,6 +150,28 @@ class JsonReport {
   }
 
  private:
+  using Row = std::vector<std::pair<std::string, std::string>>;
+
+  static bool has_field(const Row& row, const std::string& name) {
+    for (const auto& [n, _] : row) {
+      if (n == name) return true;
+    }
+    return false;
+  }
+
+  /// Reads field `name` of `row` as a number; false when absent or
+  /// non-numeric (string fields are stored quoted).
+  static bool numeric_field(const Row& row, const std::string& name,
+                            double* out) {
+    for (const auto& [n, v] : row) {
+      if (n != name) continue;
+      if (v.empty() || v.front() == '"' || v == "null") return false;
+      *out = std::strtod(v.c_str(), nullptr);
+      return true;
+    }
+    return false;
+  }
+
   static std::string escape(const std::string& s) {
     std::string out;
     for (char ch : s) {
@@ -158,7 +191,7 @@ class JsonReport {
 
   std::string experiment_;
   std::string seed_;  // empty = unseeded (emitted as null)
-  std::vector<std::vector<std::pair<std::string, std::string>>> rows_;
+  std::vector<Row> rows_;
 };
 
 /// `--json <path>` from a bench binary's argv; empty when absent. A

@@ -1,27 +1,38 @@
-// EXP-SH1/SH2: sharded keyspace scale-out.
+// EXP-SH1/SH2: sharded keyspace scale-out. EXP-SH3: batched wire
+// protocol.
 //
-// Sweeps 1 -> 8 shards at FIXED per-shard cluster size (n=3, f=1) under a
-// fixed aggregate offered load, on both runtimes. Every storage server
-// models a serial per-request service time (Cluster::Builder::
-// service_time, an M/D/1-style busy-until queue — think SSD access or a
-// CPU-bound storage engine), so one shard has a finite capacity of
-// roughly (1/service_time)/2 ops/s: each op costs every group server one
-// R and one W request. Adding shards multiplies that capacity — the
-// measured near-linear aggregate-throughput scaling is the system's
-// behavior against the modeled per-node bottleneck, independent of the
-// benchmarking host's core count.
+// EXP-SH1 sweeps 1 -> 8 shards at FIXED per-shard cluster size (n=3,
+// f=1) under a fixed aggregate offered load, on both runtimes. Every
+// storage server models a serial per-request service time
+// (Cluster::Builder::service_time, an M/D/1-style busy-until queue —
+// think SSD access or a CPU-bound storage engine), so one shard has a
+// finite capacity of roughly (1/service_time)/2 ops/s: each op costs
+// every group server one R and one W request. Adding shards multiplies
+// that capacity — the measured near-linear aggregate-throughput scaling
+// is the system's behavior against the modeled per-node bottleneck,
+// independent of the benchmarking host's core count.
 //
 // Reported per (runtime, shard count):
 //   * aggregate row — completed ops, achieved ops/s, shed arrivals,
-//     p50/p95/p99 latency, total msgs/bytes, speedup vs the 1-shard run;
+//     p50/p95/p99 latency (plus coordinated-omission-corrected
+//     percentiles from intended-start times), total msgs/bytes,
+//     msgs/op, speedup vs the 1-shard run;
 //   * one row per shard — ops routed there, per-shard p50/p95, and the
 //     shard's msgs/bytes from the runtime's per-shard traffic counters.
 //
 // EXP-SH2 repeats the 4-shard sim point with Zipfian key popularity
 // (theta = 0.99) to show skewed-load imbalance across shards.
 //
+// EXP-SH3 sweeps the batched wire protocol's window (--batch, default
+// 1,8) at 2 shards under a lighter service time (0.1ms, so the point is
+// offered-load- rather than capacity-bound and frames genuinely
+// coalesce): batching(w, 2ms) must cut msgs/op by ~w while atomicity,
+// throughput, and the modeled per-frame CPU stay unchanged. CI gates on
+// the window-8/window-1 msgs-per-op ratio (<= 0.5) from these rows.
+//
 //   shard_scaleout [--json <path>] [--ops <per-client arrivals>]
 //                  [--runtime sim|threads|both] [--shards 1,2,4,8]
+//                  [--batch 1,8]
 #include <cstring>
 #include <sstream>
 #include <string>
@@ -39,65 +50,95 @@ constexpr std::uint32_t kClients = 4;
 constexpr TimeNs kServiceTime = ms(1);
 constexpr double kOfferedOpsPerSec = 4000;  // aggregate, across clients
 
+// EXP-SH3: the batching point must not be capacity-bound (a saturated
+// shard throttles the per-client frame rate and with it the coalescing
+// opportunity), so it runs 2 shards at 0.1ms/request under 8000 ops/s
+// aggregate — ~0.8 per-server utilization — with a 2ms batch window.
+constexpr std::uint32_t kBatchShards = 2;
+constexpr std::uint32_t kBatchClients = 2;
+constexpr TimeNs kBatchServiceTime = us(100);
+constexpr double kBatchOfferedOpsPerSec = 8000;
+constexpr TimeNs kBatchDelay = ms(2);
+
+/// One deployment's knobs (EXP-SH1/SH2 scale shards; EXP-SH3 scales the
+/// batch window at fixed shards).
+struct PointCfg {
+  std::uint32_t shards = 1;
+  std::size_t ops = 2000;  // per-client arrivals
+  double zipf_theta = 0;
+  std::uint32_t clients = kClients;
+  double offered_ops_per_sec = kOfferedOpsPerSec;
+  TimeNs service_time = kServiceTime;
+  std::size_t max_in_flight = 32;
+  std::uint32_t batch_window = 1;  // 1 = unbatched wire protocol
+  TimeNs batch_delay = 0;
+};
+
 struct SweepPoint {
   std::uint32_t shards = 1;
   double ops_per_sec = 0;
   std::size_t completed = 0;
+  double msgs_per_op = 0;
 };
 
 std::string runtime_name(Runtime rt) {
   return rt == Runtime::kSim ? "sim" : "threads";
 }
 
-/// One deployment at `shards` groups; returns the achieved aggregate
-/// throughput and appends its rows to `report`.
-SweepPoint run_point(Runtime rt, std::uint32_t shards, std::size_t ops,
-                     double zipf_theta, JsonReport& report) {
+/// One deployment; returns the achieved aggregate throughput and msgs/op
+/// and appends its rows to `report`.
+SweepPoint run_point(Runtime rt, const PointCfg& cfg, JsonReport& report) {
   WorkloadParams wp;
-  wp.num_ops = ops;
+  wp.num_ops = cfg.ops;
   wp.read_ratio = 0.5;
   wp.value_size = 16;
   wp.num_keys = 512;
-  wp.zipf_theta = zipf_theta;
-  wp.target_ops_per_sec = kOfferedOpsPerSec / kClients;
-  wp.max_in_flight = 32;
+  wp.zipf_theta = cfg.zipf_theta;
+  wp.target_ops_per_sec = cfg.offered_ops_per_sec / cfg.clients;
+  wp.max_in_flight = cfg.max_in_flight;
   wp.seed = kSeed;
 
   ClusterBuilder b = Cluster::builder()
                          .servers(kPerShardN)
                          .faults(kPerShardF)
-                         .shards(shards)
-                         .clients(kClients)
+                         .shards(cfg.shards)
+                         .clients(cfg.clients)
                          .workload(wp)
-                         .service_time(kServiceTime)
+                         .service_time(cfg.service_time)
                          .runtime(rt)
                          .seed(kSeed);
+  if (cfg.batch_window > 1) b.batching(cfg.batch_window, cfg.batch_delay);
   if (rt == Runtime::kSim) {
     b.uniform_latency(us(100), us(500));
   }
   Cluster c = b.build();
 
   TimeNs t0 = c.now();
-  for (std::uint32_t k = 0; k < kClients; ++k) {
+  for (std::uint32_t k = 0; k < cfg.clients; ++k) {
     c.workload_done(k).get();
   }
   TimeNs t1 = c.now();
   c.quiesce(seconds(60));
 
   SweepPoint point;
-  point.shards = shards;
+  point.shards = cfg.shards;
   Histogram latency;
+  Histogram corrected;
   std::size_t shed = 0;
   double sum_client_rate = 0;
-  std::vector<std::size_t> shard_ops(shards, 0);
-  std::vector<Histogram> shard_latency(shards);
-  for (std::uint32_t k = 0; k < kClients; ++k) {
+  std::uint64_t envelopes = 0, frames = 0;
+  std::vector<std::size_t> shard_ops(cfg.shards, 0);
+  std::vector<Histogram> shard_latency(cfg.shards);
+  for (std::uint32_t k = 0; k < cfg.clients; ++k) {
     WorkloadClient& w = c.workload(k);
     point.completed += w.completed();
     shed += w.shed();
     sum_client_rate += w.achieved_ops_per_sec();
     latency.merge(w.op_latency());
-    for (ShardId g = 0; g < shards; ++g) {
+    corrected.merge(w.corrected_op_latency());
+    envelopes += w.router().batches_sent();
+    frames += w.router().batched_frames();
+    for (ShardId g = 0; g < cfg.shards; ++g) {
       shard_ops[g] += w.shard_completed(g);
       shard_latency[g].merge(w.shard_latency(g));
     }
@@ -105,13 +146,18 @@ SweepPoint run_point(Runtime rt, std::uint32_t shards, std::size_t ops,
   point.ops_per_sec = t1 > t0 ? static_cast<double>(point.completed) * 1e9 /
                                     static_cast<double>(t1 - t0)
                               : 0;
+  if (point.completed > 0) {
+    point.msgs_per_op = static_cast<double>(c.traffic().get("msgs")) /
+                        static_cast<double>(point.completed);
+  }
 
-  for (ShardId g = 0; g < shards; ++g) {
+  for (ShardId g = 0; g < cfg.shards; ++g) {
     const Counters& t = c.shard_traffic(g);
     report.shard_row(g)
         .field("runtime", runtime_name(rt))
-        .field("shards", static_cast<double>(shards))
-        .field("zipf_theta", zipf_theta)
+        .field("shards", static_cast<double>(cfg.shards))
+        .field("zipf_theta", cfg.zipf_theta)
+        .field("batch_window", static_cast<double>(cfg.batch_window))
         .field("ops_completed", static_cast<double>(shard_ops[g]))
         .field("p50_ms",
                shard_latency[g].empty()
@@ -128,12 +174,16 @@ SweepPoint run_point(Runtime rt, std::uint32_t shards, std::size_t ops,
   // cross-point fields (the speedup) to it.
   report.shard_row(-1)
       .field("runtime", runtime_name(rt))
-      .field("shards", static_cast<double>(shards))
+      .field("shards", static_cast<double>(cfg.shards))
       .field("servers_per_shard", static_cast<double>(kPerShardN))
-      .field("clients", static_cast<double>(kClients))
-      .field("service_time_ms", to_ms(kServiceTime))
-      .field("offered_ops_per_sec", kOfferedOpsPerSec)
-      .field("zipf_theta", zipf_theta)
+      .field("clients", static_cast<double>(cfg.clients))
+      .field("service_time_ms", to_ms(cfg.service_time))
+      .field("offered_ops_per_sec", cfg.offered_ops_per_sec)
+      .field("zipf_theta", cfg.zipf_theta)
+      .field("batch_window", static_cast<double>(cfg.batch_window))
+      .field("batch_delay_ms", to_ms(cfg.batch_delay))
+      .field("batch_envelopes", static_cast<double>(envelopes))
+      .field("batch_frames", static_cast<double>(frames))
       .field("ops_completed", static_cast<double>(point.completed))
       .field("ops_shed", static_cast<double>(shed))
       .field("ops_per_sec", point.ops_per_sec)
@@ -141,6 +191,9 @@ SweepPoint run_point(Runtime rt, std::uint32_t shards, std::size_t ops,
       .field("p50_ms", latency.percentile(50) / 1e6)
       .field("p95_ms", latency.percentile(95) / 1e6)
       .field("p99_ms", latency.percentile(99) / 1e6)
+      .field("corrected_p50_ms", corrected.percentile(50) / 1e6)
+      .field("corrected_p95_ms", corrected.percentile(95) / 1e6)
+      .field("corrected_p99_ms", corrected.percentile(99) / 1e6)
       .field("msgs", static_cast<double>(c.traffic().get("msgs")))
       .field("bytes", static_cast<double>(c.traffic().get("bytes")));
   return point;
@@ -150,7 +203,10 @@ void sweep(Runtime rt, const std::vector<std::uint32_t>& shard_counts,
            std::size_t ops, JsonReport& report, Table& table) {
   double base = 0;
   for (std::uint32_t shards : shard_counts) {
-    SweepPoint p = run_point(rt, shards, ops, /*zipf_theta=*/0, report);
+    PointCfg cfg;
+    cfg.shards = shards;
+    cfg.ops = ops;
+    SweepPoint p = run_point(rt, cfg, report);
     if (base <= 0) base = p.ops_per_sec;
     double speedup = base > 0 ? p.ops_per_sec / base : 0;
     // Lands on the aggregate ("all") row, which run_point opened last.
@@ -159,6 +215,43 @@ void sweep(Runtime rt, const std::vector<std::uint32_t>& shard_counts,
                    std::to_string(p.completed), Table::fmt(p.ops_per_sec),
                    Table::fmt(speedup)});
   }
+}
+
+void batch_sweep(Runtime rt, const std::vector<std::uint32_t>& windows,
+                 std::size_t ops, JsonReport& report, Table& table) {
+  double base_msgs_per_op = 0;
+  for (std::uint32_t window : windows) {
+    PointCfg cfg;
+    cfg.shards = kBatchShards;
+    cfg.ops = ops;
+    cfg.clients = kBatchClients;
+    cfg.offered_ops_per_sec = kBatchOfferedOpsPerSec;
+    cfg.service_time = kBatchServiceTime;
+    cfg.max_in_flight = 64;
+    cfg.batch_window = window;
+    // The window-1 baseline runs genuinely unbatched; recording the
+    // sweep's delay on its row would mislabel the artifact.
+    cfg.batch_delay = window > 1 ? kBatchDelay : 0;
+    SweepPoint p = run_point(rt, cfg, report);
+    if (base_msgs_per_op <= 0) base_msgs_per_op = p.msgs_per_op;
+    double reduction =
+        p.msgs_per_op > 0 ? base_msgs_per_op / p.msgs_per_op : 0;
+    report.field("msgs_per_op_reduction_vs_first", reduction);
+    table.add_row({runtime_name(rt), std::to_string(window),
+                   std::to_string(p.completed), Table::fmt(p.ops_per_sec),
+                   Table::fmt(p.msgs_per_op), Table::fmt(reduction)});
+  }
+}
+
+std::vector<std::uint32_t> parse_list(const char* arg) {
+  std::vector<std::uint32_t> out;
+  std::stringstream ss(arg);
+  std::string tok;
+  while (std::getline(ss, tok, ',')) {
+    out.push_back(
+        static_cast<std::uint32_t>(std::strtoul(tok.c_str(), nullptr, 10)));
+  }
+  return out;
 }
 
 }  // namespace
@@ -172,21 +265,20 @@ int main(int argc, char** argv) {
   std::size_t ops = 2000;
   std::string runtime = "both";
   std::vector<std::uint32_t> shard_counts = {1, 2, 4, 8};
+  std::vector<std::uint32_t> batch_windows = {1, 8};
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--ops") == 0 && i + 1 < argc) {
       ops = static_cast<std::size_t>(std::strtoull(argv[++i], nullptr, 10));
     } else if (std::strcmp(argv[i], "--runtime") == 0 && i + 1 < argc) {
       runtime = argv[++i];
     } else if (std::strcmp(argv[i], "--shards") == 0 && i + 1 < argc) {
-      shard_counts.clear();
-      std::stringstream ss(argv[++i]);
-      std::string tok;
-      while (std::getline(ss, tok, ',')) {
-        shard_counts.push_back(
-            static_cast<std::uint32_t>(std::strtoul(tok.c_str(), nullptr, 10)));
-      }
+      shard_counts = parse_list(argv[++i]);
+    } else if (std::strcmp(argv[i], "--batch") == 0 && i + 1 < argc) {
+      batch_windows = parse_list(argv[++i]);
     }
   }
+  bool run_sim = runtime == "sim" || runtime == "both";
+  bool run_threads = runtime == "threads" || runtime == "both";
 
   banner("EXP-SH1", "sharded keyspace scale-out (fixed per-shard size n=" +
                         std::to_string(kPerShardN) + ", service time " +
@@ -198,12 +290,8 @@ int main(int argc, char** argv) {
   Table table({"runtime", "shards", "ops", "ops/s", "speedup"});
   JsonReport scaleout("EXP-SH1 shard scale-out");
   scaleout.seed(kSeed);
-  if (runtime == "sim" || runtime == "both") {
-    sweep(Runtime::kSim, shard_counts, ops, scaleout, table);
-  }
-  if (runtime == "threads" || runtime == "both") {
-    sweep(Runtime::kThread, shard_counts, ops, scaleout, table);
-  }
+  if (run_sim) sweep(Runtime::kSim, shard_counts, ops, scaleout, table);
+  if (run_threads) sweep(Runtime::kThread, shard_counts, ops, scaleout, table);
   table.print();
 
   banner("EXP-SH2", "zipfian key popularity across shards (theta=0.99)");
@@ -211,8 +299,11 @@ int main(int argc, char** argv) {
   zipf.seed(kSeed);
   {
     Table zt({"shards", "zipf", "ops", "ops/s"});
-    SweepPoint p =
-        run_point(Runtime::kSim, 4, ops, /*zipf_theta=*/0.99, zipf);
+    PointCfg cfg;
+    cfg.shards = 4;
+    cfg.ops = ops;
+    cfg.zipf_theta = 0.99;
+    SweepPoint p = run_point(Runtime::kSim, cfg, zipf);
     zt.add_row({"4", "0.99", std::to_string(p.completed),
                 Table::fmt(p.ops_per_sec)});
     zt.print();
@@ -220,9 +311,29 @@ int main(int argc, char** argv) {
          "concentrate on their shards)");
   }
 
+  banner("EXP-SH3",
+         "batched wire protocol (" + std::to_string(kBatchShards) +
+             " shards, service time " + std::to_string(to_ms(kBatchServiceTime)) +
+             "ms/request, batch delay " + std::to_string(to_ms(kBatchDelay)) +
+             "ms)");
+  note("same-shard phase broadcasts coalesce into BatchRequest envelopes; "
+       "msgs/op should fall ~linearly with the realized batch size while "
+       "throughput holds (per-frame M/D/1 service cost)");
+  JsonReport batched("EXP-SH3 batched wire protocol");
+  batched.seed(kSeed);
+  {
+    Table bt({"runtime", "batch", "ops", "ops/s", "msgs/op", "reduction"});
+    if (run_sim) batch_sweep(Runtime::kSim, batch_windows, ops, batched, bt);
+    if (run_threads) {
+      batch_sweep(Runtime::kThread, batch_windows, ops, batched, bt);
+    }
+    bt.print();
+  }
+
   if (!json.empty()) {
     bool ok = scaleout.write(json);
     ok = zipf.write(json) && ok;
+    ok = batched.write(json) && ok;
     return ok ? 0 : 1;
   }
   return 0;

@@ -105,7 +105,9 @@ Cluster::Cluster(const ClusterBuilder& spec)
       kind_(spec.kind_),
       mode_(spec.mode_),
       history_(spec.history_),
-      retry_(spec.retry_) {
+      retry_(spec.retry_),
+      batch_ops_(spec.batch_ops_),
+      batch_delay_(spec.batch_delay_) {
   if (spec.workload_.has_value() &&
       (kind_ == ClusterBuilder::Kind::kReassign ||
        kind_ == ClusterBuilder::Kind::kCustom)) {
@@ -295,6 +297,7 @@ std::size_t Cluster::make_client_slot(const WorkloadParams* wp) {
     slot.process = std::move(c);
   }
   if (retry_ > 0) slot.router->set_retry_interval(retry_);
+  if (batch_ops_ > 1) slot.router->set_batching(batch_ops_, batch_delay_);
   e.register_process(pid, slot.process.get());
   clients_.push_back(std::move(slot));
   return clients_.size() - 1;

@@ -70,6 +70,16 @@
 // unsharded deployment — one group, key "" included. All shard and
 // server ids are validated and errors name the offender + valid range.
 //
+// The wire protocol can BATCH: builder.batching(max_ops, max_delay)
+// makes every client coalesce same-shard phase broadcasts issued within
+// `max_delay` of each other into one BatchRequest envelope (flushed
+// early at `max_ops` frames), which servers answer with one BatchReply —
+// cutting msgs/op by the mean batch size at unchanged protocol
+// semantics. batching(1) is byte-identical to the unbatched wire
+// protocol, and CI gates on the batched/unbatched msgs-per-op ratio
+// (see bench/shard_scaleout --batch and README "Wire protocol &
+// batching").
+//
 // The low-level Env/Process API stays public — protocol internals and
 // white-box tests keep using it; the facade is the deployment surface.
 #pragma once
@@ -236,6 +246,21 @@ class ClusterBuilder {
     return *this;
   }
 
+  /// Batched wire protocol for every deployed client (including clients
+  /// added mid-run): same-shard phase broadcasts issuable within
+  /// `max_delay` of each other coalesce into one BatchRequest envelope of
+  /// up to `max_ops` frames, servers answer each envelope with one
+  /// BatchReply, and the client demultiplexes — cutting the per-operation
+  /// message constant by the mean batch size while per-key FIFO, unique
+  /// write tags, retries, and change-set restarts stay untouched.
+  /// batching(1) (or never calling batching) is byte-identical to the
+  /// unbatched wire protocol — pinned in tests like shards(1).
+  ClusterBuilder& batching(std::size_t max_ops, TimeNs max_delay = 0) {
+    batch_ops_ = max_ops;
+    batch_delay_ = max_delay;
+    return *this;
+  }
+
   /// --- substrate ---------------------------------------------------------
   ClusterBuilder& runtime(Runtime r) { runtime_ = r; return *this; }
   ClusterBuilder& seed(std::uint64_t s) { seed_ = s; return *this; }
@@ -314,6 +339,8 @@ class ClusterBuilder {
   std::vector<std::pair<ProcessId, ProcessFactory>> extras_;
   TimeNs retry_ = 0;
   TimeNs anti_entropy_ = 0;
+  std::size_t batch_ops_ = 1;  // <= 1: unbatched wire protocol
+  TimeNs batch_delay_ = 0;
 };
 
 class Cluster {
@@ -536,6 +563,8 @@ class Cluster {
   AbdClient::Mode mode_ = AbdClient::Mode::kDynamic;
   std::shared_ptr<HistoryRecorder> history_;
   TimeNs retry_ = 0;
+  std::size_t batch_ops_ = 1;
+  TimeNs batch_delay_ = 0;
 
   // env_ members are declared before the process slots so workers are
   // stopped (dtor body) and envs destroyed only after all processes died.

@@ -105,8 +105,24 @@ std::uint64_t ShardRouter::retransmits() const {
   return sum;
 }
 
+std::uint64_t ShardRouter::batches_sent() const {
+  std::uint64_t sum = 0;
+  for (const auto& c : clients_) sum += c->batches_sent();
+  return sum;
+}
+
+std::uint64_t ShardRouter::batched_frames() const {
+  std::uint64_t sum = 0;
+  for (const auto& c : clients_) sum += c->batched_frames();
+  return sum;
+}
+
 void ShardRouter::set_retry_interval(TimeNs interval) {
   for (const auto& c : clients_) c->set_retry_interval(interval);
+}
+
+void ShardRouter::set_batching(std::size_t max_ops, TimeNs max_delay) {
+  for (const auto& c : clients_) c->set_batching(max_ops, max_delay);
 }
 
 void ShardRouter::set_max_restarts(std::uint32_t m) {

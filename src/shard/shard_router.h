@@ -63,9 +63,16 @@ class ShardRouter {
   std::size_t max_in_flight() const;
   std::uint64_t restarts() const;
   std::uint64_t retransmits() const;
+  /// Batched envelopes flushed / frames carried, summed over shards.
+  std::uint64_t batches_sent() const;
+  std::uint64_t batched_frames() const;
 
   void set_retry_interval(TimeNs interval);
   void set_max_restarts(std::uint32_t m);
+  /// Batched wire mode on every inner client. Batching is inherently
+  /// same-shard: each inner client only ever talks to its own group, so
+  /// coalescing its buffered phase broadcasts can never mix shards.
+  void set_batching(std::size_t max_ops, TimeNs max_delay);
 
  private:
   ShardMap map_;

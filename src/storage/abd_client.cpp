@@ -100,20 +100,67 @@ void AbdClient::start_phase2(Op& op) {
 }
 
 void AbdClient::broadcast_phase(const Op& op) {
+  MsgPtr req;
   if (op.phase == 2) {
-    env_.broadcast_to_group(
-        self_, servers_,
-        std::make_shared<WriteReq>(op.id, op.to_write, op.key, op.seq,
-                                   config_.shard));
+    req = std::make_shared<WriteReq>(op.id, op.to_write, op.key, op.seq,
+                                     config_.shard);
   } else if (op.kind == OpKind::kListKeys) {
-    env_.broadcast_to_group(
-        self_, servers_,
-        std::make_shared<KeysReq>(op.id, op.seq, config_.shard));
+    req = std::make_shared<KeysReq>(op.id, op.seq, config_.shard);
   } else {
-    env_.broadcast_to_group(
-        self_, servers_,
-        std::make_shared<ReadReq>(op.id, op.key, op.seq, config_.shard));
+    req = std::make_shared<ReadReq>(op.id, op.key, op.seq, config_.shard);
   }
+  if (!batching()) {
+    env_.broadcast_to_group(self_, servers_, req);
+    return;
+  }
+  enqueue_frame(op, std::move(req));
+}
+
+void AbdClient::set_batching(std::size_t max_ops, TimeNs max_delay) {
+  if (max_delay < 0) {
+    throw std::invalid_argument("AbdClient: batching max_delay must be >= 0");
+  }
+  batch_max_ops_ = max_ops == 0 ? 1 : max_ops;
+  batch_max_delay_ = max_delay;
+  if (!batching()) flush_batch();  // turned off mid-run: drain the buffer
+}
+
+void AbdClient::enqueue_frame(const Op& op, MsgPtr msg) {
+  batch_buf_.push_back(PendingFrame{op.id, op.seq, std::move(msg)});
+  if (batch_buf_.size() >= batch_max_ops_) {
+    flush_batch();
+    return;
+  }
+  if (batch_buf_.size() > 1) return;  // the first frame already armed a timer
+  // Arm the max_delay timer for THIS batch. The generation check makes
+  // a timer whose batch was already flushed (by count, or by an earlier
+  // timer) a no-op instead of prematurely splitting the next batch.
+  std::uint64_t gen = ++batch_timer_gen_;
+  env_.schedule(self_, batch_max_delay_, [this, gen] {
+    if (gen != batch_timer_gen_) return;  // batch superseded: stale timer
+    flush_batch();
+  });
+}
+
+void AbdClient::flush_batch() {
+  ++batch_timer_gen_;  // any armed timer belongs to the batch ending here
+  if (batch_buf_.empty()) return;
+  std::vector<MsgPtr> frames;
+  frames.reserve(batch_buf_.size());
+  for (PendingFrame& f : batch_buf_) {
+    // Skip frames whose operation completed or restarted (bumped seq)
+    // while buffered — the servers would only produce stale replies.
+    auto it = ops_.find(f.id);
+    if (it == ops_.end() || it->second.seq != f.seq) continue;
+    frames.push_back(std::move(f.msg));
+  }
+  batch_buf_.clear();
+  if (frames.empty()) return;
+  ++batches_sent_;
+  batched_frames_ += frames.size();
+  env_.broadcast_to_group(
+      self_, servers_,
+      std::make_shared<BatchRequest>(config_.shard, std::move(frames)));
 }
 
 void AbdClient::schedule_retry(OpId id, std::uint32_t seq) {
@@ -195,6 +242,19 @@ bool AbdClient::responders_form_quorum(
 }
 
 bool AbdClient::handle(ProcessId from, const Message& msg) {
+  if (const auto* batch = msg_cast<BatchReply>(msg)) {
+    // Demultiplex the envelope back into the per-operation state
+    // machines. A frame may restart or complete operations whose later
+    // frames are also in this envelope — the ordinary per-frame seq and
+    // liveness checks below absorb that, exactly as they absorb a
+    // reordered stream of individual replies.
+    bool any = false;
+    for (const MsgPtr& frame : batch->frames()) {
+      if (handle(from, *frame)) any = true;
+    }
+    return any;
+  }
+
   if (const auto* ack = msg_cast<ReadAck>(msg)) {
     auto it = ops_.find(ack->op_id());
     if (it == ops_.end()) return false;  // not mine (or long completed)

@@ -36,6 +36,15 @@
 // a mere f+1-server sample does not (a weighted quorum may have fewer
 // than f+1 members).
 //
+// Batched wire mode (off by default): set_batching(max_ops, max_delay)
+// buffers phase broadcasts and coalesces them into one BatchRequest per
+// flush — flushed as soon as `max_ops` frames are pending or `max_delay`
+// after the first one, whichever comes first. Servers apply each frame
+// individually and answer with one BatchReply the client demultiplexes,
+// so per-key FIFO, unique write tags, change-set restarts, and retries
+// are all untouched; only the per-operation message constant shrinks.
+// set_batching(1, ...) IS the unbatched path, byte for byte.
+//
 // Static mode ignores change sets entirely and uses the fixed initial
 // weights — this is the classical weighted/unweighted ABD baseline.
 #pragma once
@@ -46,6 +55,7 @@
 #include <map>
 #include <optional>
 #include <set>
+#include <vector>
 
 #include "core/config.h"
 #include "runtime/env.h"
@@ -121,6 +131,23 @@ class AbdClient {
   /// Phase broadcasts re-sent by the retry timer (observability/tests).
   std::uint64_t retransmits() const { return retransmits_; }
 
+  /// Batched wire mode. `max_ops` <= 1 disables it (the default) — that
+  /// path is byte-identical to the pre-batching client. With batching on,
+  /// every phase broadcast is buffered and the buffer is flushed as ONE
+  /// BatchRequest to the group when it holds `max_ops` frames or
+  /// `max_delay` after the first frame was buffered, whichever happens
+  /// first (max_delay 0 still defers to a zero-delay callback, so every
+  /// operation issued in the same handler tick coalesces).
+  void set_batching(std::size_t max_ops, TimeNs max_delay);
+  std::size_t batch_max_ops() const { return batch_max_ops_; }
+  TimeNs batch_max_delay() const { return batch_max_delay_; }
+  bool batching() const { return batch_max_ops_ > 1; }
+
+  /// Envelopes flushed / frames carried by them (observability: the mean
+  /// frames-per-envelope is batched_frames()/batches_sent()).
+  std::uint64_t batches_sent() const { return batches_sent_; }
+  std::uint64_t batched_frames() const { return batched_frames_; }
+
  private:
   enum class OpKind { kRead, kWrite, kListKeys };
 
@@ -145,10 +172,21 @@ class AbdClient {
     std::uint32_t op_restarts = 0;
   };
 
+  /// One buffered phase broadcast awaiting the next envelope flush. The
+  /// (id, seq) pair lets the flush skip frames whose operation completed
+  /// or restarted while buffered.
+  struct PendingFrame {
+    OpId id = 0;
+    std::uint32_t seq = 0;
+    MsgPtr msg;
+  };
+
   OpId enqueue(Op op);
   void start_phase1(Op& op);
   void start_phase2(Op& op);
   void broadcast_phase(const Op& op);
+  void enqueue_frame(const Op& op, MsgPtr msg);
+  void flush_batch();
   void schedule_retry(OpId id, std::uint32_t seq);
   void complete(OpId id);
   bool merge_and_maybe_restart(const ChangeSetPtr& incoming);
@@ -176,6 +214,17 @@ class AbdClient {
   std::uint32_t max_restarts_ = 10'000;
   TimeNs retry_interval_ = 0;
   std::uint64_t retransmits_ = 0;
+
+  // --- batched wire mode ---------------------------------------------------
+  std::size_t batch_max_ops_ = 1;  // <= 1: unbatched (byte-identical)
+  TimeNs batch_max_delay_ = 0;
+  std::vector<PendingFrame> batch_buf_;
+  /// Bumped on every flush and every armed timer; a timer only fires its
+  /// flush when its generation is still current (stale timers of already
+  /// flushed batches must not split the batch that followed them).
+  std::uint64_t batch_timer_gen_ = 0;
+  std::uint64_t batches_sent_ = 0;
+  std::uint64_t batched_frames_ = 0;
 };
 
 }  // namespace wrs

@@ -12,6 +12,7 @@
 #pragma once
 
 #include <memory>
+#include <vector>
 
 #include "core/change_set.h"
 #include "runtime/message.h"
@@ -159,6 +160,59 @@ class WriteReq : public MessageBase<WriteReq> {
   ShardId shard_;
   TaggedValue reg_;
   RegisterKey key_;
+};
+
+/// <B, g, [frame...]> — batched wire envelope (client -> servers).
+///
+/// A batching client coalesces the phase requests of several operations
+/// addressed to the SAME shard into one envelope: `frames` holds the
+/// individual ReadReq / WriteReq / KeysReq messages exactly as the
+/// unbatched protocol would have sent them, so servers apply each frame
+/// through the ordinary per-request logic (idempotent, seq-echoing) and
+/// nothing about the quorum protocol changes — only the message count.
+/// The fault plane acts on whole envelopes: dropping / duplicating /
+/// reordering a BatchRequest drops / duplicates / reorders every frame
+/// in it together.
+///
+/// Wire size amortizes the per-message header: each frame contributes
+/// its own payload plus a 4-byte frame-length field instead of a full
+/// header.
+class BatchRequest : public MessageBase<BatchRequest> {
+ public:
+  BatchRequest(ShardId shard, std::vector<MsgPtr> frames)
+      : shard_(shard), frames_(std::move(frames)) {}
+  ShardId shard() const { return shard_; }
+  const std::vector<MsgPtr>& frames() const { return frames_; }
+  std::string type_name() const override { return "B"; }
+  std::size_t wire_size() const override {
+    std::size_t sz = kHeaderBytes + 4;
+    for (const MsgPtr& f : frames_) sz += f->wire_size() - kHeaderBytes + 4;
+    return sz;
+  }
+
+ private:
+  ShardId shard_;
+  std::vector<MsgPtr> frames_;
+};
+
+/// <B_A, [frame...]> — one reply per BatchRequest, carrying the
+/// per-(op_id, seq) acks of every applied frame. The client demultiplexes
+/// the frames back into its concurrent two-phase state machines exactly
+/// as if they had arrived as individual messages.
+class BatchReply : public MessageBase<BatchReply> {
+ public:
+  explicit BatchReply(std::vector<MsgPtr> frames)
+      : frames_(std::move(frames)) {}
+  const std::vector<MsgPtr>& frames() const { return frames_; }
+  std::string type_name() const override { return "B_A"; }
+  std::size_t wire_size() const override {
+    std::size_t sz = kHeaderBytes + 4;
+    for (const MsgPtr& f : frames_) sz += f->wire_size() - kHeaderBytes + 4;
+    return sz;
+  }
+
+ private:
+  std::vector<MsgPtr> frames_;
 };
 
 /// <W_A, opId, seq, C>.

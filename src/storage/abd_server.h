@@ -12,6 +12,12 @@
 // whose shard id differs from its own (misrouted traffic — counted, so
 // routing bugs surface in tests instead of silently inflating quorums).
 //
+// Batched envelopes: a BatchRequest is unpacked and every frame applied
+// through the ordinary request logic; the acks travel back as one
+// BatchReply. Each APPLIED frame costs a full service_time of modeled
+// serial work (misrouted frames are free, like misrouted singles), so
+// batching amortizes MESSAGES, never the M/D/1 CPU.
+//
 // Service-time model (off by default): set_service_time(t) makes the
 // server behave like a node whose storage engine needs `t` of serial
 // per-request work (disk/SSD access, CPU-bound state machine, ...).
@@ -46,33 +52,39 @@ class AbdServer {
         shard_(shard),
         changes_provider_(std::move(changes_provider)) {}
 
-  /// Routes R / W / KEYS messages; true iff consumed. Replies echo the
-  /// request's (op_id, seq) so the client can route and de-stale them.
-  /// Requests addressed to another shard are consumed but never answered.
+  /// Routes R / W / KEYS messages and batched envelopes; true iff
+  /// consumed. Replies echo the request's (op_id, seq) so the client can
+  /// route and de-stale them. Requests addressed to another shard are
+  /// consumed but never answered.
+  ///
+  /// A BatchRequest is unpacked frame by frame through the same
+  /// per-request logic, its acks collected into ONE BatchReply, and the
+  /// envelope charged one `service_time` of serial work per APPLIED
+  /// frame (misrouted frames are dropped without an ack and — like
+  /// misrouted single requests — cost nothing): batching cuts messages,
+  /// never modeled CPU.
   bool handle(ProcessId from, const Message& msg) {
-    if (const auto* r = msg_cast<ReadReq>(msg)) {
-      if (misrouted(r->shard())) return true;
-      reply(from, std::make_shared<ReadAck>(r->op_id(), reg(r->key()),
-                                            snapshot(), r->seq()));
+    if (const auto* b = msg_cast<BatchRequest>(msg)) {
+      if (misrouted(b->shard())) return true;
+      ++batches_served_;
+      std::vector<MsgPtr> acks;
+      acks.reserve(b->frames().size());
+      for (const MsgPtr& frame : b->frames()) {
+        if (MsgPtr ack = apply(*frame)) acks.push_back(std::move(ack));
+      }
+      if (!acks.empty()) {
+        TimeNs cost =
+            service_time_ * static_cast<TimeNs>(acks.size());
+        reply(from, std::make_shared<BatchReply>(std::move(acks)), cost);
+      }
       return true;
     }
-    if (const auto* w = msg_cast<WriteReq>(msg)) {
-      if (misrouted(w->shard())) return true;
-      TaggedValue& slot = regs_[w->key()];
-      if (slot.tag < w->reg().tag) slot = w->reg();
-      reply(from, std::make_shared<WriteAck>(w->op_id(), snapshot(), w->seq()));
-      return true;
+    if (!msg_cast<ReadReq>(msg) && !msg_cast<WriteReq>(msg) &&
+        !msg_cast<KeysReq>(msg)) {
+      return false;
     }
-    if (const auto* k = msg_cast<KeysReq>(msg)) {
-      if (misrouted(k->shard())) return true;
-      std::vector<RegisterKey> keys;
-      keys.reserve(regs_.size());
-      for (const auto& [key, _] : regs_) keys.push_back(key);
-      reply(from, std::make_shared<KeysAck>(k->op_id(), std::move(keys),
-                                            snapshot(), k->seq()));
-      return true;
-    }
-    return false;
+    if (MsgPtr ack = apply(msg)) reply(from, std::move(ack), service_time_);
+    return true;
   }
 
   /// Register contents for `key` (initial <<0,⊥>,⊥> when never written).
@@ -87,8 +99,11 @@ class AbdServer {
   std::size_t register_count() const { return regs_.size(); }
 
   ShardId shard() const { return shard_; }
-  /// Requests dropped because they carried another group's shard id.
+  /// Requests dropped because they carried another group's shard id —
+  /// whole misrouted envelopes count once, like any other request.
   std::uint64_t misrouted_count() const { return misrouted_; }
+  /// Batched envelopes unpacked (observability for batching tests).
+  std::uint64_t batches_served() const { return batches_served_; }
 
   /// Serial per-request service time (0 = reply inline, the default —
   /// byte- and event-identical to the pre-model server).
@@ -106,16 +121,45 @@ class AbdServer {
     return true;
   }
 
+  /// Applies one ABD request against the register state and returns its
+  /// ack — or null when `msg` is no ABD request, or is addressed to
+  /// another shard (counted; defense in depth for frames of a batched
+  /// envelope whose own shard id somehow disagrees with the envelope's).
+  MsgPtr apply(const Message& msg) {
+    if (const auto* r = msg_cast<ReadReq>(msg)) {
+      if (misrouted(r->shard())) return nullptr;
+      return std::make_shared<ReadAck>(r->op_id(), reg(r->key()), snapshot(),
+                                       r->seq());
+    }
+    if (const auto* w = msg_cast<WriteReq>(msg)) {
+      if (misrouted(w->shard())) return nullptr;
+      TaggedValue& slot = regs_[w->key()];
+      if (slot.tag < w->reg().tag) slot = w->reg();
+      return std::make_shared<WriteAck>(w->op_id(), snapshot(), w->seq());
+    }
+    if (const auto* k = msg_cast<KeysReq>(msg)) {
+      if (misrouted(k->shard())) return nullptr;
+      std::vector<RegisterKey> keys;
+      keys.reserve(regs_.size());
+      for (const auto& [key, _] : regs_) keys.push_back(key);
+      return std::make_shared<KeysAck>(k->op_id(), std::move(keys), snapshot(),
+                                       k->seq());
+    }
+    return nullptr;
+  }
+
   /// Replies inline, or through the serial service queue: each request
-  /// occupies the server for `service_time_`, requests arriving while
-  /// busy wait their turn (handlers are serialized per process, so the
-  /// watermark needs no lock).
-  void reply(ProcessId to, MsgPtr ack) {
-    if (service_time_ <= 0) {
+  /// occupies the server for `cost` (one service_time_ per applied frame
+  /// — a batched envelope costs as much modeled CPU as its frames would
+  /// have individually), requests arriving while busy wait their turn
+  /// (handlers are serialized per process, so the watermark needs no
+  /// lock).
+  void reply(ProcessId to, MsgPtr ack, TimeNs cost) {
+    if (cost <= 0) {
       env_.send(self_, to, std::move(ack));
       return;
     }
-    TimeNs free_at = std::max(env_.now(), busy_until_) + service_time_;
+    TimeNs free_at = std::max(env_.now(), busy_until_) + cost;
     busy_until_ = free_at;
     env_.schedule(self_, free_at - env_.now(),
                   [this, to, ack = std::move(ack)]() mutable {
@@ -129,6 +173,7 @@ class AbdServer {
   ChangesProvider changes_provider_;
   std::map<RegisterKey, TaggedValue> regs_;
   std::uint64_t misrouted_ = 0;
+  std::uint64_t batches_served_ = 0;
   TimeNs service_time_ = 0;
   TimeNs busy_until_ = 0;
 };

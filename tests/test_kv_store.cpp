@@ -147,33 +147,43 @@ TEST(KvStore, AtomicPerKeyUnderTransferChurn) {
   }
 
   // Client 0 works key "x", client 1 works key "y"; transfers churn.
+  // The test scope owns each self-rescheduling loop; the lambdas hold
+  // only weak references to it (a shared self-capture would be a
+  // reference cycle and leak the closure — ASan's leak check minds).
+  std::vector<std::shared_ptr<std::function<void(int)>>> loops;
   auto drive = [&](int k, const RegisterKey& key,
                    std::shared_ptr<HistoryRecorder> hist) {
     auto loop = std::make_shared<std::function<void(int)>>();
-    *loop = [&, k, key, hist, loop](int left) {
+    loops.push_back(loop);
+    std::weak_ptr<std::function<void(int)>> weak = loop;
+    auto next = [&, k, weak](int left) {
+      c.env->schedule(client_id(k), ms(2), [weak, left] {
+        if (auto l = weak.lock()) (*l)(left - 1);
+      });
+    };
+    *loop = [&, k, key, hist, next](int left) {
       if (left == 0) return;
       auto& abd = clients[k]->abd();
       bool is_read = (left % 2 == 0);
       TimeNs start = c.env->now();
       if (is_read) {
         auto token = hist->begin(OpRecord::Kind::kRead, client_id(k), start);
-        abd.read(key, [&, hist, token, loop, left, k](const TaggedValue& tv) {
+        abd.read(key, [&, hist, token, next, left](const TaggedValue& tv) {
           hist->end_read(token, c.env->now(), tv);
-          c.env->schedule(client_id(k), ms(2),
-                          [loop, left] { (*loop)(left - 1); });
+          next(left);
         });
       } else {
         Value v = key + "#" + std::to_string(left);
         auto token = hist->begin(OpRecord::Kind::kWrite, client_id(k), start);
-        abd.write(key, v,
-                  [&, hist, token, v, loop, left, k](const Tag& t) {
-                    hist->end_write(token, c.env->now(), t, v);
-                    c.env->schedule(client_id(k), ms(2),
-                                    [loop, left] { (*loop)(left - 1); });
-                  });
+        abd.write(key, v, [&, hist, token, v, next, left](const Tag& t) {
+          hist->end_write(token, c.env->now(), t, v);
+          next(left);
+        });
       }
     };
-    c.env->schedule(client_id(k), 0, [loop] { (*loop)(30); });
+    c.env->schedule(client_id(k), 0, [weak] {
+      if (auto l = weak.lock()) (*l)(30);
+    });
   };
   drive(0, "x", history_x);
   drive(1, "y", history_y);

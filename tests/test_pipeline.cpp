@@ -135,6 +135,22 @@ TEST_P(PipelineOnBothRuntimes, OpenLoopMultiKeyWorkloadStaysAtomicPerKey) {
   // round trip: some client must have overlapped operations.
   EXPECT_TRUE(any_overlap);
 
+  // Coordinated-omission audit: every completed op also recorded a
+  // corrected latency from its intended arrival tick. The intended start
+  // never postdates the actual issue, so corrected >= raw at every
+  // percentile (equal on the simulator, where arrivals fire exactly on
+  // schedule).
+  for (std::size_t k = 0; k < 4; ++k) {
+    WorkloadClient& w = c.workload(k);
+    EXPECT_EQ(w.corrected_op_latency().count(), w.op_latency().count());
+    EXPECT_GE(w.corrected_op_latency().percentile(99),
+              w.op_latency().percentile(99));
+    if (GetParam() == Runtime::kSim) {
+      EXPECT_EQ(w.corrected_op_latency().percentile(50),
+                w.op_latency().percentile(50));
+    }
+  }
+
   // Every per-key projection of the pipelined multi-client history is an
   // atomic single-register history.
   auto ops = history->completed();
