@@ -4,6 +4,11 @@
 #include <set>
 #include <thread>
 
+#ifdef __linux__
+#include "net/socket_addr.h"
+#include "runtime/socket_env.h"
+#endif
+
 namespace wrs {
 
 namespace {
@@ -99,6 +104,7 @@ ShardMap Cluster::build_shard_map(const ClusterBuilder& spec) {
 
 Cluster::Cluster(const ClusterBuilder& spec)
     : runtime_(spec.runtime_),
+      transport_(spec.transport_),
       shard_map_(build_shard_map(spec)),
       config_(shard_map_.config(0)),
       service_time_(spec.service_time_),
@@ -122,15 +128,46 @@ Cluster::Cluster(const ClusterBuilder& spec)
         "adaptive()/reassign_only()/server_factory()");
   }
 
+  if (transport_ == Transport::kSocket) {
+    if (spec.has_runtime_ && spec.runtime_ == Runtime::kSim) {
+      throw std::invalid_argument(
+          "Cluster: Transport::kSocket runs on wall-clock time — "
+          "incompatible with runtime(Runtime::kSim)");
+    }
+    if (kind_ == ClusterBuilder::Kind::kCustom || !spec.extras_.empty()) {
+      throw std::invalid_argument(
+          "Cluster: Transport::kSocket cannot ship custom process types "
+          "(the wire codec only knows the library's protocol messages)");
+    }
+    // The socket substrate is in the wall-clock family.
+    runtime_ = Runtime::kThread;
+  }
+
   std::shared_ptr<LatencyModel> base = spec.latency_;
   if (!base && runtime_ == Runtime::kSim) {
-    // The simulator needs a model; the thread runtime delivers as fast as
-    // possible when none is configured.
+    // The simulator needs a model; the wall-clock runtimes deliver as
+    // fast as possible when none is configured.
     base = std::make_shared<UniformLatency>(ms(1), ms(10));
   }
   if (base) degradable_ = std::make_shared<DegradableLatency>(std::move(base));
 
-  if (runtime_ == Runtime::kSim) {
+  if (transport_ == Transport::kSocket) {
+#ifdef __linux__
+    SocketEnv::Options opts;
+    opts.listen = net::SocketAddr::parse("tcp:127.0.0.1:0");
+    // Every message — even between processes of this one OS process —
+    // goes out through our own listener and back through the kernel, so
+    // the single-process deployment exercises the real wire path.
+    opts.loopback_self = true;
+    opts.latency = degradable_;
+    opts.seed = spec.seed_;
+    socket_ = std::make_shared<SocketEnv>(opts);
+    socket_env_ = socket_.get();
+#else
+    throw std::runtime_error(
+        "Cluster: Transport::kSocket requires Linux (epoll)");
+#endif
+  } else if (runtime_ == Runtime::kSim) {
     sim_ = std::make_unique<SimEnv>(degradable_, spec.seed_);
     pump_ = std::make_shared<SimPump>(sim_.get());
   } else {
@@ -236,23 +273,32 @@ Cluster::Cluster(const ClusterBuilder& spec)
 
   if (sim_) {
     sim_->start();
-  } else {
+  } else if (thread_) {
     thread_->start();
+  } else {
+#ifdef __linux__
+    socket_->start();
+#endif
   }
 }
 
 Cluster::~Cluster() {
   // Workers must stop before the processes they drive are destroyed.
   if (thread_) thread_->stop();
+#ifdef __linux__
+  if (socket_) socket_->stop();
+#endif
 }
 
 Env& Cluster::env() {
   if (sim_) return *sim_;
+  if (socket_env_ != nullptr) return *socket_env_;
   return *thread_;
 }
 
 const Env& Cluster::env() const {
   if (sim_) return *sim_;
+  if (socket_env_ != nullptr) return *socket_env_;
   return *thread_;
 }
 

@@ -109,6 +109,15 @@ namespace wrs {
 /// difference; drivers should not have to either.
 enum class Runtime { kSim, kThread };
 
+/// How messages move. kInProcess hands shared_ptrs between in-process
+/// mailboxes (SimEnv/ThreadEnv); kSocket WireCodec-serializes every
+/// message and routes it through this process's own TCP listener via a
+/// SocketEnv (src/runtime/socket_env.h) — a real kernel round trip per
+/// message, wall-clock time, Linux only. With kSocket the runtime is
+/// implicitly the wall-clock family; asking for Runtime::kSim throws.
+enum class Transport { kInProcess, kSocket };
+
+class SocketEnv;
 class Cluster;
 class ClusterBuilder;
 
@@ -262,7 +271,16 @@ class ClusterBuilder {
   }
 
   /// --- substrate ---------------------------------------------------------
-  ClusterBuilder& runtime(Runtime r) { runtime_ = r; return *this; }
+  ClusterBuilder& runtime(Runtime r) {
+    runtime_ = r;
+    has_runtime_ = true;
+    return *this;
+  }
+  /// Transport::kSocket deploys everything in this process over real
+  /// loopback sockets (storage/adaptive/reassign roles only; custom
+  /// factories and add_process would need wire types the codec does not
+  /// know). Incompatible with runtime(Runtime::kSim).
+  ClusterBuilder& transport(Transport t) { transport_ = t; return *this; }
   ClusterBuilder& seed(std::uint64_t s) { seed_ = s; return *this; }
 
   /// --- fault-tolerance hardening ------------------------------------------
@@ -327,6 +345,8 @@ class ClusterBuilder {
   TimeNs service_time_ = 0;
   std::optional<WeightMap> weights_;
   Runtime runtime_ = Runtime::kSim;
+  bool has_runtime_ = false;
+  Transport transport_ = Transport::kInProcess;
   std::uint64_t seed_ = 1;
   std::shared_ptr<LatencyModel> latency_;
   Kind kind_ = Kind::kStorage;
@@ -364,6 +384,7 @@ class Cluster {
     return clients_.size();
   }
   Runtime runtime() const { return runtime_; }
+  Transport transport() const { return transport_; }
 
   // --- sharding ------------------------------------------------------------
   std::uint32_t num_shards() const { return shard_map_.num_shards(); }
@@ -525,6 +546,8 @@ class Cluster {
   /// Null when the deployment runs on the other substrate.
   SimEnv* sim() { return sim_.get(); }
   ThreadEnv* threads() { return thread_.get(); }
+  /// Non-null only for Transport::kSocket deployments.
+  SocketEnv* sockets() { return socket_.get(); }
 
  private:
   friend class ClientHandle;
@@ -555,6 +578,7 @@ class Cluster {
   void check_process(ProcessId pid) const;
 
   Runtime runtime_;
+  Transport transport_;
   /// Declared before config_: config_ aliases shard 0's config.
   ShardMap shard_map_;
   SystemConfig config_;
@@ -570,6 +594,11 @@ class Cluster {
   // stopped (dtor body) and envs destroyed only after all processes died.
   std::unique_ptr<SimEnv> sim_;
   std::unique_ptr<ThreadEnv> thread_;
+  /// shared_ptr so non-Linux translation units can hold the (incomplete,
+  /// #ifdef'd-out) type; only ever non-null on Linux. socket_env_ is the
+  /// same object as an Env* for dispatch without the complete type.
+  std::shared_ptr<SocketEnv> socket_;
+  Env* socket_env_ = nullptr;
   std::shared_ptr<DegradableLatency> degradable_;
   std::shared_ptr<AwaitPump> pump_;
 

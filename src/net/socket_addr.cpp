@@ -1,0 +1,53 @@
+#include "net/socket_addr.h"
+
+#include <stdexcept>
+
+namespace wrs::net {
+
+SocketAddr SocketAddr::parse(const std::string& spec) {
+  SocketAddr addr;
+  if (spec.rfind("tcp:", 0) == 0) {
+    addr.kind = Kind::kTcp;
+    std::string rest = spec.substr(4);
+    std::size_t colon = rest.rfind(':');
+    if (colon == std::string::npos || colon == 0 || colon + 1 == rest.size()) {
+      throw std::invalid_argument("SocketAddr: want tcp:HOST:PORT, got \"" +
+                                  spec + "\"");
+    }
+    addr.host = rest.substr(0, colon);
+    std::string port_str = rest.substr(colon + 1);
+    try {
+      std::size_t used = 0;
+      unsigned long port = std::stoul(port_str, &used);
+      if (used != port_str.size() || port > 65535) throw std::out_of_range("");
+      addr.port = static_cast<std::uint16_t>(port);
+    } catch (const std::exception&) {
+      throw std::invalid_argument("SocketAddr: bad port in \"" + spec + "\"");
+    }
+    return addr;
+  }
+  if (spec.rfind("unix:", 0) == 0) {
+    addr.kind = Kind::kUnix;
+    addr.path = spec.substr(5);
+    if (addr.path.empty()) {
+      throw std::invalid_argument("SocketAddr: empty unix path in \"" + spec +
+                                  "\"");
+    }
+    // sockaddr_un::sun_path is 108 bytes including the terminator.
+    if (addr.path.size() >= 108) {
+      throw std::invalid_argument("SocketAddr: unix path too long (>= 108): " +
+                                  addr.path);
+    }
+    return addr;
+  }
+  throw std::invalid_argument(
+      "SocketAddr: want \"tcp:HOST:PORT\" or \"unix:PATH\", got \"" + spec +
+      "\"");
+}
+
+std::string SocketAddr::str() const {
+  if (kind == Kind::kUnix) return "unix:" + path;
+  return "tcp:" + host + ":" + std::to_string(port);
+}
+
+}  // namespace wrs::net

@@ -1,0 +1,37 @@
+// Transport endpoint addresses for the socket runtime.
+//
+// Two address families, spelled as strings everywhere user-facing
+// (flags, JSON config, add_route):
+//
+//   "tcp:127.0.0.1:7000"   TCP over IPv4 (port 0 = bind ephemeral)
+//   "unix:/tmp/wrs.sock"   Unix-domain stream socket
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace wrs::net {
+
+struct SocketAddr {
+  enum class Kind { kTcp, kUnix };
+
+  Kind kind = Kind::kTcp;
+  std::string host = "127.0.0.1";  // TCP only (IPv4 dotted quad)
+  std::uint16_t port = 0;          // TCP only; 0 binds an ephemeral port
+  std::string path;                // Unix only
+
+  /// Parses "tcp:HOST:PORT" or "unix:PATH"; throws std::invalid_argument
+  /// naming the offender on anything else.
+  static SocketAddr parse(const std::string& spec);
+
+  /// Canonical spec string ("tcp:127.0.0.1:7000" / "unix:/tmp/x.sock") —
+  /// also the routing key, so two routes to one endpoint share state.
+  std::string str() const;
+
+  friend bool operator==(const SocketAddr& a, const SocketAddr& b) {
+    return a.kind == b.kind && a.host == b.host && a.port == b.port &&
+           a.path == b.path;
+  }
+};
+
+}  // namespace wrs::net

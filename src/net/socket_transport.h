@@ -1,0 +1,201 @@
+// Nonblocking epoll reactor: the byte-moving half of the socket runtime
+// (SocketEnv in src/runtime/socket_env.h is the Env-semantics half).
+//
+// One loop thread owns an epoll instance, every socket, every
+// per-connection read/write buffer, and a deadline min-heap. The public
+// API is thread-safe: calls enqueue commands onto the loop through an
+// eventfd-woken queue, so all connection state is single-threaded by
+// construction (the same serialize-everything trick the rest of the
+// library plays per process).
+//
+//  * Listener: nonblocking accept4 loop; TCP (SO_REUSEADDR, port 0 =
+//    ephemeral, actual address readable after listen()) and Unix-domain
+//    stream sockets (stale path unlinked before bind).
+//  * Outbound connections: nonblocking connect (EINPROGRESS ->
+//    EPOLLOUT -> SO_ERROR), keyed by canonical address string. Frames
+//    sent while a peer is down queue up (bounded) and flush on connect;
+//    failed dials retry with exponential backoff.
+//  * Framing: each frame starts with a u32 length prefix (see
+//    wire_format.h). Partial reads accumulate per connection; partial
+//    writes keep their queue position and EPOLLOUT re-arms. A length
+//    prefix over kMaxFrameBodyBytes closes the connection as malformed.
+//
+// This layer knows nothing about message types or process ids — it
+// moves length-prefixed byte frames between addresses and hands
+// complete frames (and connection lifecycle events) to callbacks that
+// run on the loop thread.
+#pragma once
+#ifdef __linux__
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <queue>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/types.h"
+#include "net/socket_addr.h"
+
+namespace wrs::net {
+
+class SocketTransport {
+ public:
+  /// Identifies one live connection (never reused within a transport).
+  using ConnId = std::uint64_t;
+  static constexpr ConnId kNoConn = 0;
+
+  /// All callbacks run on the loop thread.
+  struct Events {
+    /// One complete frame BODY (length prefix stripped).
+    std::function<void(ConnId, const std::uint8_t* body, std::size_t len)>
+        on_frame;
+    /// Connection died (EOF, error, malformed frame, forced close).
+    std::function<void(ConnId)> on_conn_closed;
+  };
+
+  SocketTransport();
+  ~SocketTransport();
+
+  SocketTransport(const SocketTransport&) = delete;
+  SocketTransport& operator=(const SocketTransport&) = delete;
+
+  /// Must be set before start().
+  void set_events(Events events);
+
+  /// Binds and listens; call before start(). With a TCP port of 0 the
+  /// kernel picks one — listen_addr() reports the actual address.
+  /// Throws std::runtime_error on bind/listen failure.
+  void listen(const SocketAddr& addr);
+  std::optional<SocketAddr> listen_addr() const;
+
+  /// Spawns the loop thread. Idempotent stop(); the destructor stops too.
+  void start();
+  void stop();
+  bool running() const { return running_.load(std::memory_order_acquire); }
+
+  // --- frame output (thread-safe) -----------------------------------------
+  /// Queues one frame (complete wire bytes, length prefix included) to
+  /// the peer at `addr`, dialing if no connection exists. `key` must be
+  /// addr.str() (callers always have it precomputed).
+  void send_to_peer(const std::string& key, const SocketAddr& addr,
+                    std::vector<std::uint8_t> frame);
+
+  /// Queues one frame onto an existing connection (how servers answer
+  /// clients that dialed in); silently dropped (and counted) when the
+  /// connection is gone.
+  void send_on_conn(ConnId conn, std::vector<std::uint8_t> frame);
+
+  /// Tears down any connection to `key` and drops its queued frames.
+  /// The peer stays dialable — a later send_to_peer reconnects.
+  void close_peer(const std::string& key);
+  /// Tears down one connection (inbound or outbound).
+  void close_conn(ConnId conn);
+
+  // --- loop-thread execution (thread-safe) --------------------------------
+  /// Runs `fn` on the loop thread (soon; FIFO with sends).
+  void post(std::function<void()> fn);
+  /// Runs `fn` on the loop thread after `delay`.
+  void schedule_after(TimeNs delay, std::function<void()> fn);
+
+  // --- counters (atomic; readable from any thread) ------------------------
+  std::uint64_t conns_opened() const { return conns_opened_.load(); }
+  std::uint64_t conns_closed() const { return conns_closed_.load(); }
+  std::uint64_t dials_failed() const { return dials_failed_.load(); }
+  std::uint64_t frames_dropped() const { return frames_dropped_.load(); }
+  std::uint64_t oversize_frames() const { return oversize_frames_.load(); }
+
+ private:
+  struct Conn {
+    ConnId id = kNoConn;
+    int fd = -1;
+    bool connecting = false;       // nonblocking connect in flight
+    std::string peer_key;          // outbound only ("" for inbound)
+    std::vector<std::uint8_t> rbuf;
+    std::size_t rpos = 0;          // parsed-up-to offset into rbuf
+    std::deque<std::vector<std::uint8_t>> wq;
+    std::size_t woff = 0;          // bytes of wq.front() already written
+    bool want_write = false;       // EPOLLOUT currently armed
+  };
+
+  struct Peer {
+    SocketAddr addr;
+    ConnId conn = kNoConn;
+    std::deque<std::vector<std::uint8_t>> pending;  // queued while down
+    TimeNs backoff = 0;            // current redial backoff (0 = none yet)
+    bool dial_timer_armed = false;
+  };
+
+  struct TimerItem {
+    TimeNs at;
+    std::uint64_t seq;
+    std::function<void()> fn;
+    bool operator>(const TimerItem& o) const {
+      return at != o.at ? at > o.at : seq > o.seq;
+    }
+  };
+
+  // Loop internals (loop thread only).
+  void loop();
+  void drain_commands();
+  void run_due_timers(TimeNs now);
+  TimeNs mono_now() const;
+  Conn* find_conn(ConnId id);
+  void do_send_to_peer(const std::string& key, const SocketAddr& addr,
+                       std::vector<std::uint8_t> frame);
+  void do_send_on_conn(ConnId conn, std::vector<std::uint8_t> frame);
+  void dial(Peer& peer, const std::string& key);
+  void arm_redial(const std::string& key);
+  void on_connect_ready(Conn& conn);
+  void accept_ready();
+  void read_ready(Conn& conn);
+  void write_ready(Conn& conn);
+  bool flush_writes(Conn& conn);   // false = connection died
+  void parse_frames(Conn& conn);
+  void enqueue_frame(Conn& conn, std::vector<std::uint8_t> frame);
+  void close_conn_internal(ConnId id, bool notify);
+  void update_epoll(Conn& conn);
+  void wake();
+
+  Events events_;
+
+  // Command queue (any thread -> loop thread).
+  std::mutex cmd_mu_;
+  std::vector<std::function<void()>> commands_;
+
+  int epoll_fd_ = -1;
+  int wake_fd_ = -1;   // eventfd
+  int listen_fd_ = -1;
+  std::optional<SocketAddr> listen_addr_;
+  std::string unix_path_;  // unlinked on stop
+
+  std::map<ConnId, std::unique_ptr<Conn>> conns_;
+  std::map<std::string, Peer> peers_;
+  // Ids 0..15 are reserved for non-connection epoll entries (the wake
+  // eventfd and the listener); see kFirstConnId in the .cpp.
+  ConnId next_conn_id_ = 16;
+
+  std::priority_queue<TimerItem, std::vector<TimerItem>, std::greater<>>
+      timers_;
+  std::uint64_t timer_seq_ = 0;
+
+  std::thread loop_thread_;
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stopping_{false};
+
+  std::atomic<std::uint64_t> conns_opened_{0};
+  std::atomic<std::uint64_t> conns_closed_{0};
+  std::atomic<std::uint64_t> dials_failed_{0};
+  std::atomic<std::uint64_t> frames_dropped_{0};
+  std::atomic<std::uint64_t> oversize_frames_{0};
+};
+
+}  // namespace wrs::net
+
+#endif  // __linux__

@@ -39,12 +39,17 @@ const Counters& Env::shard_traffic(std::size_t g) const {
 
 void Env::count_shard_traffic(ProcessId from, ProcessId to,
                               const Message& msg) {
+  count_shard_traffic(from, to, msg.wire_size());
+}
+
+void Env::count_shard_traffic(ProcessId from, ProcessId to,
+                              std::size_t bytes) {
   if (shard_traffic_.empty()) return;
   int g = shard_of_(from, to);
   if (g < 0 || static_cast<std::size_t>(g) >= shard_traffic_.size()) return;
   Counters& c = shard_traffic_[static_cast<std::size_t>(g)];
   c.inc("msgs");
-  c.inc("bytes", static_cast<std::int64_t>(msg.wire_size()));
+  c.inc("bytes", static_cast<std::int64_t>(bytes));
 }
 
 }  // namespace wrs

@@ -108,8 +108,12 @@ class Env {
 
  protected:
   /// Implementations call this from send(), inside the same critical
-  /// section that updates traffic().
+  /// section that updates traffic(). This overload charges the modeled
+  /// wire_size(); runtimes that serialize for real (SocketEnv) use the
+  /// explicit-bytes overload with the frame's actual encoded size so the
+  /// per-shard ledger matches what crossed the kernel.
   void count_shard_traffic(ProcessId from, ProcessId to, const Message& msg);
+  void count_shard_traffic(ProcessId from, ProcessId to, std::size_t bytes);
 
  private:
   std::vector<Counters> shard_traffic_;

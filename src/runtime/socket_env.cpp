@@ -1,0 +1,321 @@
+#ifdef __linux__
+
+#include "runtime/socket_env.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+#include "net/wire_codec.h"
+
+namespace wrs {
+namespace {
+
+/// How often the fault poll maps cut links onto connection teardown.
+constexpr TimeNs kFaultPollInterval = ms(25);
+
+}  // namespace
+
+SocketEnv::SocketEnv(Options opts)
+    : opts_(std::move(opts)),
+      epoch_(std::chrono::steady_clock::now()),
+      rng_(opts_.seed) {
+  transport_.set_events(net::SocketTransport::Events{
+      [this](net::SocketTransport::ConnId conn, const std::uint8_t* body,
+             std::size_t len) { on_frame(conn, body, len); },
+      [this](net::SocketTransport::ConnId conn) { on_conn_closed(conn); }});
+}
+
+SocketEnv::~SocketEnv() { stop(); }
+
+void SocketEnv::start() {
+  std::vector<std::pair<ProcessId, Process*>> to_start;
+  {
+    std::lock_guard lock(mu_);
+    if (started_) return;
+    started_ = true;
+    for (auto& [pid, proc] : local_) to_start.emplace_back(pid, proc);
+  }
+  transport_.listen(opts_.listen);
+  self_addr_ = *transport_.listen_addr();
+  self_key_ = self_addr_.str();
+  transport_.start();
+  transport_.post([this, to_start = std::move(to_start)] {
+    for (auto& [pid, proc] : to_start) {
+      if (!is_crashed(pid)) proc->on_start();
+    }
+  });
+  transport_.schedule_after(kFaultPollInterval, [this] { fault_poll(); });
+}
+
+void SocketEnv::stop() {
+  {
+    std::lock_guard lock(mu_);
+    if (!started_) return;
+  }
+  transport_.stop();
+}
+
+TimeNs SocketEnv::now() const {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now() - epoch_)
+      .count();
+}
+
+net::SocketAddr SocketEnv::listen_addr() const {
+  auto addr = transport_.listen_addr();
+  if (!addr) {
+    throw std::logic_error("SocketEnv::listen_addr: not started");
+  }
+  return *addr;
+}
+
+void SocketEnv::register_process(ProcessId pid, Process* process) {
+  bool deliver_start = false;
+  {
+    std::lock_guard lock(mu_);
+    if (local_.count(pid) != 0) {
+      throw std::logic_error("SocketEnv: process " + process_name(pid) +
+                             " registered twice");
+    }
+    local_[pid] = process;
+    crashed_.erase(pid);  // a re-registered id is a restarted process
+    deliver_start = started_;
+  }
+  if (deliver_start) {
+    transport_.post([this, pid, process] {
+      if (!is_crashed(pid)) process->on_start();
+    });
+  }
+}
+
+void SocketEnv::crash(ProcessId pid) {
+  std::lock_guard lock(mu_);
+  crashed_.insert(pid);
+}
+
+bool SocketEnv::is_crashed(ProcessId pid) const {
+  std::lock_guard lock(mu_);
+  return crashed_.count(pid) != 0;
+}
+
+std::vector<ProcessId> SocketEnv::server_ids() const {
+  std::lock_guard lock(mu_);
+  std::vector<ProcessId> out;
+  for (const auto& [pid, proc] : local_) {
+    if (is_server(pid)) out.push_back(pid);
+  }
+  for (const auto& [pid, addr] : routes_) {
+    if (is_server(pid) && local_.count(pid) == 0) out.push_back(pid);
+  }
+  // local_ and routes_ are both id-sorted maps but their union is not.
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+void SocketEnv::add_route(ProcessId pid, const net::SocketAddr& addr) {
+  std::lock_guard lock(mu_);
+  routes_[pid] = addr;
+}
+
+void SocketEnv::schedule(ProcessId pid, TimeNs delay,
+                         std::function<void()> fn) {
+  transport_.schedule_after(delay, [this, pid, fn = std::move(fn)] {
+    bool run;
+    {
+      std::lock_guard lock(mu_);
+      run = crashed_.count(pid) == 0;
+    }
+    if (run) fn();
+  });
+}
+
+void SocketEnv::send(ProcessId from, ProcessId to, MsgPtr msg) {
+  // Serialize first: an unencodable type is a caller bug and throws even
+  // if faults would have dropped the message anyway.
+  std::vector<std::uint8_t> frame = net::WireCodec::encode_frame(from, to, *msg);
+
+  // Routing decisions happen under mu_, but every transport_ call is
+  // made OUTSIDE it: on the loop thread a send can fail and close the
+  // connection inline, and the on_conn_closed callback locks mu_ again.
+  enum class Via { kNone, kLocal, kPeer, kConn };
+  Via via = Via::kNone;
+  int copies = 1;
+  std::string peer_key;
+  net::SocketAddr peer_addr;
+  net::SocketTransport::ConnId conn = 0;
+  {
+    std::lock_guard lock(mu_);
+    traffic_.inc("msgs");
+    traffic_.inc("bytes", static_cast<std::int64_t>(frame.size()));
+    traffic_.inc("msg." + msg->type_name());
+    count_shard_traffic(from, to, frame.size());
+
+    if (crashed_.count(to) != 0) return;
+    if (faults_.active() && from != to) {
+      auto decision = faults_.decide(from, to, rng_);
+      if (!decision.deliver) {
+        traffic_.inc("msgs.lost");
+        return;
+      }
+      if (decision.duplicate) {
+        traffic_.inc("msgs.dup");
+        copies = 2;
+      }
+    }
+    if (local_.count(to) != 0) {
+      if (opts_.loopback_self) {  // out through our own listener
+        via = Via::kPeer;
+        peer_key = self_key_;
+        peer_addr = self_addr_;
+      } else {
+        via = Via::kLocal;
+      }
+    } else if (auto rit = routes_.find(to); rit != routes_.end()) {
+      via = Via::kPeer;
+      peer_key = rit->second.str();
+      peer_addr = rit->second;
+    } else if (auto lit = learned_.find(to); lit != learned_.end()) {
+      via = Via::kConn;
+      conn = lit->second;
+    } else {
+      traffic_.inc("msgs.unroutable");
+      return;
+    }
+  }
+
+  for (int i = 0; i < copies; ++i) {
+    if (via == Via::kLocal) {
+      // Decode our own bytes so local delivery exercises the exact same
+      // codec path (and never aliases the sender's message).
+      auto decoded = net::WireCodec::decode_frame(frame.data() + 4,
+                                                  frame.size() - 4);
+      if (!decoded) {
+        std::lock_guard lock(mu_);
+        traffic_.inc("msgs.malformed");
+        continue;
+      }
+      MsgPtr local_msg = decoded->msg;
+      transport_.post(
+          [this, from, to, local_msg] { deliver(from, to, local_msg); });
+    } else if (via == Via::kPeer) {
+      transport_.send_to_peer(peer_key, peer_addr, frame);
+    } else {
+      transport_.send_on_conn(conn, frame);
+    }
+  }
+}
+
+void SocketEnv::on_frame(net::SocketTransport::ConnId conn,
+                         const std::uint8_t* body, std::size_t len) {
+  auto decoded = net::WireCodec::decode_frame(body, len);
+  if (!decoded) {
+    // A frame we cannot decode means the stream is not speaking our
+    // protocol (or a version we know) — drop the connection.
+    std::lock_guard lock(mu_);
+    traffic_.inc("msgs.malformed");
+    transport_.close_conn(conn);
+    return;
+  }
+  ProcessId from = decoded->from;
+  ProcessId to = decoded->to;
+  {
+    std::lock_guard lock(mu_);
+    traffic_.inc("msgs.in");
+    traffic_.inc("bytes.in", static_cast<std::int64_t>(len + 4));
+    // Learn the return route (how servers answer dialed-in clients).
+    if (local_.count(from) == 0) learned_[from] = conn;
+    if (local_.count(to) == 0) {
+      traffic_.inc("msgs.no_handler");
+      return;
+    }
+    if (crashed_.count(to) != 0) return;
+    // Delivery-time cut filter: a partition started after the bytes left
+    // the sender still stops them here, like a mid-flight cable pull.
+    if (from != to && faults_.active() && faults_.is_cut(from, to)) {
+      traffic_.inc("msgs.lost");
+      return;
+    }
+  }
+  if (opts_.latency) {
+    TimeNs delay;
+    {
+      std::lock_guard lock(mu_);
+      delay = opts_.latency->sample(from, to, rng_);
+    }
+    MsgPtr msg = decoded->msg;
+    transport_.schedule_after(
+        delay, [this, from, to, msg] { deliver(from, to, msg); });
+    return;
+  }
+  deliver(from, to, decoded->msg);
+}
+
+void SocketEnv::deliver(ProcessId from, ProcessId to, const MsgPtr& msg) {
+  Process* proc = nullptr;
+  {
+    std::lock_guard lock(mu_);
+    if (crashed_.count(to) != 0) return;
+    auto it = local_.find(to);
+    if (it == local_.end()) return;
+    proc = it->second;
+  }
+  // Loop thread, outside the lock: handlers may send freely.
+  proc->on_message(from, *msg);
+}
+
+void SocketEnv::on_conn_closed(net::SocketTransport::ConnId conn) {
+  std::lock_guard lock(mu_);
+  for (auto it = learned_.begin(); it != learned_.end();) {
+    if (it->second == conn) {
+      it = learned_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void SocketEnv::fault_poll() {
+  if (faults_.active()) {
+    // Collect the remote peers whose every pid pair is cut both ways;
+    // their connections get torn down for real (the redial/backoff path
+    // then exercises reconnection when the partition heals).
+    std::vector<std::string> cut_peers;
+    std::vector<net::SocketTransport::ConnId> cut_conns;
+    {
+      std::lock_guard lock(mu_);
+      auto fully_cut = [this](ProcessId remote) {
+        bool any = false;
+        for (const auto& [lpid, proc] : local_) {
+          if (crashed_.count(lpid) != 0) continue;
+          any = true;
+          if (!faults_.is_cut(lpid, remote) || !faults_.is_cut(remote, lpid)) {
+            return false;
+          }
+        }
+        return any;
+      };
+      for (const auto& [pid, addr] : routes_) {
+        if (local_.count(pid) == 0 && fully_cut(pid)) {
+          cut_peers.push_back(addr.str());
+        }
+      }
+      for (const auto& [pid, conn] : learned_) {
+        if (fully_cut(pid)) cut_conns.push_back(conn);
+      }
+    }
+    for (const auto& key : cut_peers) {
+      transport_.close_peer(key);
+      fault_teardowns_.fetch_add(1, std::memory_order_relaxed);
+    }
+    for (auto conn : cut_conns) {
+      transport_.close_conn(conn);
+      fault_teardowns_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+  transport_.schedule_after(kFaultPollInterval, [this] { fault_poll(); });
+}
+
+}  // namespace wrs
+
+#endif  // __linux__
