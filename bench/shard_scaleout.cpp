@@ -72,6 +72,14 @@ struct PointCfg {
   std::size_t max_in_flight = 32;
   std::uint32_t batch_window = 1;  // 1 = unbatched wire protocol
   TimeNs batch_delay = 0;
+  std::size_t num_keys = 512;
+  /// EXP-SH2R: pre-migrate the `pack_hot` hottest keys ("k0"..) onto
+  /// shard 0 before measuring — the adversarial placement a hash map can
+  /// stumble into (FNV anti-clusters consecutive small keys, so the
+  /// natural map never concentrates the zipf head; a rebalancer's worst
+  /// case has to be constructed).
+  std::uint32_t pack_hot = 0;
+  bool rebalance = false;  ///< run the skew-triggered rebalancer
 };
 
 struct SweepPoint {
@@ -92,7 +100,7 @@ SweepPoint run_point(Runtime rt, const PointCfg& cfg, JsonReport& report) {
   wp.num_ops = cfg.ops;
   wp.read_ratio = 0.5;
   wp.value_size = 16;
-  wp.num_keys = 512;
+  wp.num_keys = cfg.num_keys;
   wp.zipf_theta = cfg.zipf_theta;
   wp.target_ops_per_sec = cfg.offered_ops_per_sec / cfg.clients;
   wp.max_in_flight = cfg.max_in_flight;
@@ -108,16 +116,37 @@ SweepPoint run_point(Runtime rt, const PointCfg& cfg, JsonReport& report) {
                          .runtime(rt)
                          .seed(kSeed);
   if (cfg.batch_window > 1) b.batching(cfg.batch_window, cfg.batch_delay);
+  if (cfg.rebalance) {
+    // Calm controller: long windows with a real sample, settle between
+    // rounds (the engine's in-flight guard), and a threshold above the
+    // zipf head's indivisible share so it stops once spread.
+    RebalanceParams rp;
+    rp.period = ms(50);
+    rp.skew_threshold = 1.5;
+    rp.top_k = 4;
+    rp.min_window_ops = 200;
+    b.rebalance(rp);
+  }
   if (rt == Runtime::kSim) {
     b.uniform_latency(us(100), us(500));
   }
   Cluster c = b.build();
 
   TimeNs t0 = c.now();
+  // Adversarial hotspot: pack the zipf head onto shard 0 while the
+  // workload ramps (the handoffs finish within the first few ms of a
+  // multi-second run). Racing rebalancer attempts can refuse one — the
+  // controller then owns that key's placement, which is the point.
+  for (std::uint32_t i = 0; i < cfg.pack_hot; ++i) {
+    c.migrate_key("k" + std::to_string(i), 0).get();
+  }
   for (std::uint32_t k = 0; k < cfg.clients; ++k) {
     c.workload_done(k).get();
   }
   TimeNs t1 = c.now();
+  // The periodic tick would keep the simulator from quiescing (same
+  // convention as set_anti_entropy(0) for the anti-entropy timer).
+  if (cfg.rebalance) c.rebalancer().stop();
   c.quiesce(seconds(60));
 
   SweepPoint point;
@@ -195,7 +224,21 @@ SweepPoint run_point(Runtime rt, const PointCfg& cfg, JsonReport& report) {
       .field("corrected_p95_ms", corrected.percentile(95) / 1e6)
       .field("corrected_p99_ms", corrected.percentile(99) / 1e6)
       .field("msgs", static_cast<double>(c.traffic().get("msgs")))
-      .field("bytes", static_cast<double>(c.traffic().get("bytes")));
+      .field("bytes", static_cast<double>(c.traffic().get("bytes")))
+      .field("num_keys", static_cast<double>(cfg.num_keys))
+      .field("packed_hot_keys", static_cast<double>(cfg.pack_hot))
+      .field("rebalance", cfg.rebalance ? 1.0 : 0.0);
+  if (cfg.shards > 1) {
+    MigrationStats mig = c.migration_stats();
+    report.field("migrations_committed", static_cast<double>(mig.committed));
+    report.field("map_epoch", static_cast<double>(mig.epoch));
+  }
+  if (cfg.rebalance) {
+    RebalanceStats rbs = c.rebalance_stats();
+    report.field("rebalance_rounds", static_cast<double>(rbs.rounds));
+    report.field("rebalance_skewed", static_cast<double>(rbs.skewed));
+    report.field("rebalance_moved", static_cast<double>(rbs.moved));
+  }
   return point;
 }
 
@@ -311,6 +354,39 @@ int main(int argc, char** argv) {
          "concentrate on their shards)");
   }
 
+  banner("EXP-SH2R",
+         "elastic resharding of an adversarial hotspot (4 shards, "
+         "theta=0.99, 64 keys, zipf head packed onto one shard)");
+  note("the 24 hottest keys (~4/5 of the zipf mass) are migrated onto "
+       "shard 0 up front; the static point then holds the map fixed "
+       "(hot-shard-bound), the rebalanced point lets the controller "
+       "disperse them — CI gates rebalanced/static ops/s >= 2x");
+  JsonReport resharded("EXP-SH2R rebalanced zipfian hotspot");
+  resharded.seed(kSeed);
+  {
+    Table rbt({"mode", "ops", "ops/s", "moved", "speedup"});
+    PointCfg cfg;
+    cfg.shards = 4;
+    // 8x the sweep's per-client arrivals: the controller's detect +
+    // disperse ramp is a fixed ~300ms, so the measured average needs a
+    // long post-rebalance tail to reflect the steady state.
+    cfg.ops = ops * 8;
+    cfg.zipf_theta = 0.99;
+    cfg.num_keys = 64;
+    cfg.pack_hot = 24;
+    SweepPoint st = run_point(Runtime::kSim, cfg, resharded);
+    resharded.field("speedup_rebalanced_vs_static", 1.0);
+    cfg.rebalance = true;
+    SweepPoint rb = run_point(Runtime::kSim, cfg, resharded);
+    double speedup = st.ops_per_sec > 0 ? rb.ops_per_sec / st.ops_per_sec : 0;
+    resharded.field("speedup_rebalanced_vs_static", speedup);
+    rbt.add_row({"static", std::to_string(st.completed),
+                 Table::fmt(st.ops_per_sec), "0", "1.00"});
+    rbt.add_row({"rebalanced", std::to_string(rb.completed),
+                 Table::fmt(rb.ops_per_sec), "-", Table::fmt(speedup)});
+    rbt.print();
+  }
+
   banner("EXP-SH3",
          "batched wire protocol (" + std::to_string(kBatchShards) +
              " shards, service time " + std::to_string(to_ms(kBatchServiceTime)) +
@@ -333,6 +409,7 @@ int main(int argc, char** argv) {
   if (!json.empty()) {
     bool ok = scaleout.write(json);
     ok = zipf.write(json) && ok;
+    ok = resharded.write(json) && ok;
     ok = batched.write(json) && ok;
     return ok ? 0 : 1;
   }

@@ -248,6 +248,33 @@ Cluster::Cluster(const ClusterBuilder& spec)
     }
   }
 
+  // Elastic resharding: every multi-shard storage deployment gets the
+  // MigrationEngine (so migrate_key always works there); the Rebalancer
+  // controller only when asked for. shards(1) stays byte-identical to
+  // the unsharded deployment — no extra process, no extra traffic.
+  if (spec.rebalance_.has_value() && shard_map_.num_shards() < 2) {
+    throw std::invalid_argument(
+        "Cluster: rebalance() needs shards(s >= 2) to balance across");
+  }
+  if (shard_map_.num_shards() > 1 &&
+      kind_ == ClusterBuilder::Kind::kStorage) {
+    engine_ = std::make_unique<MigrationEngine>(e, kMigrationEnginePid,
+                                                shard_map_, mode_);
+    if (retry_ > 0) engine_->set_retry_interval(retry_);
+    e.register_process(engine_->pid(), engine_.get());
+    if (spec.rebalance_.has_value()) {
+      std::vector<std::vector<AbdServer*>> shard_servers(
+          shard_map_.num_shards());
+      for (ShardId g = 0; g < shard_map_.num_shards(); ++g) {
+        for (ProcessId s : shard_map_.servers(g)) {
+          shard_servers[g].push_back(&servers_[s].storage->server());
+        }
+      }
+      rebalancer_ = std::make_unique<Rebalancer>(
+          e, *engine_, *spec.rebalance_, std::move(shard_servers));
+    }
+  }
+
   for (std::uint32_t k = 0; k < spec.clients_; ++k) {
     if (kind_ == ClusterBuilder::Kind::kReassign) {
       std::lock_guard lock(clients_mu_);
@@ -280,6 +307,7 @@ Cluster::Cluster(const ClusterBuilder& spec)
     socket_->start();
 #endif
   }
+  if (rebalancer_) rebalancer_->start();
 }
 
 Cluster::~Cluster() {
@@ -450,6 +478,7 @@ void Cluster::check_process(ProcessId pid) const {
   // Extras may use arbitrary ids (oracles etc.), so they are checked
   // before the server-range test.
   if (extra_.count(pid) != 0) return;
+  if (engine_ && pid == engine_->pid()) return;
   if (is_server(pid) && pid < servers_.size()) return;
   if (is_client(pid)) {
     std::lock_guard lock(clients_mu_);
@@ -479,6 +508,55 @@ const Counters& Cluster::shard_traffic(ShardId g) const {
         "Cluster: shard_traffic needs a deployment built with shards()");
   }
   return env().shard_traffic(g);
+}
+
+MigrationEngine& Cluster::migration_engine() {
+  if (!engine_) {
+    throw std::logic_error(
+        "Cluster: migration needs a storage deployment with shards(s >= 2)");
+  }
+  return *engine_;
+}
+
+Await<bool> Cluster::migrate_key(RegisterKey key, ShardId to) {
+  MigrationEngine& eng = migration_engine();
+  if (to >= num_shards()) {
+    throw std::out_of_range("Cluster: migrate_key to shard " +
+                            std::to_string(to) + " out of range [0, " +
+                            std::to_string(num_shards()) + ")");
+  }
+  auto aw = make_await<bool>();
+  MigrationEngine* e = &eng;
+  // migrate() must run in the engine's execution context; the callback
+  // fires there too once the handoff fully commits on both sides.
+  post(eng.pid(), [e, key = std::move(key), to, aw] {
+    e->migrate(key, to, [aw](bool ok) { aw.fulfill(ok); });
+  });
+  return aw;
+}
+
+MigrationStats Cluster::migration_stats() const {
+  if (!engine_) {
+    throw std::logic_error(
+        "Cluster: migration needs a storage deployment with shards(s >= 2)");
+  }
+  return engine_->stats();
+}
+
+Rebalancer& Cluster::rebalancer() {
+  if (!rebalancer_) {
+    throw std::logic_error(
+        "Cluster: rebalancer() needs a deployment built with rebalance()");
+  }
+  return *rebalancer_;
+}
+
+RebalanceStats Cluster::rebalance_stats() const {
+  if (!rebalancer_) {
+    throw std::logic_error(
+        "Cluster: rebalance_stats needs a deployment built with rebalance()");
+  }
+  return rebalancer_->stats();
 }
 
 void Cluster::crash(ProcessId pid) {
@@ -579,6 +657,7 @@ std::vector<ProcessId> Cluster::process_ids() const {
     }
   }
   for (const auto& [pid, _] : extra_) out.push_back(pid);
+  if (engine_) out.push_back(engine_->pid());
   return out;
 }
 

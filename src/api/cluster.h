@@ -96,6 +96,7 @@
 #include "core/config.h"
 #include "core/reassign_client.h"
 #include "monitor/adaptive_node.h"
+#include "rebalance/rebalancer.h"
 #include "runtime/sim_env.h"
 #include "runtime/thread_env.h"
 #include "shard/shard_map.h"
@@ -324,6 +325,19 @@ class ClusterBuilder {
   /// Record every workload operation for atomicity checking.
   ClusterBuilder& history(std::shared_ptr<HistoryRecorder> h);
 
+  /// --- elastic resharding --------------------------------------------------
+  /// Attaches the load-skew Rebalancer: every `params.period` the
+  /// controller compares per-shard served-op counts and migrates the
+  /// hottest keys off a shard whose window load exceeds
+  /// skew_threshold * mean (see rebalance/rebalancer.h). Requires
+  /// shards(s >= 2); the MigrationEngine it drives is deployed on every
+  /// multi-shard storage deployment regardless, so Cluster::migrate_key
+  /// works without this knob.
+  ClusterBuilder& rebalance(RebalanceParams params = {}) {
+    rebalance_ = params;
+    return *this;
+  }
+
   /// Additional processes outside the server/client sets (e.g. the
   /// consensus-reduction oracle).
   ClusterBuilder& add_process(ProcessId pid, ProcessFactory factory);
@@ -361,6 +375,7 @@ class ClusterBuilder {
   TimeNs anti_entropy_ = 0;
   std::size_t batch_ops_ = 1;  // <= 1: unbatched wire protocol
   TimeNs batch_delay_ = 0;
+  std::optional<RebalanceParams> rebalance_;
 };
 
 class Cluster {
@@ -406,6 +421,26 @@ class Cluster {
   /// Per-shard message counters (deployments built with shards(); on the
   /// thread runtime only stable once quiescent, like traffic()).
   const Counters& shard_traffic(ShardId g) const;
+
+  // --- elastic resharding --------------------------------------------------
+  /// Linearizable per-key handoff: moves register `key` to shard `to`
+  /// through the deployment's MigrationEngine (freeze + final read at the
+  /// source, install + ownership flip at the destination, fence lift).
+  /// Resolves to true when the key ended up at `to` (moved or already
+  /// there), false when a concurrent handoff of the same key refused the
+  /// attempt. Requires shards(s >= 2); validates `to`.
+  Await<bool> migrate_key(RegisterKey key, ShardId to);
+  /// The engine's counter snapshot (thread-safe; shards(s >= 2) only).
+  MigrationStats migration_stats() const;
+  /// The controller's counter snapshot (deployments built with
+  /// rebalance() only).
+  RebalanceStats rebalance_stats() const;
+  /// White-box access to the engine (chaos drivers post into its
+  /// context); throws std::logic_error on single-shard deployments.
+  MigrationEngine& migration_engine();
+  /// The controller itself (stop() it before quiescing the simulator);
+  /// throws without rebalance().
+  Rebalancer& rebalancer();
 
   /// The k-th storage client endpoint.
   ClientHandle client(std::size_t k = 0);
@@ -609,6 +644,12 @@ class Cluster {
   mutable std::mutex clients_mu_;
   std::deque<ClientSlot> clients_;
   std::map<ProcessId, std::unique_ptr<Process>> extra_;
+  /// Declared after the slots they borrow from; the rebalancer_ (which
+  /// borrows AbdServer pointers AND the engine) is destroyed first. Both
+  /// only run scheduled callbacks, so the dtor's worker stop() already
+  /// quiesced them before any member dies.
+  std::unique_ptr<MigrationEngine> engine_;
+  std::unique_ptr<Rebalancer> rebalancer_;
 };
 
 }  // namespace wrs

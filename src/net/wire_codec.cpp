@@ -10,6 +10,7 @@
 #include "core/reassign_messages.h"
 #include "monitor/adaptive_node.h"
 #include "storage/abd_messages.h"
+#include "storage/migration_messages.h"
 
 namespace wrs::net {
 namespace {
@@ -305,6 +306,28 @@ void put_body(Writer& w, const Message& msg, int depth) {
       w.u32(pid);
       w.f64(rtt);
     }
+  } else if (const auto* m = msg_cast<MigFreeze>(msg)) {
+    w.u64(m->op_id());
+    w.u32(m->seq());
+    w.u32(m->shard());
+    w.u64(m->epoch());
+    w.u32(m->dest());
+    w.str(m->key());
+  } else if (const auto* m = msg_cast<MigCommit>(msg)) {
+    w.u64(m->op_id());
+    w.u32(m->seq());
+    w.u32(m->shard());
+    w.u64(m->epoch());
+    w.u32(m->owner());
+    w.str(m->key());
+    w.u8(m->install() ? 1 : 0);
+    if (m->install()) put_tagged_value(w, *m->install());
+  } else if (const auto* m = msg_cast<WrongShardAck>(msg)) {
+    w.u64(m->op_id());
+    w.u32(m->seq());
+    w.u64(m->epoch());
+    w.u32(m->owner());
+    w.str(m->key());
   } else {
     throw std::invalid_argument("WireCodec: no wire mapping for message type " +
                                 msg.type_name());
@@ -426,6 +449,39 @@ MsgPtr get_body(Reader& r, WireType type, int depth) {
       }
       return std::make_shared<RttReportMsg>(std::move(rtts));
     }
+    case WireType::kMigFreeze: {
+      OpId op = r.u64();
+      std::uint32_t seq = r.u32();
+      ShardId shard = r.u32();
+      std::uint64_t epoch = r.u64();
+      ShardId dest = r.u32();
+      RegisterKey key = r.str();
+      return std::make_shared<MigFreeze>(op, std::move(key), epoch, dest, seq,
+                                         shard);
+    }
+    case WireType::kMigCommit: {
+      OpId op = r.u64();
+      std::uint32_t seq = r.u32();
+      ShardId shard = r.u32();
+      std::uint64_t epoch = r.u64();
+      ShardId owner = r.u32();
+      RegisterKey key = r.str();
+      std::uint8_t present = r.u8();
+      if (present > 1) throw CodecError("wire: bad optional marker");
+      std::optional<TaggedValue> install;
+      if (present) install = get_tagged_value(r);
+      return std::make_shared<MigCommit>(op, std::move(key), owner, epoch,
+                                         std::move(install), seq, shard);
+    }
+    case WireType::kWrongShard: {
+      OpId op = r.u64();
+      std::uint32_t seq = r.u32();
+      std::uint64_t epoch = r.u64();
+      ShardId owner = r.u32();
+      RegisterKey key = r.str();
+      return std::make_shared<WrongShardAck>(op, std::move(key), owner, epoch,
+                                             seq);
+    }
   }
   throw CodecError("wire: unknown type tag");
 }
@@ -450,6 +506,9 @@ std::optional<WireType> type_tag(const Message& msg) {
   if (msg_cast<PingMsg>(msg)) return WireType::kPing;
   if (msg_cast<PongMsg>(msg)) return WireType::kPong;
   if (msg_cast<RttReportMsg>(msg)) return WireType::kRttReport;
+  if (msg_cast<MigFreeze>(msg)) return WireType::kMigFreeze;
+  if (msg_cast<MigCommit>(msg)) return WireType::kMigCommit;
+  if (msg_cast<WrongShardAck>(msg)) return WireType::kWrongShard;
   return std::nullopt;
 }
 

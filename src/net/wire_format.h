@@ -106,6 +106,40 @@ enum class WireType : std::uint8_t {
   kPing = 17,
   kPong = 18,
   kRttReport = 19,
+  // Elastic resharding (storage/migration_messages.h). Freeze and commit
+  // are acked by the plain ReadAck/WriteAck above — the migration fence
+  // reuses the ABD quorum machinery, so only the three requests below
+  // are new wire entries.
+  kMigFreeze = 20,
+  kMigCommit = 21,
+  kWrongShard = 22,
 };
+
+// Compile-time pin of every tag value shipped so far. A new message type
+// appended without its own static_assert, or any renumbering of an
+// existing entry, fails the build here before it can silently change the
+// wire format (the runtime twin is CodecFuzz.WireTypeTagsAreStable).
+static_assert(static_cast<std::uint8_t>(WireType::kReadReq) == 1);
+static_assert(static_cast<std::uint8_t>(WireType::kReadAck) == 2);
+static_assert(static_cast<std::uint8_t>(WireType::kWriteReq) == 3);
+static_assert(static_cast<std::uint8_t>(WireType::kWriteAck) == 4);
+static_assert(static_cast<std::uint8_t>(WireType::kKeysReq) == 5);
+static_assert(static_cast<std::uint8_t>(WireType::kKeysAck) == 6);
+static_assert(static_cast<std::uint8_t>(WireType::kBatchRequest) == 7);
+static_assert(static_cast<std::uint8_t>(WireType::kBatchReply) == 8);
+static_assert(static_cast<std::uint8_t>(WireType::kRcReq) == 9);
+static_assert(static_cast<std::uint8_t>(WireType::kRcAck) == 10);
+static_assert(static_cast<std::uint8_t>(WireType::kWcReq) == 11);
+static_assert(static_cast<std::uint8_t>(WireType::kWcAck) == 12);
+static_assert(static_cast<std::uint8_t>(WireType::kTransfer) == 13);
+static_assert(static_cast<std::uint8_t>(WireType::kTAck) == 14);
+static_assert(static_cast<std::uint8_t>(WireType::kSync) == 15);
+static_assert(static_cast<std::uint8_t>(WireType::kRb) == 16);
+static_assert(static_cast<std::uint8_t>(WireType::kPing) == 17);
+static_assert(static_cast<std::uint8_t>(WireType::kPong) == 18);
+static_assert(static_cast<std::uint8_t>(WireType::kRttReport) == 19);
+static_assert(static_cast<std::uint8_t>(WireType::kMigFreeze) == 20);
+static_assert(static_cast<std::uint8_t>(WireType::kMigCommit) == 21);
+static_assert(static_cast<std::uint8_t>(WireType::kWrongShard) == 22);
 
 }  // namespace wrs::net

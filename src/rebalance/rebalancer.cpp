@@ -1,0 +1,127 @@
+#include "rebalance/rebalancer.h"
+
+#include <algorithm>
+#include <map>
+#include <stdexcept>
+
+namespace wrs {
+
+Rebalancer::Rebalancer(Env& env, MigrationEngine& engine,
+                       RebalanceParams params,
+                       std::vector<std::vector<AbdServer*>> shard_servers)
+    : env_(env),
+      engine_(engine),
+      params_(params),
+      shard_servers_(std::move(shard_servers)) {
+  if (params_.period <= 0) {
+    throw std::invalid_argument("Rebalancer: period must be > 0");
+  }
+  if (params_.skew_threshold < 1.0) {
+    throw std::invalid_argument("Rebalancer: skew_threshold must be >= 1");
+  }
+  if (shard_servers_.size() < 2) {
+    throw std::invalid_argument(
+        "Rebalancer: needs at least 2 shards to balance across");
+  }
+}
+
+void Rebalancer::start() {
+  running_.store(true);
+  env_.schedule(engine_.pid(), params_.period, [this] { tick(); });
+}
+
+RebalanceStats Rebalancer::stats() const {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  return stats_;
+}
+
+void Rebalancer::tick() {
+  if (!running_.load()) return;
+  const std::size_t shards = shard_servers_.size();
+  // Drain this window's served-op counts: per shard the union over its
+  // servers (a key's quorum touches most of the group, so summing over
+  // servers just scales everything by ~n — ratios are what matter).
+  std::vector<std::map<RegisterKey, std::uint64_t>> win(shards);
+  std::vector<std::uint64_t> load(shards, 0);
+  for (std::size_t g = 0; g < shards; ++g) {
+    for (AbdServer* s : shard_servers_[g]) {
+      for (auto& [key, n] : s->drain_key_hits()) {
+        win[g][key] += n;
+        load[g] += n;
+      }
+    }
+  }
+  std::uint64_t total = 0;
+  for (std::uint64_t l : load) total += l;
+
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++stats_.rounds;
+  }
+
+  // Let the previous round's handoffs settle before judging skew again:
+  // a window measured mid-migration sees freeze-parked traffic and
+  // redirect retries, and acting on it thrashes (migrate -> freeze ->
+  // latency spike -> apparent skew -> migrate ...). The drained window
+  // above is deliberately discarded so the next evaluated one is clean.
+  if (engine_.stats().in_flight > 0) {
+    if (running_.load()) {
+      env_.schedule(engine_.pid(), params_.period, [this] { tick(); });
+    }
+    return;
+  }
+
+  if (total >= params_.min_window_ops) {
+    std::size_t hot = 0;
+    for (std::size_t g = 1; g < shards; ++g) {
+      if (load[g] > load[hot]) hot = g;
+    }
+    double mean = static_cast<double>(total) / static_cast<double>(shards);
+    if (mean > 0 &&
+        static_cast<double>(load[hot]) > params_.skew_threshold * mean) {
+      {
+        std::lock_guard<std::mutex> lock(stats_mu_);
+        ++stats_.skewed;
+      }
+      // Top-K hottest keys the hot shard actually owns, hottest first.
+      std::vector<std::pair<std::uint64_t, RegisterKey>> hot_keys;
+      hot_keys.reserve(win[hot].size());
+      for (auto& [key, n] : win[hot]) {
+        if (engine_.owner_of(key) == static_cast<ShardId>(hot)) {
+          hot_keys.emplace_back(n, key);
+        }
+      }
+      std::sort(hot_keys.begin(), hot_keys.end(),
+                [](const auto& a, const auto& b) { return a.first > b.first; });
+      if (hot_keys.size() > params_.top_k) hot_keys.resize(params_.top_k);
+      // Destinations: every other shard, coldest first; hot keys are
+      // dealt round-robin so one round spreads the hotspot instead of
+      // re-concentrating it on the single coldest shard.
+      std::vector<std::size_t> dests;
+      dests.reserve(shards - 1);
+      for (std::size_t g = 0; g < shards; ++g) {
+        if (g != hot) dests.push_back(g);
+      }
+      std::sort(dests.begin(), dests.end(),
+                [&](std::size_t a, std::size_t b) { return load[a] < load[b]; });
+      for (std::size_t i = 0; i < hot_keys.size(); ++i) {
+        ShardId to = static_cast<ShardId>(dests[i % dests.size()]);
+        {
+          std::lock_guard<std::mutex> lock(stats_mu_);
+          ++stats_.triggered;
+        }
+        engine_.migrate(hot_keys[i].second, to, [this](bool moved) {
+          if (!moved) return;
+          std::lock_guard<std::mutex> lock(stats_mu_);
+          ++stats_.moved;
+        });
+      }
+    }
+  }
+
+  if (running_.load()) {
+    env_.schedule(engine_.pid(), params_.period, [this] { tick(); });
+  }
+}
+
+}  // namespace wrs

@@ -1,0 +1,80 @@
+// Rebalancer — the cross-shard load controller of elastic resharding.
+//
+// Consumes live per-shard load from the servers' hit-count windows
+// (AbdServer::drain_key_hits — thread-safe, so the controller can run in
+// the engine's execution context on any runtime), detects skew as the
+// max/mean per-shard served-ops ratio over its sliding window, and
+// schedules top-K hot-key migrations off the hot shard through the
+// MigrationEngine. Hot keys are spread round-robin over the remaining
+// shards in ascending load order, so one round of a heavily skewed
+// window already approaches balance instead of just shifting the
+// hotspot to the coldest shard.
+//
+// The controller ticks on the ENGINE's process id: controller decisions
+// and migration progress are serialized in one execution context, so no
+// state here needs locking beyond the counter snapshot.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "rebalance/migration_engine.h"
+#include "storage/abd_server.h"
+
+namespace wrs {
+
+struct RebalanceParams {
+  /// Sliding-window length = controller period.
+  TimeNs period = ms(50);
+  /// Trigger when (hottest shard's window ops) > threshold * mean.
+  double skew_threshold = 1.5;
+  /// Hot keys migrated off the hot shard per triggered round.
+  std::size_t top_k = 8;
+  /// Ignore windows with fewer served ops than this (idle/startup noise).
+  std::uint64_t min_window_ops = 64;
+};
+
+/// Cross-thread snapshot of the controller's counters.
+struct RebalanceStats {
+  std::uint64_t rounds = 0;      ///< windows evaluated
+  std::uint64_t skewed = 0;      ///< windows that tripped the threshold
+  std::uint64_t triggered = 0;   ///< migrations handed to the engine
+  std::uint64_t moved = 0;       ///< migrations the engine committed
+};
+
+class Rebalancer {
+ public:
+  /// `shard_servers[g]` are the AbdServers of shard g (borrowed; the
+  /// Cluster owns both and tears the Rebalancer down first).
+  Rebalancer(Env& env, MigrationEngine& engine, RebalanceParams params,
+             std::vector<std::vector<AbdServer*>> shard_servers);
+
+  /// Arms the periodic tick (call once, after the deployment started).
+  void start();
+
+  /// Disarms the tick: the next firing (already queued) is a no-op and
+  /// does not reschedule. Chaos/bench drivers call this before quiescing
+  /// the simulator, exactly like Cluster::set_anti_entropy(0).
+  void stop() { running_.store(false); }
+
+  const RebalanceParams& params() const { return params_; }
+
+  /// Thread-safe counter snapshot.
+  RebalanceStats stats() const;
+
+ private:
+  void tick();
+
+  Env& env_;
+  MigrationEngine& engine_;
+  RebalanceParams params_;
+  std::vector<std::vector<AbdServer*>> shard_servers_;
+  std::atomic<bool> running_{false};
+
+  mutable std::mutex stats_mu_;
+  RebalanceStats stats_;
+};
+
+}  // namespace wrs

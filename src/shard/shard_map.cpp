@@ -46,6 +46,20 @@ ShardMap ShardMap::uniform(std::uint32_t shards, std::uint32_t per_shard_n,
   return ShardMap(std::move(configs));
 }
 
+bool ShardMap::apply_override(const RegisterKey& key, ShardId owner,
+                              std::uint64_t epoch) {
+  if (owner >= configs_.size()) {
+    throw std::out_of_range("ShardMap: override owner shard " +
+                            std::to_string(owner) + " out of range [0, " +
+                            std::to_string(configs_.size()) + ")");
+  }
+  auto it = overrides_.find(key);
+  if (it != overrides_.end() && it->second.epoch >= epoch) return false;
+  overrides_[key] = Override{owner, epoch};
+  if (epoch > epoch_) epoch_ = epoch;
+  return true;
+}
+
 const SystemConfig& ShardMap::config(ShardId g) const {
   if (g >= configs_.size()) {
     throw std::out_of_range("ShardMap: shard id " + std::to_string(g) +

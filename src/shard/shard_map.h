@@ -13,9 +13,19 @@
 // test, and every replayed chaos episode agrees on the placement without
 // coordination. The paper's single-group system is exactly the N=1 map
 // (every key, including the paper's register "", maps to shard 0).
+// Elastic resharding (PR 7) layers an *override table* on the static
+// hash: individual keys can be re-homed to another shard by the
+// MigrationEngine, each override stamped with the migration's map epoch.
+// Epochs are globally monotone per deployment (the engine is the single
+// allocator), so "newest epoch wins" makes override propagation a
+// monotone merge — the cross-group analogue of the paper's change-set
+// piggybacking. Clients hold their own ShardMap copy and learn overrides
+// lazily from WrongShardAck redirects; apply_override() ignores anything
+// not strictly newer than what the copy already knows.
 #pragma once
 
 #include <cstdint>
+#include <map>
 #include <optional>
 #include <vector>
 
@@ -42,10 +52,47 @@ class ShardMap {
   }
   std::uint32_t total_servers() const { return total_servers_; }
 
-  /// The shard responsible for `key` (deterministic, hash-based).
+  /// The shard responsible for `key`: the override table when the key
+  /// has been migrated, the static hash placement otherwise.
   ShardId shard_of(const RegisterKey& key) const {
+    if (!overrides_.empty()) {
+      auto it = overrides_.find(key);
+      if (it != overrides_.end()) return it->second.owner;
+    }
+    return static_hash_shard_of(key);
+  }
+
+  /// The static hash placement, ignoring overrides (the "home" shard a
+  /// client with no migration knowledge would pick).
+  ShardId static_hash_shard_of(const RegisterKey& key) const {
     return static_cast<ShardId>(key_hash(key) % configs_.size());
   }
+
+  /// One migrated-key exception layered on the static hash.
+  struct Override {
+    ShardId owner = 0;
+    std::uint64_t epoch = 0;  ///< map epoch of the migration that set it
+  };
+
+  /// Learns "`key` is owned by `owner` as of map epoch `epoch`". Applies
+  /// only when strictly newer than what this copy already knows for the
+  /// key (epoch monotonicity — stale redirects are ignored); an override
+  /// pointing back at the key's static hash shard is stored all the same
+  /// so later stale epochs still lose. Returns whether the table changed.
+  bool apply_override(const RegisterKey& key, ShardId owner,
+                      std::uint64_t epoch);
+
+  /// Newest map epoch this copy has seen (0 = only the static hash).
+  std::uint64_t epoch() const { return epoch_; }
+
+  /// The override entry for `key`, if any.
+  std::optional<Override> override_of(const RegisterKey& key) const {
+    auto it = overrides_.find(key);
+    if (it == overrides_.end()) return std::nullopt;
+    return it->second;
+  }
+
+  std::size_t num_overrides() const { return overrides_.size(); }
 
   /// Config of shard `g`; throws std::out_of_range naming the offender
   /// and the valid range.
@@ -83,6 +130,10 @@ class ShardMap {
   std::optional<ShardId> scan_shard_of_server(ProcessId s) const;
 
   std::vector<SystemConfig> configs_;
+  /// Migrated-key exceptions (see apply_override). Keyed by register key;
+  /// entries are never removed, only superseded by newer epochs.
+  std::map<RegisterKey, Override> overrides_;
+  std::uint64_t epoch_ = 0;
   std::uint32_t total_servers_ = 0;
   /// Per-shard size when groups are uniform and contiguous from id 0
   /// (the Cluster layout) — enables O(1) server->shard; 0 otherwise.

@@ -2,9 +2,14 @@
 // per shard, every read/write routed by ShardMap::shard_of(key).
 //
 // The router preserves the pipelined client's semantics exactly:
-//  * per-key FIFO — a key deterministically maps to one shard, so all of
-//    a client's operations on that key flow through the same AbdClient,
-//    which serializes them in issue order;
+//  * per-key FIFO — held by the ROUTER on multi-shard maps: a migration
+//    can move a key between groups mid-operation, so two inner clients'
+//    FIFOs alone would let a later same-key op overlap an earlier one
+//    mid-redirect (and race the (max_ts+1, pid) tag choice). The router
+//    dispatches one keyed operation at a time per key, in issue order,
+//    each routed by the map AS OF its dispatch; a single-shard map keeps
+//    the legacy direct path (the one inner client's FIFO suffices,
+//    byte-identically);
 //  * pipelining — operations on distinct keys multiplex freely, now both
 //    within a shard (the AbdClient's op map) and across shards (disjoint
 //    replica groups never share quorum traffic at all);
@@ -20,7 +25,10 @@
 // on the reply hot path).
 #pragma once
 
+#include <deque>
+#include <map>
 #include <memory>
+#include <set>
 #include <vector>
 
 #include "shard/shard_map.h"
@@ -42,6 +50,15 @@ class ShardRouter {
 
   /// Routes a server reply to the inner client of the sender's shard;
   /// true iff consumed. Messages from non-servers are not the router's.
+  ///
+  /// WrongShardAck redirects are the router's own: the carried override
+  /// is merged into this client's ShardMap copy (newest epoch wins) and,
+  /// when the map now disagrees with the sender's shard, the operation is
+  /// ejected from the sender's inner client and reissued at the current
+  /// owner — a write keeps its once-chosen tag. A redirect that does NOT
+  /// move the map (a relic server lagging behind a newer migration) is
+  /// consumed without ejecting, so stale redirects can never livelock an
+  /// operation that is already at the right shard.
   bool handle(ProcessId from, const Message& msg);
 
   const ShardMap& map() const { return map_; }
@@ -66,6 +83,8 @@ class ShardRouter {
   /// Batched envelopes flushed / frames carried, summed over shards.
   std::uint64_t batches_sent() const;
   std::uint64_t batched_frames() const;
+  /// Operations reissued at another shard after a WrongShardAck.
+  std::uint64_t redirects() const { return redirects_; }
 
   void set_retry_interval(TimeNs interval);
   void set_max_restarts(std::uint32_t m);
@@ -75,8 +94,28 @@ class ShardRouter {
   void set_batching(std::size_t max_ops, TimeNs max_delay);
 
  private:
+  /// One keyed operation awaiting its per-key turn (multi-shard only).
+  struct QueuedOp {
+    bool is_write = false;
+    RegisterKey key;
+    Value value;
+    AbdClient::ReadCallback rcb;
+    AbdClient::WriteCallback wcb;
+  };
+
+  OpId submit(QueuedOp op);
+  OpId dispatch(QueuedOp op);
+  void next_for(const RegisterKey& key);
+
+  /// Learned routing state: starts as the static hash map, accumulates
+  /// overrides from WrongShardAck redirects.
   ShardMap map_;
   std::vector<std::unique_ptr<AbdClient>> clients_;
+  std::uint64_t redirects_ = 0;
+  /// Cross-shard per-key FIFO (multi-shard maps): keys with a dispatched
+  /// operation, and the issue-order queue behind each.
+  std::set<RegisterKey> keyed_busy_;
+  std::map<RegisterKey, std::deque<QueuedOp>> keyed_queue_;
 };
 
 }  // namespace wrs

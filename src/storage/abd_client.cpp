@@ -58,6 +58,75 @@ OpId AbdClient::list_keys(KeysCallback cb) {
   return enqueue(std::move(op));
 }
 
+OpId AbdClient::freeze_key(RegisterKey key, std::uint64_t epoch, ShardId dest,
+                           ReadCallback cb) {
+  Op op;
+  op.kind = OpKind::kFreeze;
+  op.key = std::move(key);
+  op.mig_epoch = epoch;
+  op.mig_owner = dest;
+  op.rcb = std::move(cb);
+  return enqueue(std::move(op));
+}
+
+OpId AbdClient::commit_mark(RegisterKey key, ShardId owner,
+                            std::uint64_t epoch,
+                            std::optional<TaggedValue> install,
+                            WriteCallback cb) {
+  Op op;
+  op.kind = OpKind::kCommit;
+  op.key = std::move(key);
+  op.mig_epoch = epoch;
+  op.mig_owner = owner;
+  op.mig_install = std::move(install);
+  op.wcb = std::move(cb);
+  return enqueue(std::move(op));
+}
+
+std::optional<AbdClient::EjectedOp> AbdClient::eject(OpId id) {
+  auto it = ops_.find(id);
+  if (it == ops_.end()) return std::nullopt;
+  Op& op = it->second;
+  if (op.kind != OpKind::kRead && op.kind != OpKind::kWrite) {
+    return std::nullopt;
+  }
+  EjectedOp out;
+  out.kind = op.kind;
+  out.key = op.key;
+  out.value = std::move(op.value);
+  out.to_write = std::move(op.to_write);
+  out.write_tag_chosen = op.write_tag_chosen;
+  out.rcb = std::move(op.rcb);
+  out.wcb = std::move(op.wcb);
+  bool was_started = op.started;
+  ops_.erase(it);
+  if (was_started) --started_count_;
+  auto fit = key_fifo_.find(out.key);
+  auto& fifo = fit->second;
+  bool was_front = fifo.front() == id;
+  fifo.erase(std::find(fifo.begin(), fifo.end(), id));
+  if (fifo.empty()) {
+    key_fifo_.erase(fit);
+  } else if (was_front) {
+    // The ejected op held the key: start its successor (which will chase
+    // the same redirect and reissue behind this op at the new shard).
+    start_phase1(ops_.at(fifo.front()));
+  }
+  return out;
+}
+
+OpId AbdClient::resume(EjectedOp e) {
+  Op op;
+  op.kind = e.kind;
+  op.key = std::move(e.key);
+  op.value = std::move(e.value);
+  op.to_write = std::move(e.to_write);
+  op.write_tag_chosen = e.write_tag_chosen;
+  op.rcb = std::move(e.rcb);
+  op.wcb = std::move(e.wcb);
+  return enqueue(std::move(op));
+}
+
 OpId AbdClient::enqueue(Op op) {
   OpId id = fresh_op_id();
   op.id = id;
@@ -81,6 +150,12 @@ void AbdClient::start_phase1(Op& op) {
     ++started_count_;
     max_started_ = std::max(max_started_, started_count_);
   }
+  if (op.kind == OpKind::kCommit) {
+    // One-round verb: commits only collect WriteAcks, so every (re)start
+    // — including change-set restarts — re-runs the ack phase directly.
+    start_phase2(op);
+    return;
+  }
   op.phase = 1;
   ++op.seq;
   op.phase1_replies.clear();
@@ -101,7 +176,14 @@ void AbdClient::start_phase2(Op& op) {
 
 void AbdClient::broadcast_phase(const Op& op) {
   MsgPtr req;
-  if (op.phase == 2) {
+  if (op.kind == OpKind::kFreeze) {
+    req = std::make_shared<MigFreeze>(op.id, op.key, op.mig_epoch,
+                                      op.mig_owner, op.seq, config_.shard);
+  } else if (op.kind == OpKind::kCommit) {
+    req = std::make_shared<MigCommit>(op.id, op.key, op.mig_owner,
+                                      op.mig_epoch, op.mig_install, op.seq,
+                                      config_.shard);
+  } else if (op.phase == 2) {
     req = std::make_shared<WriteReq>(op.id, op.to_write, op.key, op.seq,
                                      config_.shard);
   } else if (op.kind == OpKind::kListKeys) {
@@ -109,7 +191,10 @@ void AbdClient::broadcast_phase(const Op& op) {
   } else {
     req = std::make_shared<ReadReq>(op.id, op.key, op.seq, config_.shard);
   }
-  if (!batching()) {
+  // Migration verbs never coalesce: servers apply them outside the
+  // batched-frame path (a fence is rare control traffic, not a hot op).
+  if (!batching() || op.kind == OpKind::kFreeze ||
+      op.kind == OpKind::kCommit) {
     env_.broadcast_to_group(self_, servers_, req);
     return;
   }
@@ -196,9 +281,11 @@ void AbdClient::complete(OpId id) {
   }
   switch (finished.kind) {
     case OpKind::kRead:
+    case OpKind::kFreeze:
       finished.rcb(finished.read_result);
       break;
     case OpKind::kWrite:
+    case OpKind::kCommit:
       finished.wcb(finished.to_write.tag);
       break;
     case OpKind::kListKeys: {
@@ -273,6 +360,14 @@ bool AbdClient::handle(ProcessId from, const Message& msg) {
     TaggedValue maxreg;
     for (const auto& [_, reg] : op.phase1_replies) {
       if (maxreg.tag < reg.tag) maxreg = reg;
+    }
+    if (op.kind == OpKind::kFreeze) {
+      // The freeze IS the final read: a quorum of fence acks intersects
+      // every completed write quorum, so maxreg is the definitive replica
+      // to hand to the destination. No write-back round.
+      op.read_result = maxreg;
+      complete(op.id);
+      return true;
     }
     if (op.kind == OpKind::kRead) {
       op.read_result = maxreg;

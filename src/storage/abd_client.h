@@ -60,6 +60,7 @@
 #include "core/config.h"
 #include "runtime/env.h"
 #include "storage/abd_messages.h"
+#include "storage/migration_messages.h"
 
 namespace wrs {
 
@@ -70,6 +71,9 @@ class AbdClient {
   using ReadCallback = std::function<void(const TaggedValue&)>;
   using WriteCallback = std::function<void(const Tag&)>;
   using KeysCallback = std::function<void(const std::vector<RegisterKey>&)>;
+
+  /// What an operation is doing (public so EjectedOp can carry it).
+  enum class OpKind { kRead, kWrite, kListKeys, kFreeze, kCommit };
 
   AbdClient(Env& env, ProcessId self, const SystemConfig& config, Mode mode);
 
@@ -89,6 +93,46 @@ class AbdClient {
   /// Discovers every register key stored at some weighted quorum. Never
   /// queued behind keyed operations.
   OpId list_keys(KeysCallback cb);
+
+  // --- elastic resharding (MigrationEngine verbs) --------------------------
+
+  /// Freeze `key` at this group behind map epoch `epoch` and collect the
+  /// final read: cb fires with the max-tag replica of a weighted quorum
+  /// of freeze acks. One-round (no write-back); `dest` is advisory.
+  OpId freeze_key(RegisterKey key, std::uint64_t epoch, ShardId dest,
+                  ReadCallback cb);
+
+  /// Commit "key is owned by `owner` as of `epoch`" at this group; the
+  /// destination-side round carries the frozen replica in `install`. cb
+  /// fires once a weighted quorum acked. One-round (ack collection only).
+  OpId commit_mark(RegisterKey key, ShardId owner, std::uint64_t epoch,
+                   std::optional<TaggedValue> install, WriteCallback cb);
+
+  /// A started operation extracted for reissue at another shard after a
+  /// WrongShardAck redirect (ShardRouter). Carries exactly the state the
+  /// new shard's client needs: a write keeps its once-chosen tag — the
+  /// ghost-tag argument for change-set restarts applies unchanged to
+  /// cross-shard reissue.
+  struct EjectedOp {
+    OpKind kind = OpKind::kRead;
+    RegisterKey key;
+    Value value;
+    TaggedValue to_write;
+    bool write_tag_chosen = false;
+    ReadCallback rcb;
+    WriteCallback wcb;
+  };
+
+  /// Removes operation `id` (promoting its per-key FIFO successor) and
+  /// returns its reissuable state; nullopt when the op is unknown,
+  /// already completed, or not reissuable (kListKeys and the migration
+  /// verbs are never redirected).
+  std::optional<EjectedOp> eject(OpId id);
+
+  /// Re-enqueues an ejected operation on THIS client (the redirect
+  /// target). Runs the full two-phase protocol under a fresh OpId; the
+  /// per-key FIFO keeps reissue order.
+  OpId resume(EjectedOp op);
 
   /// Routes R_A / W_A / KEYS_A replies; true iff consumed. Replies whose
   /// OpId belongs to no in-flight operation are NOT consumed (they may
@@ -149,8 +193,6 @@ class AbdClient {
   std::uint64_t batched_frames() const { return batched_frames_; }
 
  private:
-  enum class OpKind { kRead, kWrite, kListKeys };
-
   struct Op {
     OpId id = 0;
     OpKind kind = OpKind::kRead;
@@ -170,6 +212,10 @@ class AbdClient {
     std::set<ProcessId> keys_acks;
     std::set<RegisterKey> keys_acc;
     std::uint32_t op_restarts = 0;
+    // Migration verbs (kFreeze/kCommit) only.
+    std::uint64_t mig_epoch = 0;
+    ShardId mig_owner = 0;  ///< freeze: advisory dest; commit: new owner
+    std::optional<TaggedValue> mig_install;
   };
 
   /// One buffered phase broadcast awaiting the next envelope flush. The

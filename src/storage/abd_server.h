@@ -27,15 +27,27 @@
 // capacity in scale-out benchmarks: the quorum protocol above it is
 // measured against a modeled per-node bottleneck instead of whatever
 // the host machine's core count happens to be.
+// Elastic resharding (PR 7): the server keeps a per-key ROUTE MARK
+// — (map epoch, owner shard, frozen?) — driven by the MigrationEngine's
+// MigFreeze/MigCommit rounds. A frozen key parks incoming client
+// requests (bounded queue) instead of serving them, so the engine's
+// final read is definitive; a key whose mark names another owner is
+// answered with a WrongShardAck redirect carrying the owner and epoch.
+// Marks apply with "newest epoch wins", mirroring ShardMap overrides.
 #pragma once
 
 #include <algorithm>
 #include <cstdint>
 #include <functional>
 #include <map>
+#include <mutex>
+#include <optional>
+#include <utility>
+#include <vector>
 
 #include "runtime/env.h"
 #include "storage/abd_messages.h"
+#include "storage/migration_messages.h"
 
 namespace wrs {
 
@@ -70,7 +82,16 @@ class AbdServer {
       std::vector<MsgPtr> acks;
       acks.reserve(b->frames().size());
       for (const MsgPtr& frame : b->frames()) {
-        if (MsgPtr ack = apply(*frame)) acks.push_back(std::move(ack));
+        MsgPtr ack = apply(from, *frame);
+        if (!ack) continue;
+        if (msg_cast<WrongShardAck>(*ack)) {
+          // Redirects travel as singles: the router intercepts them at
+          // the top level (a nested redirect would reach the inner
+          // client's demux, which cannot eject across shards).
+          reply(from, std::move(ack), service_time_);
+          continue;
+        }
+        acks.push_back(std::move(ack));
       }
       if (!acks.empty()) {
         TimeNs cost =
@@ -79,11 +100,23 @@ class AbdServer {
       }
       return true;
     }
+    if (const auto* f = msg_cast<MigFreeze>(msg)) {
+      if (misrouted(f->shard())) return true;
+      handle_freeze(from, *f);
+      return true;
+    }
+    if (const auto* c = msg_cast<MigCommit>(msg)) {
+      if (misrouted(c->shard())) return true;
+      handle_commit(from, *c);
+      return true;
+    }
     if (!msg_cast<ReadReq>(msg) && !msg_cast<WriteReq>(msg) &&
         !msg_cast<KeysReq>(msg)) {
       return false;
     }
-    if (MsgPtr ack = apply(msg)) reply(from, std::move(ack), service_time_);
+    if (MsgPtr ack = apply(from, msg)) {
+      reply(from, std::move(ack), service_time_);
+    }
     return true;
   }
 
@@ -110,6 +143,48 @@ class AbdServer {
   void set_service_time(TimeNs t) { service_time_ = t; }
   TimeNs service_time() const { return service_time_; }
 
+  // --- elastic resharding -------------------------------------------------
+
+  /// The migration state of one key as this server knows it.
+  struct RouteMark {
+    std::uint64_t epoch = 0;  ///< newest map epoch seen for the key
+    ShardId owner = 0;        ///< the key's owner shard as of `epoch`
+    bool frozen = false;      ///< fence up: park client requests
+    bool committed = false;   ///< latest event was a commit (not a freeze)
+  };
+
+  /// This server's route mark for `key`, if any migration ever touched it
+  /// (test observability; call only when the deployment is quiescent).
+  std::optional<RouteMark> route_mark(const RegisterKey& key) const {
+    auto it = route_marks_.find(key);
+    if (it == route_marks_.end()) return std::nullopt;
+    return it->second;
+  }
+
+  /// Client requests parked behind a freeze fence (cumulative).
+  std::uint64_t frozen_parked() const { return frozen_parked_; }
+  /// Parked requests dropped because a key's park queue overflowed —
+  /// client retries cover these.
+  std::uint64_t parked_dropped() const { return parked_dropped_; }
+  /// WrongShardAck redirects sent for moved keys.
+  std::uint64_t redirects_sent() const { return redirects_sent_; }
+  /// MigCommit rounds applied (either side of a handoff).
+  std::uint64_t migration_commits() const { return migration_commits_; }
+
+  /// Served read/write requests per key since the last drain, and clears
+  /// the window. Thread-safe (the Rebalancer reads it from another
+  /// execution context on the thread runtime).
+  std::map<RegisterKey, std::uint64_t> drain_key_hits() {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    return std::exchange(key_hits_, {});
+  }
+
+  /// Cumulative served read/write requests (never cleared); thread-safe.
+  std::uint64_t hits_total() const {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    return hits_total_;
+  }
+
  private:
   ChangeSetPtr snapshot() const {
     return changes_provider_ ? changes_provider_() : nullptr;
@@ -122,17 +197,28 @@ class AbdServer {
   }
 
   /// Applies one ABD request against the register state and returns its
-  /// ack — or null when `msg` is no ABD request, or is addressed to
-  /// another shard (counted; defense in depth for frames of a batched
-  /// envelope whose own shard id somehow disagrees with the envelope's).
-  MsgPtr apply(const Message& msg) {
+  /// ack — or null when `msg` is no ABD request, is addressed to another
+  /// shard (counted; defense in depth for frames of a batched envelope
+  /// whose own shard id somehow disagrees with the envelope's), or was
+  /// parked behind a freeze fence (answered later, when the fence lifts).
+  MsgPtr apply(ProcessId from, const Message& msg) {
     if (const auto* r = msg_cast<ReadReq>(msg)) {
       if (misrouted(r->shard())) return nullptr;
+      if (MsgPtr verdict = route_check(from, r->key(), r->op_id(), r->seq(),
+                                       std::make_shared<ReadReq>(*r))) {
+        return verdict == kParkedSentinel() ? nullptr : verdict;
+      }
+      note_hit(r->key());
       return std::make_shared<ReadAck>(r->op_id(), reg(r->key()), snapshot(),
                                        r->seq());
     }
     if (const auto* w = msg_cast<WriteReq>(msg)) {
       if (misrouted(w->shard())) return nullptr;
+      if (MsgPtr verdict = route_check(from, w->key(), w->op_id(), w->seq(),
+                                       std::make_shared<WriteReq>(*w))) {
+        return verdict == kParkedSentinel() ? nullptr : verdict;
+      }
+      note_hit(w->key());
       TaggedValue& slot = regs_[w->key()];
       if (slot.tag < w->reg().tag) slot = w->reg();
       return std::make_shared<WriteAck>(w->op_id(), snapshot(), w->seq());
@@ -141,11 +227,109 @@ class AbdServer {
       if (misrouted(k->shard())) return nullptr;
       std::vector<RegisterKey> keys;
       keys.reserve(regs_.size());
-      for (const auto& [key, _] : regs_) keys.push_back(key);
+      for (const auto& [key, _] : regs_) {
+        // A replica left behind by an outbound migration is a ghost: the
+        // key's owner lists it, this group must not (no double-listing
+        // across the map-epoch commit).
+        auto it = route_marks_.find(key);
+        if (it != route_marks_.end() && it->second.owner != shard_) continue;
+        keys.push_back(key);
+      }
       return std::make_shared<KeysAck>(k->op_id(), std::move(keys), snapshot(),
                                        k->seq());
     }
     return nullptr;
+  }
+
+  /// Shared read/write admission against the key's route mark: null means
+  /// "serve it", the park sentinel means "parked, answer later", anything
+  /// else is the WrongShardAck to send instead.
+  MsgPtr route_check(ProcessId from, const RegisterKey& key, OpId op_id,
+                     std::uint32_t seq, MsgPtr req) {
+    auto it = route_marks_.find(key);
+    if (it == route_marks_.end()) return nullptr;
+    const RouteMark& mark = it->second;
+    if (mark.frozen) {
+      auto& queue = parked_[key];
+      if (queue.size() >= kMaxParkedPerKey) {
+        ++parked_dropped_;  // client retry covers it
+      } else {
+        queue.push_back(Parked{from, std::move(req)});
+        ++frozen_parked_;
+      }
+      return kParkedSentinel();
+    }
+    if (mark.owner != shard_) {
+      ++redirects_sent_;
+      return std::make_shared<WrongShardAck>(op_id, key, mark.owner,
+                                             mark.epoch, seq);
+    }
+    return nullptr;
+  }
+
+  /// Distinguishes "parked" from "serve" in route_check's return channel.
+  static const MsgPtr& kParkedSentinel() {
+    static const MsgPtr sentinel =
+        std::make_shared<WrongShardAck>(0, "", 0, 0);
+    return sentinel;
+  }
+
+  /// MigFreeze: fence the key and answer with the replica — the final
+  /// ABD read of the handoff. Stale fences (older than the newest mark,
+  /// or a duplicate of an epoch already committed) are dropped so a
+  /// delayed/duplicated freeze can never re-fence a finished migration.
+  void handle_freeze(ProcessId from, const MigFreeze& f) {
+    RouteMark& mark = route_marks_[f.key()];
+    bool fresh = f.epoch() > mark.epoch;
+    bool retry = f.epoch() == mark.epoch && !mark.committed;
+    if (!fresh && !retry) return;
+    mark.epoch = f.epoch();
+    mark.owner = shard_;
+    mark.frozen = true;
+    mark.committed = false;
+    reply(from,
+          std::make_shared<ReadAck>(f.op_id(), reg(f.key()), snapshot(),
+                                    f.seq()),
+          service_time_);
+  }
+
+  /// MigCommit: adopt "key is owned by `owner` as of `epoch`", lift the
+  /// fence, and drain parked requests through the ordinary apply path
+  /// (they come out as redirects when ownership moved away). Applies for
+  /// any epoch >= the newest mark (idempotent under engine retries);
+  /// older commits are dropped without an ack.
+  void handle_commit(ProcessId from, const MigCommit& c) {
+    RouteMark& mark = route_marks_[c.key()];
+    if (c.epoch() < mark.epoch) return;
+    mark.epoch = c.epoch();
+    mark.owner = c.owner();
+    mark.frozen = false;
+    mark.committed = true;
+    ++migration_commits_;
+    // The destination-side commit carries the frozen replica: install it
+    // tag-monotonically in the same step that flips ownership, so a
+    // destination quorum never serves the key without the migrated value.
+    if (c.install()) {
+      TaggedValue& slot = regs_[c.key()];
+      if (slot.tag < c.install()->tag) slot = *c.install();
+    }
+    reply(from, std::make_shared<WriteAck>(c.op_id(), snapshot(), c.seq()),
+          service_time_);
+    auto parked = parked_.find(c.key());
+    if (parked == parked_.end()) return;
+    std::vector<Parked> queue = std::move(parked->second);
+    parked_.erase(parked);
+    for (Parked& p : queue) {
+      if (MsgPtr ack = apply(p.from, *p.req)) {
+        reply(p.from, std::move(ack), service_time_);
+      }
+    }
+  }
+
+  void note_hit(const RegisterKey& key) {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++key_hits_[key];
+    ++hits_total_;
   }
 
   /// Replies inline, or through the serial service queue: each request
@@ -167,15 +351,36 @@ class AbdServer {
                   });
   }
 
+  /// One client request waiting behind a freeze fence.
+  struct Parked {
+    ProcessId from;
+    MsgPtr req;
+  };
+  /// Per-key park queue bound: the fence window is a couple of quorum
+  /// round trips, so anything past this is a pathological pile-up better
+  /// shed to client retries than buffered.
+  static constexpr std::size_t kMaxParkedPerKey = 512;
+
   Env& env_;
   ProcessId self_;
   ShardId shard_;
   ChangesProvider changes_provider_;
   std::map<RegisterKey, TaggedValue> regs_;
+  std::map<RegisterKey, RouteMark> route_marks_;
+  std::map<RegisterKey, std::vector<Parked>> parked_;
   std::uint64_t misrouted_ = 0;
   std::uint64_t batches_served_ = 0;
+  std::uint64_t frozen_parked_ = 0;
+  std::uint64_t parked_dropped_ = 0;
+  std::uint64_t redirects_sent_ = 0;
+  std::uint64_t migration_commits_ = 0;
   TimeNs service_time_ = 0;
   TimeNs busy_until_ = 0;
+  /// Guards the hit-count window: written on the serve path (server
+  /// context), drained by the Rebalancer from the engine's context.
+  mutable std::mutex stats_mu_;
+  std::map<RegisterKey, std::uint64_t> key_hits_;
+  std::uint64_t hits_total_ = 0;
 };
 
 }  // namespace wrs

@@ -323,4 +323,55 @@ std::size_t TransferStorm::skipped() const {
   return skipped_;
 }
 
+// --- MigrationStorm ---------------------------------------------------------
+
+MigrationStorm::MigrationStorm(Cluster& cluster, std::uint64_t seed,
+                               MigrationStormParams params)
+    : cluster_(cluster), rng_(seed), params_(params) {}
+
+void MigrationStorm::unleash() {
+  if (unleashed_) {
+    throw std::logic_error("MigrationStorm: unleash() called twice");
+  }
+  unleashed_ = true;
+  MigrationEngine* engine = &cluster_.migration_engine();  // validates shards
+  std::uint32_t shards = cluster_.num_shards();
+  for (std::size_t i = 0; i < params_.attempts; ++i) {
+    TimeNs at = params_.start +
+                static_cast<TimeNs>(rng_.below(static_cast<std::uint64_t>(
+                    params_.horizon - params_.start)));
+    RegisterKey key = "k" + std::to_string(rng_.below(params_.num_keys));
+    ShardId to = static_cast<ShardId>(rng_.below(shards));
+    MigrationStorm* self = this;
+    // Posted into the engine's context: migrate() must run there; the
+    // done callback fires there once both sides committed (or at once on
+    // refusal), so the counters are exact when the episode drains.
+    cluster_.env().schedule(engine->pid(), at, [self, engine, key, to] {
+      engine->migrate(key, to, [self](bool ok) {
+        std::lock_guard lock(self->mu_);
+        ++self->completed_;
+        if (ok) ++self->moved_;
+      });
+    });
+    ++scheduled_;
+  }
+}
+
+std::size_t MigrationStorm::attempts_scheduled() const { return scheduled_; }
+
+std::size_t MigrationStorm::completed() const {
+  std::lock_guard lock(mu_);
+  return completed_;
+}
+
+std::size_t MigrationStorm::moved() const {
+  std::lock_guard lock(mu_);
+  return moved_;
+}
+
+std::size_t MigrationStorm::refused() const {
+  std::lock_guard lock(mu_);
+  return completed_ - moved_;
+}
+
 }  // namespace wrs::testing

@@ -166,4 +166,47 @@ class TransferStorm {
   std::size_t skipped_ = 0;
 };
 
+struct MigrationStormParams {
+  TimeNs start = ms(10);
+  TimeNs horizon = ms(300);
+  /// Seeded migrate_key attempts posted across [start, horizon).
+  std::size_t attempts = 50;
+  /// Keys are drawn from "k0".."k<num_keys-1>" — the WorkloadClient's
+  /// keyspace, so storms compose with a concurrent workload + history.
+  std::size_t num_keys = 16;
+};
+
+/// Seeded elastic-resharding chaos driver: posts random key handoffs
+/// (random key, random destination shard) into the MigrationEngine's
+/// context across the horizon — the resharding analogue of
+/// TransferStorm. Attempts racing an in-flight handoff of the same key
+/// are REFUSED by the engine (serialized per key) and counted here, so
+/// refused + moved == completed once the episode drains. Requires a
+/// deployment with shards(s >= 2).
+class MigrationStorm {
+ public:
+  MigrationStorm(Cluster& cluster, std::uint64_t seed,
+                 MigrationStormParams params = {});
+
+  /// Draws and schedules all migration attempts. Call at most once.
+  void unleash();
+
+  // Outcome counters (thread-safe snapshots).
+  std::size_t attempts_scheduled() const;
+  std::size_t completed() const;  // callbacks fired (moved or refused)
+  std::size_t moved() const;      // handoff committed (or was a no-op)
+  std::size_t refused() const;    // same-key handoff still in flight
+
+ private:
+  Cluster& cluster_;
+  Rng rng_;
+  MigrationStormParams params_;
+  bool unleashed_ = false;
+  std::size_t scheduled_ = 0;
+
+  mutable std::mutex mu_;
+  std::size_t completed_ = 0;
+  std::size_t moved_ = 0;
+};
+
 }  // namespace wrs::testing

@@ -27,6 +27,7 @@
 #include "monitor/adaptive_node.h"
 #include "net/wire_codec.h"
 #include "storage/abd_messages.h"
+#include "storage/migration_messages.h"
 
 namespace wrs::net {
 namespace {
@@ -164,6 +165,29 @@ MsgPtr rand_sync(Rng& rng) {
                                    static_cast<ShardId>(rng.below(4)));
 }
 
+MsgPtr rand_mig_freeze(Rng& rng) {
+  return std::make_shared<MigFreeze>(rng(), rand_string(rng), rng(),
+                                     static_cast<ShardId>(rng.below(4)),
+                                     static_cast<std::uint32_t>(rng.below(100)),
+                                     static_cast<ShardId>(rng.below(4)));
+}
+
+MsgPtr rand_mig_commit(Rng& rng) {
+  std::optional<TaggedValue> install;
+  if (rng.below(2) == 0) install = rand_tagged_value(rng);
+  return std::make_shared<MigCommit>(rng(), rand_string(rng),
+                                     static_cast<ShardId>(rng.below(4)), rng(),
+                                     std::move(install),
+                                     static_cast<std::uint32_t>(rng.below(100)),
+                                     static_cast<ShardId>(rng.below(4)));
+}
+
+MsgPtr rand_wrong_shard(Rng& rng) {
+  return std::make_shared<WrongShardAck>(
+      rng(), rand_string(rng), static_cast<ShardId>(rng.below(4)), rng(),
+      static_cast<std::uint32_t>(rng.below(100)));
+}
+
 MsgPtr rand_rtt_report(Rng& rng) {
   std::map<ProcessId, double> rtts;
   std::size_t n = rng.below(6);
@@ -220,6 +244,9 @@ const std::vector<std::pair<const char*, Maker>>& all_makers() {
              static_cast<TimeNs>(rng.below(1'000'000'000)));
        }},
       {"RttReport", rand_rtt_report},
+      {"MigFreeze", rand_mig_freeze},
+      {"MigCommit", rand_mig_commit},
+      {"WrongShard", rand_wrong_shard},
   };
   return makers;
 }
@@ -257,16 +284,40 @@ TEST(CodecFuzz, RoundTripByteIdenticalEveryType) {
 }
 
 TEST(CodecFuzz, WireTypeTagsAreStable) {
-  // The on-the-wire tags are a protocol contract — pin them so a
+  // The on-the-wire tags are a protocol contract — pin EVERY value so a
   // refactor reordering the enum (a silent wire break between versions
-  // of wrs-node) fails loudly here.
+  // of wrs-node) fails loudly here. The enum is append-only; these pins
+  // mirror the static_asserts in net/wire_format.h.
   EXPECT_EQ(WireCodec::wire_type_of(ReadReq(1)), WireType::kReadReq);
   EXPECT_EQ(static_cast<int>(WireType::kReadReq), 1);
+  EXPECT_EQ(static_cast<int>(WireType::kReadAck), 2);
+  EXPECT_EQ(static_cast<int>(WireType::kWriteReq), 3);
+  EXPECT_EQ(static_cast<int>(WireType::kWriteAck), 4);
+  EXPECT_EQ(static_cast<int>(WireType::kKeysReq), 5);
+  EXPECT_EQ(static_cast<int>(WireType::kKeysAck), 6);
   EXPECT_EQ(static_cast<int>(WireType::kBatchRequest), 7);
+  EXPECT_EQ(static_cast<int>(WireType::kBatchReply), 8);
+  EXPECT_EQ(static_cast<int>(WireType::kRcReq), 9);
+  EXPECT_EQ(static_cast<int>(WireType::kRcAck), 10);
+  EXPECT_EQ(static_cast<int>(WireType::kWcReq), 11);
+  EXPECT_EQ(static_cast<int>(WireType::kWcAck), 12);
+  EXPECT_EQ(static_cast<int>(WireType::kTransfer), 13);
+  EXPECT_EQ(static_cast<int>(WireType::kTAck), 14);
   EXPECT_EQ(static_cast<int>(WireType::kSync), 15);
   EXPECT_EQ(static_cast<int>(WireType::kRb), 16);
+  EXPECT_EQ(static_cast<int>(WireType::kPing), 17);
+  EXPECT_EQ(static_cast<int>(WireType::kPong), 18);
   EXPECT_EQ(static_cast<int>(WireType::kRttReport), 19);
+  EXPECT_EQ(static_cast<int>(WireType::kMigFreeze), 20);
+  EXPECT_EQ(static_cast<int>(WireType::kMigCommit), 21);
+  EXPECT_EQ(static_cast<int>(WireType::kWrongShard), 22);
   EXPECT_TRUE(WireCodec::encodable(ReadReq(1)));
+  EXPECT_EQ(WireCodec::wire_type_of(MigFreeze(1, "k", 1, 0)),
+            WireType::kMigFreeze);
+  EXPECT_EQ(WireCodec::wire_type_of(MigCommit(1, "k", 0, 1)),
+            WireType::kMigCommit);
+  EXPECT_EQ(WireCodec::wire_type_of(WrongShardAck(1, "k", 0, 1)),
+            WireType::kWrongShard);
 }
 
 // --- malformed input --------------------------------------------------------
