@@ -1,0 +1,31 @@
+// Cache-line geometry for hot-path layout decisions.
+//
+// The `std::hardware_destructive_interference_size` idiom (SNIPPETS.md
+// #1): two objects touched by different threads must not share a cache
+// line, or every write by one core invalidates the other's line (false
+// sharing). GCC warns on direct use of the constant in headers
+// (-Winterference-size, fatal under -Werror) because its value depends
+// on -mtune, so the constant is materialized here once, behind the
+// pragma, and everything else uses wrs::kCacheLineSize.
+#pragma once
+
+#include <cstddef>
+#include <new>
+
+namespace wrs {
+
+#if defined(__cpp_lib_hardware_interference_size)
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Winterference-size"
+#endif
+inline constexpr std::size_t kCacheLineSize =
+    std::hardware_destructive_interference_size;
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic pop
+#endif
+#else
+inline constexpr std::size_t kCacheLineSize = 64;
+#endif
+
+}  // namespace wrs

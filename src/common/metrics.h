@@ -7,6 +7,7 @@
 #include <cstdint>
 #include <map>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "common/types.h"
@@ -78,11 +79,23 @@ class TimeSeries {
   std::vector<std::pair<TimeNs, double>> points_;
 };
 
-/// Named counters; cheap to copy, merge, and print.
+/// Named counters; cheap to copy, merge, and print. Keys are accepted as
+/// string_view with a transparent comparator, so bumping or reading an
+/// existing counter never builds a temporary std::string (a key is only
+/// materialized on first insert). The runtimes no longer count through
+/// this type on their hot paths — they use TrafficLedger's pre-interned
+/// slots and export a Counters snapshot on demand.
 class Counters {
  public:
-  void inc(const std::string& name, std::int64_t by = 1) { map_[name] += by; }
-  std::int64_t get(const std::string& name) const {
+  void inc(std::string_view name, std::int64_t by = 1) {
+    auto it = map_.find(name);
+    if (it == map_.end()) {
+      map_.emplace(std::string(name), by);
+    } else {
+      it->second += by;
+    }
+  }
+  std::int64_t get(std::string_view name) const {
     auto it = map_.find(name);
     return it == map_.end() ? 0 : it->second;
   }
@@ -94,11 +107,13 @@ class Counters {
   void merge_prefixed(const Counters& other, const std::string& prefix) {
     for (const auto& [k, v] : other.map_) map_[prefix + k] += v;
   }
-  const std::map<std::string, std::int64_t>& map() const { return map_; }
+  const std::map<std::string, std::int64_t, std::less<>>& map() const {
+    return map_;
+  }
   void clear() { map_.clear(); }
 
  private:
-  std::map<std::string, std::int64_t> map_;
+  std::map<std::string, std::int64_t, std::less<>> map_;
 };
 
 /// Fixed-width table printer for benchmark outputs ("the rows the paper

@@ -24,7 +24,10 @@ void Env::enable_shard_traffic(std::size_t shards, ShardOfMessage shard_of) {
     throw std::invalid_argument(
         "Env::enable_shard_traffic: need shards >= 1 and a mapper");
   }
-  shard_traffic_.assign(shards, Counters{});
+  // TrafficLedger is neither movable nor copyable (atomics), so the
+  // vector is sized once here and never resized.
+  shard_traffic_ = std::vector<TrafficLedger>(shards);
+  shard_traffic_export_.resize(shards);
   shard_of_ = std::move(shard_of);
 }
 
@@ -34,7 +37,8 @@ const Counters& Env::shard_traffic(std::size_t g) const {
                             " out of range [0, " +
                             std::to_string(shard_traffic_.size()) + ")");
   }
-  return shard_traffic_[g];
+  shard_traffic_export_[g] = shard_traffic_[g].snapshot();
+  return shard_traffic_export_[g];
 }
 
 void Env::count_shard_traffic(ProcessId from, ProcessId to,
@@ -47,9 +51,9 @@ void Env::count_shard_traffic(ProcessId from, ProcessId to,
   if (shard_traffic_.empty()) return;
   int g = shard_of_(from, to);
   if (g < 0 || static_cast<std::size_t>(g) >= shard_traffic_.size()) return;
-  Counters& c = shard_traffic_[static_cast<std::size_t>(g)];
-  c.inc("msgs");
-  c.inc("bytes", static_cast<std::int64_t>(bytes));
+  TrafficLedger& ledger = shard_traffic_[static_cast<std::size_t>(g)];
+  ledger.inc(TrafficLedger::kMsgs);
+  ledger.inc(TrafficLedger::kBytes, static_cast<std::int64_t>(bytes));
 }
 
 }  // namespace wrs

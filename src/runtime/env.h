@@ -23,6 +23,8 @@
 #include "common/types.h"
 #include "runtime/link_faults.h"
 #include "runtime/message.h"
+#include "runtime/task.h"
+#include "runtime/traffic_ledger.h"
 
 namespace wrs {
 
@@ -50,9 +52,10 @@ class Env {
 
   /// Runs `fn` in `pid`'s execution context after `delay`. Used for
   /// timeouts, retries, and workload pacing. If `pid` crashes before the
-  /// deadline the callback is dropped.
-  virtual void schedule(ProcessId pid, TimeNs delay,
-                        std::function<void()> fn) = 0;
+  /// deadline the callback is dropped. Task converts implicitly from any
+  /// callable, holds small captures inline, and (unlike std::function)
+  /// accepts move-only closures.
+  virtual void schedule(ProcessId pid, TimeNs delay, Task fn) = 0;
 
   /// Registers the handler for `pid`. The process must outlive the Env run.
   virtual void register_process(ProcessId pid, Process* process) = 0;
@@ -103,20 +106,24 @@ class Env {
   std::size_t shard_traffic_shards() const { return shard_traffic_.size(); }
 
   /// Message counters of shard `g`; throws std::out_of_range naming the
-  /// offender and valid range.
+  /// offender and valid range. The returned reference is a snapshot
+  /// materialized on each call — read it when the deployment is
+  /// quiescent (like traffic()).
   const Counters& shard_traffic(std::size_t g) const;
 
  protected:
-  /// Implementations call this from send(), inside the same critical
-  /// section that updates traffic(). This overload charges the modeled
-  /// wire_size(); runtimes that serialize for real (SocketEnv) use the
-  /// explicit-bytes overload with the frame's actual encoded size so the
-  /// per-shard ledger matches what crossed the kernel.
+  /// Implementations call this from send(). Lock-free: the ledger is
+  /// sharded atomics and `shard_of` is a pure function of the ids. This
+  /// overload charges the modeled wire_size(); runtimes that serialize
+  /// for real (SocketEnv) use the explicit-bytes overload with the
+  /// frame's actual encoded size so the per-shard ledger matches what
+  /// crossed the kernel.
   void count_shard_traffic(ProcessId from, ProcessId to, const Message& msg);
   void count_shard_traffic(ProcessId from, ProcessId to, std::size_t bytes);
 
  private:
-  std::vector<Counters> shard_traffic_;
+  std::vector<TrafficLedger> shard_traffic_;
+  mutable std::vector<Counters> shard_traffic_export_;
   ShardOfMessage shard_of_;
 };
 

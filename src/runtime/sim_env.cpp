@@ -34,9 +34,7 @@ void SimEnv::start() {
 void SimEnv::send(ProcessId from, ProcessId to, MsgPtr msg) {
   if (!msg) throw std::invalid_argument("SimEnv::send: null message");
   if (crashed_.count(from) != 0) return;  // a crashed process sends nothing
-  traffic_.inc("msgs");
-  traffic_.inc("bytes", static_cast<std::int64_t>(msg->wire_size()));
-  traffic_.inc("msg." + msg->type_name());
+  ledger_.count_message(*msg, static_cast<std::int64_t>(msg->wire_size()));
   count_shard_traffic(from, to, *msg);
   Envelope env{from, to, std::move(msg)};
   if (!faults_.active()) {
@@ -45,11 +43,11 @@ void SimEnv::send(ProcessId from, ProcessId to, MsgPtr msg) {
   }
   LinkFaults::Decision fate = faults_.decide(from, to, rng_);
   if (!fate.deliver) {
-    traffic_.inc("msgs.lost");
+    ledger_.inc(TrafficLedger::kMsgsLost);
     return;
   }
   if (fate.duplicate) {
-    traffic_.inc("msgs.dup");
+    ledger_.inc(TrafficLedger::kMsgsDup);
     route(Envelope{env.from, env.to, env.msg}, fate.extra_delay);
   }
   route(std::move(env), fate.extra_delay);
@@ -76,11 +74,11 @@ void SimEnv::deliver(Envelope env, TimeNs extra_delay) {
   });
 }
 
-void SimEnv::schedule(ProcessId pid, TimeNs delay, std::function<void()> fn) {
+void SimEnv::schedule(ProcessId pid, TimeNs delay, Task fn) {
   push_event(now_ + delay, pid, std::move(fn));
 }
 
-void SimEnv::push_event(TimeNs at, ProcessId pid, std::function<void()> fn) {
+void SimEnv::push_event(TimeNs at, ProcessId pid, Task fn) {
   queue_.push(Event{at, next_seq_++, pid, std::move(fn)});
 }
 
@@ -114,7 +112,9 @@ void SimEnv::release_holds(ProcessId pid) {
 
 bool SimEnv::step() {
   if (queue_.empty()) return false;
-  Event ev = queue_.top();
+  // Task is move-only, so move out of top() before popping (same idiom
+  // as ThreadEnv's timer queue).
+  Event ev = std::move(const_cast<Event&>(queue_.top()));
   queue_.pop();
   assert(ev.at >= now_);
   now_ = ev.at;

@@ -19,6 +19,8 @@
 #include "common/rng.h"
 #include "runtime/env.h"
 #include "runtime/latency_model.h"
+#include "runtime/task.h"
+#include "runtime/traffic_ledger.h"
 
 namespace wrs {
 
@@ -31,11 +33,14 @@ class SimEnv : public Env {
   // --- Env interface -----------------------------------------------------
   TimeNs now() const override { return now_; }
   void send(ProcessId from, ProcessId to, MsgPtr msg) override;
-  void schedule(ProcessId pid, TimeNs delay, std::function<void()> fn) override;
+  void schedule(ProcessId pid, TimeNs delay, Task fn) override;
   void register_process(ProcessId pid, Process* process) override;
   void crash(ProcessId pid) override;
   bool is_crashed(ProcessId pid) const override;
-  const Counters& traffic() const override { return traffic_; }
+  const Counters& traffic() const override {
+    traffic_export_ = ledger_.snapshot();
+    return traffic_export_;
+  }
   std::vector<ProcessId> server_ids() const override;
   /// Faults draw from the simulator's seeded rng, so an entire chaos
   /// episode (including bounded reordering) replays bit-for-bit from the
@@ -77,7 +82,7 @@ class SimEnv : public Env {
     TimeNs at;
     std::uint64_t seq;
     ProcessId pid;  // execution context; kNoProcess for env-internal
-    std::function<void()> fn;
+    Task fn;
   };
   struct EventOrder {
     bool operator()(const Event& a, const Event& b) const {
@@ -86,7 +91,7 @@ class SimEnv : public Env {
     }
   };
 
-  void push_event(TimeNs at, ProcessId pid, std::function<void()> fn);
+  void push_event(TimeNs at, ProcessId pid, Task fn);
   void route(Envelope env, TimeNs extra_delay);
   void deliver(Envelope env, TimeNs extra_delay = 0);
 
@@ -104,7 +109,8 @@ class SimEnv : public Env {
   std::map<ProcessId, std::vector<std::pair<Envelope, TimeNs>>>
       held_messages_;
   LinkFaults faults_;
-  Counters traffic_;
+  TrafficLedger ledger_;
+  mutable Counters traffic_export_;
 };
 
 }  // namespace wrs

@@ -118,15 +118,18 @@ void SocketEnv::add_route(ProcessId pid, const net::SocketAddr& addr) {
   routes_[pid] = addr;
 }
 
-void SocketEnv::schedule(ProcessId pid, TimeNs delay,
-                         std::function<void()> fn) {
-  transport_.schedule_after(delay, [this, pid, fn = std::move(fn)] {
+void SocketEnv::schedule(ProcessId pid, TimeNs delay, Task fn) {
+  // SocketTransport timers are std::function (copyable), so the move-only
+  // Task rides in a shared_ptr. The extra allocation is irrelevant next
+  // to the syscalls this runtime makes per message.
+  auto shared_fn = std::make_shared<Task>(std::move(fn));
+  transport_.schedule_after(delay, [this, pid, shared_fn] {
     bool run;
     {
       std::lock_guard lock(mu_);
       run = crashed_.count(pid) == 0;
     }
-    if (run) fn();
+    if (run) (*shared_fn)();
   });
 }
 
@@ -144,22 +147,19 @@ void SocketEnv::send(ProcessId from, ProcessId to, MsgPtr msg) {
   std::string peer_key;
   net::SocketAddr peer_addr;
   net::SocketTransport::ConnId conn = 0;
+  ledger_.count_message(*msg, static_cast<std::int64_t>(frame.size()));
+  count_shard_traffic(from, to, frame.size());
   {
     std::lock_guard lock(mu_);
-    traffic_.inc("msgs");
-    traffic_.inc("bytes", static_cast<std::int64_t>(frame.size()));
-    traffic_.inc("msg." + msg->type_name());
-    count_shard_traffic(from, to, frame.size());
-
     if (crashed_.count(to) != 0) return;
     if (faults_.active() && from != to) {
       auto decision = faults_.decide(from, to, rng_);
       if (!decision.deliver) {
-        traffic_.inc("msgs.lost");
+        ledger_.inc(TrafficLedger::kMsgsLost);
         return;
       }
       if (decision.duplicate) {
-        traffic_.inc("msgs.dup");
+        ledger_.inc(TrafficLedger::kMsgsDup);
         copies = 2;
       }
     }
@@ -179,7 +179,7 @@ void SocketEnv::send(ProcessId from, ProcessId to, MsgPtr msg) {
       via = Via::kConn;
       conn = lit->second;
     } else {
-      traffic_.inc("msgs.unroutable");
+      ledger_.inc(TrafficLedger::kMsgsUnroutable);
       return;
     }
   }
@@ -191,8 +191,7 @@ void SocketEnv::send(ProcessId from, ProcessId to, MsgPtr msg) {
       auto decoded = net::WireCodec::decode_frame(frame.data() + 4,
                                                   frame.size() - 4);
       if (!decoded) {
-        std::lock_guard lock(mu_);
-        traffic_.inc("msgs.malformed");
+        ledger_.inc(TrafficLedger::kMsgsMalformed);
         continue;
       }
       MsgPtr local_msg = decoded->msg;
@@ -212,28 +211,27 @@ void SocketEnv::on_frame(net::SocketTransport::ConnId conn,
   if (!decoded) {
     // A frame we cannot decode means the stream is not speaking our
     // protocol (or a version we know) — drop the connection.
-    std::lock_guard lock(mu_);
-    traffic_.inc("msgs.malformed");
+    ledger_.inc(TrafficLedger::kMsgsMalformed);
     transport_.close_conn(conn);
     return;
   }
   ProcessId from = decoded->from;
   ProcessId to = decoded->to;
+  ledger_.inc(TrafficLedger::kMsgsIn);
+  ledger_.inc(TrafficLedger::kBytesIn, static_cast<std::int64_t>(len + 4));
   {
     std::lock_guard lock(mu_);
-    traffic_.inc("msgs.in");
-    traffic_.inc("bytes.in", static_cast<std::int64_t>(len + 4));
     // Learn the return route (how servers answer dialed-in clients).
     if (local_.count(from) == 0) learned_[from] = conn;
     if (local_.count(to) == 0) {
-      traffic_.inc("msgs.no_handler");
+      ledger_.inc(TrafficLedger::kMsgsNoHandler);
       return;
     }
     if (crashed_.count(to) != 0) return;
     // Delivery-time cut filter: a partition started after the bytes left
     // the sender still stops them here, like a mid-flight cable pull.
     if (from != to && faults_.active() && faults_.is_cut(from, to)) {
-      traffic_.inc("msgs.lost");
+      ledger_.inc(TrafficLedger::kMsgsLost);
       return;
     }
   }

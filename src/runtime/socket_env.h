@@ -79,14 +79,18 @@ class SocketEnv : public Env {
   /// a pid with neither a local handler, a static route, nor a learned
   /// connection is dropped and counted ("msgs.unroutable").
   void send(ProcessId from, ProcessId to, MsgPtr msg) override;
-  void schedule(ProcessId pid, TimeNs delay, std::function<void()> fn) override;
+  void schedule(ProcessId pid, TimeNs delay, Task fn) override;
   /// Allowed before or after start(); after, on_start is delivered
   /// immediately (mid-run restart scenarios).
   void register_process(ProcessId pid, Process* process) override;
   void crash(ProcessId pid) override;
   bool is_crashed(ProcessId pid) const override;
-  /// Stable only once the deployment is quiescent (like ThreadEnv).
-  const Counters& traffic() const override { return traffic_; }
+  /// Stable only once the deployment is quiescent (like ThreadEnv); the
+  /// snapshot is materialized per call.
+  const Counters& traffic() const override {
+    traffic_export_ = ledger_.snapshot();
+    return traffic_export_;
+  }
   std::vector<ProcessId> server_ids() const override;
   LinkFaults& faults() override { return faults_; }
 
@@ -131,7 +135,12 @@ class SocketEnv : public Env {
   std::map<ProcessId, net::SocketTransport::ConnId> learned_;
   LinkFaults faults_;
   Rng rng_;
-  Counters traffic_;
+  // Lock-free sharded counters: syscalls dominate this runtime, but the
+  // counting idiom (pre-interned slots, no string build per send) is
+  // shared with SimEnv/ThreadEnv so the three traffic() outputs stay
+  // key-compatible.
+  TrafficLedger ledger_;
+  mutable Counters traffic_export_;
   bool started_ = false;
 
   std::atomic<std::uint64_t> fault_teardowns_{0};

@@ -1,0 +1,159 @@
+// Move-only callable with small-buffer storage, plus a growable ring of
+// them. Together these keep the runtime delivery path allocation-free:
+//
+//  - `std::function` must be copyable, so it cannot hold a move-only
+//    capture (an owned MsgPtr moved off the send path), and libstdc++'s
+//    inline buffer is 16 bytes — a delivery closure {Mailbox*, from,
+//    MsgPtr} at 32 bytes always heap-allocates. `Task` is move-only with
+//    a 48-byte inline buffer, so every runtime closure fits inline.
+//  - `TaskRing` is a power-of-two ring that only ever grows (the
+//    zephyr `lib/os/heap.h` pool idiom: reserve once, reuse forever), so
+//    a mailbox's steady-state push/pop never touches the allocator,
+//    unlike std::deque which frees and reallocates blocks as it drains.
+#pragma once
+
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace wrs {
+
+class Task {
+ public:
+  // Sized for the largest runtime closure: {ptr, pid, pid, MsgPtr} is
+  // 32 bytes; 48 leaves headroom for one extra capture without growing
+  // Task past one cache line alongside its vtable pointer.
+  static constexpr std::size_t kInlineBytes = 48;
+
+  Task() = default;
+
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, Task> &&
+                std::is_invocable_r_v<void, std::decay_t<F>&>>>
+  Task(F&& f) {  // NOLINT(google-explicit-constructor): callable wrapper
+    using Fn = std::decay_t<F>;
+    if constexpr (sizeof(Fn) <= kInlineBytes &&
+                  alignof(Fn) <= alignof(std::max_align_t) &&
+                  std::is_nothrow_move_constructible_v<Fn>) {
+      ::new (static_cast<void*>(buf_)) Fn(std::forward<F>(f));
+      vt_ = &kInlineVTable<Fn>;
+    } else {
+      ::new (static_cast<void*>(buf_)) Fn*(new Fn(std::forward<F>(f)));
+      vt_ = &kHeapVTable<Fn>;
+    }
+  }
+
+  Task(Task&& other) noexcept : vt_(other.vt_) {
+    if (vt_ != nullptr) {
+      vt_->relocate(other.buf_, buf_);
+      other.vt_ = nullptr;
+    }
+  }
+
+  Task& operator=(Task&& other) noexcept {
+    if (this != &other) {
+      reset();
+      vt_ = other.vt_;
+      if (vt_ != nullptr) {
+        vt_->relocate(other.buf_, buf_);
+        other.vt_ = nullptr;
+      }
+    }
+    return *this;
+  }
+
+  Task(const Task&) = delete;
+  Task& operator=(const Task&) = delete;
+
+  ~Task() { reset(); }
+
+  explicit operator bool() const { return vt_ != nullptr; }
+
+  void operator()() { vt_->invoke(buf_); }
+
+ private:
+  struct VTable {
+    void (*invoke)(void* self);
+    // Move-construct dst from src, then destroy src.
+    void (*relocate)(void* src, void* dst);
+    void (*destroy)(void* self);
+  };
+
+  template <typename Fn>
+  static constexpr VTable kInlineVTable = {
+      [](void* self) { (*static_cast<Fn*>(self))(); },
+      [](void* src, void* dst) {
+        ::new (dst) Fn(std::move(*static_cast<Fn*>(src)));
+        static_cast<Fn*>(src)->~Fn();
+      },
+      [](void* self) { static_cast<Fn*>(self)->~Fn(); },
+  };
+
+  template <typename Fn>
+  static constexpr VTable kHeapVTable = {
+      [](void* self) { (**static_cast<Fn**>(self))(); },
+      [](void* src, void* dst) {
+        ::new (dst) Fn*(*static_cast<Fn**>(src));
+      },
+      [](void* self) { delete *static_cast<Fn**>(self); },
+  };
+
+  void reset() {
+    if (vt_ != nullptr) {
+      vt_->destroy(buf_);
+      vt_ = nullptr;
+    }
+  }
+
+  alignas(std::max_align_t) unsigned char buf_[kInlineBytes];
+  const VTable* vt_ = nullptr;
+};
+
+/// FIFO ring of Tasks with power-of-two capacity that grows on demand
+/// and never shrinks: after warm-up, push/pop are pointer bumps.
+class TaskRing {
+ public:
+  bool empty() const { return head_ == tail_; }
+  std::size_t size() const { return tail_ - head_; }
+  std::size_t capacity() const { return buf_.size(); }
+
+  void push(Task t) {
+    if (size() == buf_.size()) grow();
+    buf_[tail_ & mask_] = std::move(t);
+    ++tail_;
+  }
+
+  Task pop() {
+    Task t = std::move(buf_[head_ & mask_]);
+    ++head_;
+    return t;
+  }
+
+  void clear() {
+    while (!empty()) pop();
+  }
+
+ private:
+  void grow() {
+    const std::size_t n = size();
+    const std::size_t cap = buf_.empty() ? 16 : buf_.size() * 2;
+    std::vector<Task> next(cap);
+    for (std::size_t i = 0; i < n; ++i) {
+      next[i] = std::move(buf_[(head_ + i) & mask_]);
+    }
+    buf_ = std::move(next);
+    mask_ = cap - 1;
+    head_ = 0;
+    tail_ = n;
+  }
+
+  std::vector<Task> buf_;
+  std::size_t mask_ = 0;
+  std::size_t head_ = 0;
+  std::size_t tail_ = 0;
+};
+
+}  // namespace wrs

@@ -10,7 +10,12 @@ namespace wrs {
 using Clock = std::chrono::steady_clock;
 
 ThreadEnv::ThreadEnv(std::shared_ptr<LatencyModel> latency, std::uint64_t seed)
-    : latency_(std::move(latency)), epoch_(Clock::now()), rng_(seed) {}
+    : latency_(std::move(latency)), epoch_(Clock::now()), rng_(seed) {
+  // Publish an empty routing table so send() never sees null.
+  auto empty = std::make_unique<Routing>();
+  routing_.store(empty.get(), std::memory_order_release);
+  routing_history_.push_back(std::move(empty));
+}
 
 ThreadEnv::~ThreadEnv() { stop(); }
 
@@ -18,6 +23,19 @@ TimeNs ThreadEnv::now() const {
   return std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
                                                               epoch_)
       .count();
+}
+
+void ThreadEnv::publish_routing_locked() {
+  auto next = std::make_unique<Routing>();
+  next->entries.reserve(boxes_.size());
+  for (const auto& [pid, box] : boxes_) {
+    next->entries.emplace_back(pid, box.get());  // std::map: already sorted
+  }
+  routing_.store(next.get(), std::memory_order_release);
+  // Retired tables stay alive until destruction: a sender holding a stale
+  // pointer only ever misses processes registered after its load, which
+  // is indistinguishable from sending a moment earlier.
+  routing_history_.push_back(std::move(next));
 }
 
 void ThreadEnv::register_process(ProcessId pid, Process* process) {
@@ -37,15 +55,12 @@ void ThreadEnv::register_process(ProcessId pid, Process* process) {
   box->process = process;
   Mailbox* live = box.get();
   boxes_[pid] = std::move(box);
+  publish_routing_locked();
   if (started_ && !stopping_) {
     // Mid-run deployment (e.g. a crashed reader restarting as a new
     // process): spawn the worker and deliver on_start immediately.
     live->worker = std::thread([this, live] { worker_loop(live); });
-    {
-      std::lock_guard box_lock(live->mu);
-      live->tasks.push_back([live] { live->process->on_start(); });
-    }
-    live->cv.notify_one();
+    enqueue_task(live, Task([live] { live->process->on_start(); }));
   }
 }
 
@@ -61,11 +76,7 @@ void ThreadEnv::start() {
   for (auto& [pid, box] : boxes_) {
     Mailbox* b = box.get();
     b->worker = std::thread([this, b] { worker_loop(b); });
-    {
-      std::lock_guard box_lock(b->mu);
-      b->tasks.push_back([b] { b->process->on_start(); });
-    }
-    b->cv.notify_one();
+    enqueue_task(b, Task([b] { b->process->on_start(); }));
   }
 }
 
@@ -100,104 +111,104 @@ void ThreadEnv::stop() {
 
 void ThreadEnv::worker_loop(Mailbox* box) {
   for (;;) {
-    std::function<void()> task;
+    Task task;
     {
       std::unique_lock lock(box->mu);
-      box->cv.wait(lock,
-                   [box] { return box->stopped || !box->tasks.empty(); });
+      while (!box->stopped && box->tasks.empty()) {
+        box->waiting = true;
+        box->cv.wait(lock);
+      }
+      box->waiting = false;
       if (box->stopped) return;
-      task = std::move(box->tasks.front());
-      box->tasks.pop_front();
-      if (box->crashed) continue;  // drain silently
+      task = box->tasks.pop();
+      if (box->crashed.load(std::memory_order_relaxed)) continue;  // drain
     }
     task();
   }
 }
 
-void ThreadEnv::enqueue_task(ProcessId pid, std::function<void()> fn) {
-  Mailbox* box = nullptr;
-  {
-    std::lock_guard lock(mu_);
-    auto it = boxes_.find(pid);
-    if (it == boxes_.end()) return;  // unknown target: drop
-    box = it->second.get();
-  }
+void ThreadEnv::enqueue_task(Mailbox* box, Task fn) {
+  bool wake = false;
   {
     std::lock_guard lock(box->mu);
-    if (box->stopped || box->crashed) return;
-    box->tasks.push_back(std::move(fn));
+    if (box->stopped || box->crashed.load(std::memory_order_relaxed)) return;
+    box->tasks.push(std::move(fn));
+    // Notify only when the worker is actually parked on the condvar;
+    // while it is busy draining, the push alone is enough.
+    wake = box->waiting;
   }
-  box->cv.notify_one();
+  if (wake) box->cv.notify_one();
 }
 
 void ThreadEnv::send(ProcessId from, ProcessId to, MsgPtr msg) {
   if (!msg) throw std::invalid_argument("ThreadEnv::send: null message");
-  if (is_crashed(from)) return;
+  const Routing* routes = routing();
+  Mailbox* src = routes->find(from);
+  if (src != nullptr && src->crashed.load(std::memory_order_acquire)) return;
+  ledger_.count_message(*msg, static_cast<std::int64_t>(msg->wire_size()));
+  count_shard_traffic(from, to, *msg);
   TimeNs delay = 0;
   TimeNs dup_delay = -1;  // >= 0 iff the message is duplicated
-  {
-    std::lock_guard lock(mu_);
-    traffic_.inc("msgs");
-    traffic_.inc("bytes", static_cast<std::int64_t>(msg->wire_size()));
-    traffic_.inc("msg." + msg->type_name());
-    count_shard_traffic(from, to, *msg);
+  if (faults_.active() || latency_) {
+    // Only fault decisions and latency samples need the seeded rng; the
+    // default configuration never takes this lock.
+    std::lock_guard lock(rng_mu_);
     if (faults_.active()) {
       LinkFaults::Decision fate = faults_.decide(from, to, rng_);
       if (!fate.deliver) {
-        traffic_.inc("msgs.lost");
+        ledger_.inc(TrafficLedger::kMsgsLost);
         return;
       }
       if (fate.duplicate) {
-        traffic_.inc("msgs.dup");
+        ledger_.inc(TrafficLedger::kMsgsDup);
         dup_delay = latency_ ? latency_->sample(from, to, rng_) : 0;
       }
       // fate.extra_delay (bounded reordering) is sim-only; ignored here.
     }
     if (latency_) delay = latency_->sample(from, to, rng_);
   }
-  auto deliver = [this, from, to, msg] {
-    Mailbox* box = nullptr;
-    {
-      std::lock_guard lock(mu_);
-      auto it = boxes_.find(to);
-      if (it == boxes_.end()) return;
-      box = it->second.get();
-    }
-    // Execute in `to`'s context (we are already on its worker thread when
-    // routed through enqueue_task).
-    box->process->on_message(from, *msg);
-  };
+  Mailbox* box = routes->find(to);
+  if (box == nullptr) return;  // unknown target: drop
+  // The duplicate (rare) pays for its own closure; the common path below
+  // builds exactly one Task and MOVES the MsgPtr into it.
   if (dup_delay >= 0) {
-    auto copy = deliver;
+    Task dup([box, from, msg] { box->process->on_message(from, *msg); });
     if (dup_delay <= 0) {
-      enqueue_task(to, std::move(copy));
+      enqueue_task(box, std::move(dup));
     } else {
       timer_schedule(Clock::now() + std::chrono::nanoseconds(dup_delay), to,
-                     std::move(copy));
+                     std::move(dup));
     }
   }
+  Task deliver([box, from, msg = std::move(msg)] {
+    // Executes in `to`'s context (on its worker thread). The Mailbox
+    // pointer stays valid for the env's lifetime.
+    box->process->on_message(from, *msg);
+  });
   if (delay <= 0) {
-    enqueue_task(to, std::move(deliver));
+    enqueue_task(box, std::move(deliver));
   } else {
     timer_schedule(Clock::now() + std::chrono::nanoseconds(delay), to,
                    std::move(deliver));
   }
 }
 
-void ThreadEnv::schedule(ProcessId pid, TimeNs delay,
-                         std::function<void()> fn) {
+void ThreadEnv::schedule(ProcessId pid, TimeNs delay, Task fn) {
   timer_schedule(Clock::now() + std::chrono::nanoseconds(delay), pid,
                  std::move(fn));
 }
 
-void ThreadEnv::timer_schedule(Clock::time_point at, ProcessId pid,
-                               std::function<void()> fn) {
+void ThreadEnv::timer_schedule(Clock::time_point at, ProcessId pid, Task fn) {
+  bool wake = false;
   {
     std::lock_guard lock(timer_mu_);
     if (timer_stop_) return;
+    // The timer thread only needs a nudge when this deadline preempts
+    // the one it is currently sleeping toward.
+    wake = timers_.empty() || at < timers_.top().at;
     timers_.push(TimerItem{at, timer_seq_++, pid, std::move(fn)});
   }
-  timer_cv_.notify_all();
+  if (wake) timer_cv_.notify_one();
 }
 
 void ThreadEnv::timer_loop() {
@@ -223,39 +234,38 @@ void ThreadEnv::timer_loop() {
       // thread-safe state.
       item.fn();
     } else {
-      enqueue_task(item.pid, std::move(item.fn));
+      // Routed through the target's mailbox; enqueue_task drops the task
+      // if the process crashed while the timer was pending (crash
+      // semantics for in-flight deliveries, pinned by test).
+      Mailbox* box = routing()->find(item.pid);
+      if (box != nullptr) enqueue_task(box, std::move(item.fn));
     }
     lock.lock();
   }
 }
 
 void ThreadEnv::crash(ProcessId pid) {
-  Mailbox* box = nullptr;
-  {
-    std::lock_guard lock(mu_);
-    auto it = boxes_.find(pid);
-    if (it == boxes_.end()) return;
-    box = it->second.get();
-  }
-  {
-    std::lock_guard lock(box->mu);
-    box->crashed = true;
-    box->tasks.clear();
-  }
+  Mailbox* box = routing()->find(pid);
+  if (box == nullptr) return;
+  box->crashed.store(true, std::memory_order_release);
+  std::lock_guard lock(box->mu);
+  box->tasks.clear();
 }
 
 bool ThreadEnv::is_crashed(ProcessId pid) const {
-  std::lock_guard lock(mu_);
-  auto it = boxes_.find(pid);
-  if (it == boxes_.end()) return false;
-  std::lock_guard block(it->second->mu);
-  return it->second->crashed;
+  Mailbox* box = routing()->find(pid);
+  return box != nullptr && box->crashed.load(std::memory_order_acquire);
+}
+
+const Counters& ThreadEnv::traffic() const {
+  traffic_export_ = ledger_.snapshot();
+  return traffic_export_;
 }
 
 std::vector<ProcessId> ThreadEnv::server_ids() const {
-  std::lock_guard lock(mu_);
+  const Routing* routes = routing();
   std::vector<ProcessId> out;
-  for (const auto& [pid, _] : boxes_) {
+  for (const auto& [pid, box] : routes->entries) {
     if (is_server(pid)) out.push_back(pid);
   }
   return out;

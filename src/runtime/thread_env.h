@@ -7,24 +7,50 @@
 // model is configured (to inject WAN-like delays under real concurrency),
 // or enqueued directly when not.
 //
+// The send path is engineered to scale with senders rather than
+// serialize them (this runtime is the system's real-concurrency proof,
+// so its overhead is what EXP-SH3 measures):
+//
+//  * Routing is an immutable pid→Mailbox snapshot published RCU-style:
+//    register_process builds a new table under mu_ and swaps an atomic
+//    pointer; send() does one acquire load and a binary search — no
+//    lock. Retired tables are kept until destruction, so readers never
+//    race reclamation.
+//  * Traffic accounting goes through TrafficLedger (sharded relaxed
+//    atomics, pre-interned type slots) instead of a string-keyed map
+//    under a mutex.
+//  * A small rng_mu_ is taken only when a fault decision or latency
+//    sample actually needs the seeded rng; the common configuration
+//    (no faults, no latency model) takes no lock at all.
+//  * Mailboxes are cache-line-aligned (no false sharing between
+//    neighbors), hold tasks in a grow-only TaskRing of small-buffer
+//    Tasks (steady-state enqueue/deliver does zero heap allocations —
+//    bench/runtime_overhead gates this), and elide the condvar notify
+//    unless the worker is actually waiting.
+//
 // This runtime exists to demonstrate that every protocol in the library
 // is a real concurrent program, not a simulator artifact: the integration
 // tests run the full reassignment + storage stack on it.
 #pragma once
 
+#include <algorithm>
+#include <atomic>
+#include <chrono>
 #include <condition_variable>
-#include <deque>
-#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
 #include <queue>
 #include <thread>
+#include <utility>
 #include <vector>
 
+#include "common/cacheline.h"
 #include "common/rng.h"
 #include "runtime/env.h"
 #include "runtime/latency_model.h"
+#include "runtime/task.h"
+#include "runtime/traffic_ledger.h"
 
 namespace wrs {
 
@@ -41,7 +67,7 @@ class ThreadEnv : public Env {
   // --- Env interface -----------------------------------------------------
   TimeNs now() const override;
   void send(ProcessId from, ProcessId to, MsgPtr msg) override;
-  void schedule(ProcessId pid, TimeNs delay, std::function<void()> fn) override;
+  void schedule(ProcessId pid, TimeNs delay, Task fn) override;
   /// Unlike the pre-chaos runtime, registration is allowed after start():
   /// the new process gets its worker thread and on_start immediately
   /// (mid-run "restart as a new reader" scenarios). Re-registering an id
@@ -49,13 +75,14 @@ class ThreadEnv : public Env {
   void register_process(ProcessId pid, Process* process) override;
   void crash(ProcessId pid) override;
   bool is_crashed(ProcessId pid) const override;
-  /// Only meaningful after stop(): counters are not synchronized for
-  /// concurrent readers while workers run.
-  const Counters& traffic() const override { return traffic_; }
+  /// Only meaningful after stop(): the returned snapshot is materialized
+  /// per call and not synchronized against concurrent traffic() readers.
+  const Counters& traffic() const override;
   std::vector<ProcessId> server_ids() const override;
-  /// Drop/duplicate decisions draw from the env's seeded rng under the
-  /// env lock; the reorder knob is ignored (reordering is the simulator's
-  /// deterministic specialty — real threads reorder for free).
+  /// Drop/duplicate decisions draw from the env's seeded rng under a
+  /// dedicated lock; the reorder knob is ignored (reordering is the
+  /// simulator's deterministic specialty — real threads reorder for
+  /// free).
   LinkFaults& faults() override { return faults_; }
 
   // --- Lifecycle ----------------------------------------------------------
@@ -68,42 +95,73 @@ class ThreadEnv : public Env {
   bool started() const { return started_; }
 
  private:
-  struct Mailbox {
+  // Aligned so adjacent mailboxes (one per process, touched by different
+  // worker threads) never share a cache line.
+  struct alignas(kCacheLineSize) Mailbox {
     std::mutex mu;
     std::condition_variable cv;
-    std::deque<std::function<void()>> tasks;
-    bool stopped = false;
-    bool crashed = false;
+    TaskRing tasks;      // guarded by mu
+    bool stopped = false;   // guarded by mu
+    bool waiting = false;   // guarded by mu; true while worker blocks on cv
+    // Read lock-free on send/is_crashed paths; transitions false→true
+    // exactly once.
+    std::atomic<bool> crashed{false};
     Process* process = nullptr;
     std::thread worker;
+  };
+
+  /// Immutable pid→Mailbox table. register_process publishes a fresh one
+  /// (entries sorted by pid) through routing_; send/is_crashed read it
+  /// with one acquire load. Mailboxes themselves live until destruction,
+  /// so a stale table never dangles.
+  struct Routing {
+    std::vector<std::pair<ProcessId, Mailbox*>> entries;
+
+    Mailbox* find(ProcessId pid) const {
+      auto it = std::lower_bound(
+          entries.begin(), entries.end(), pid,
+          [](const std::pair<ProcessId, Mailbox*>& e, ProcessId p) {
+            return e.first < p;
+          });
+      return (it != entries.end() && it->first == pid) ? it->second : nullptr;
+    }
   };
 
   struct TimerItem {
     std::chrono::steady_clock::time_point at;
     std::uint64_t seq;
     ProcessId pid;
-    std::function<void()> fn;
+    Task fn;
     bool operator>(const TimerItem& o) const {
       return at != o.at ? at > o.at : seq > o.seq;
     }
   };
 
-  void enqueue_task(ProcessId pid, std::function<void()> fn);
+  const Routing* routing() const {
+    return routing_.load(std::memory_order_acquire);
+  }
+  void publish_routing_locked();
+  void enqueue_task(Mailbox* box, Task fn);
   void timer_loop();
   void worker_loop(Mailbox* box);
   void timer_schedule(std::chrono::steady_clock::time_point at, ProcessId pid,
-                      std::function<void()> fn);
+                      Task fn);
 
   std::shared_ptr<LatencyModel> latency_;
   std::chrono::steady_clock::time_point epoch_;
 
-  mutable std::mutex mu_;  // guards maps, rng, traffic, crashed set
+  mutable std::mutex mu_;  // guards registration/lifecycle state
   std::map<ProcessId, std::unique_ptr<Mailbox>> boxes_;
-  LinkFaults faults_;
-  Rng rng_;
-  Counters traffic_;
+  std::atomic<const Routing*> routing_{nullptr};
+  std::vector<std::unique_ptr<Routing>> routing_history_;  // incl. current
   bool started_ = false;
   bool stopping_ = false;
+
+  LinkFaults faults_;
+  std::mutex rng_mu_;  // guards rng_ (fault + latency draws only)
+  Rng rng_;
+  TrafficLedger ledger_;
+  mutable Counters traffic_export_;
 
   // Timer thread state.
   std::mutex timer_mu_;

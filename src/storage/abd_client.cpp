@@ -319,12 +319,20 @@ bool AbdClient::merge_and_maybe_restart(const ChangeSetPtr& incoming) {
 }
 
 bool AbdClient::responders_form_quorum(
-    const std::set<ProcessId>& responders) const {
+    const std::vector<ProcessId>& responders) const {
   // Algorithm 5 is_quorum: responders' total weight under the client's
   // current change set must exceed W_{S,0}/2.
   WeightMap weights = current_weights();
   Weight sum(0);
   for (ProcessId s : responders) sum += weights.of(s);
+  return sum * Weight(2) > initial_total_;
+}
+
+bool AbdClient::responders_form_quorum(
+    const std::vector<std::pair<ProcessId, TaggedValue>>& replies) const {
+  WeightMap weights = current_weights();
+  Weight sum(0);
+  for (const auto& [s, reg] : replies) sum += weights.of(s);
   return sum * Weight(2) > initial_total_;
 }
 
@@ -351,10 +359,15 @@ bool AbdClient::handle(ProcessId from, const Message& msg) {
       return true;  // stale reply (from a restarted phase): consumed
     }
     if (merge_and_maybe_restart(ack->changes())) return true;
-    op.phase1_replies[from] = ack->reg();
-    std::set<ProcessId> responders;
-    for (const auto& [s, _] : op.phase1_replies) responders.insert(s);
-    if (!responders_form_quorum(responders)) return true;
+    auto slot = std::find_if(
+        op.phase1_replies.begin(), op.phase1_replies.end(),
+        [from](const auto& reply) { return reply.first == from; });
+    if (slot == op.phase1_replies.end()) {
+      op.phase1_replies.emplace_back(from, ack->reg());
+    } else {
+      slot->second = ack->reg();  // duplicate reply: last one wins
+    }
+    if (!responders_form_quorum(op.phase1_replies)) return true;
 
     // Phase 1 complete: pick the highest tag.
     TaggedValue maxreg;
@@ -397,7 +410,10 @@ bool AbdClient::handle(ProcessId from, const Message& msg) {
       return true;  // stale reply: consumed
     }
     if (merge_and_maybe_restart(ack->changes())) return true;
-    op.phase2_acks.insert(from);
+    if (std::find(op.phase2_acks.begin(), op.phase2_acks.end(), from) ==
+        op.phase2_acks.end()) {
+      op.phase2_acks.push_back(from);
+    }
     if (!responders_form_quorum(op.phase2_acks)) return true;
     complete(op.id);
     return true;
@@ -411,7 +427,10 @@ bool AbdClient::handle(ProcessId from, const Message& msg) {
       return true;  // stale
     }
     if (merge_and_maybe_restart(ack->changes())) return true;
-    op.keys_acks.insert(from);
+    if (std::find(op.keys_acks.begin(), op.keys_acks.end(), from) ==
+        op.keys_acks.end()) {
+      op.keys_acks.push_back(from);
+    }
     for (const auto& key : ack->keys()) op.keys_acc.insert(key);
     if (!responders_form_quorum(op.keys_acks)) return true;
     complete(op.id);

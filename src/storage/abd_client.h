@@ -52,11 +52,12 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
-#include <map>
 #include <optional>
 #include <set>
+#include <utility>
 #include <vector>
 
+#include "common/flat_map.h"
 #include "core/config.h"
 #include "runtime/env.h"
 #include "storage/abd_messages.h"
@@ -201,15 +202,19 @@ class AbdClient {
     bool started = false;  // false while waiting on the per-key FIFO
     int phase = 1;
     std::uint32_t seq = 0;  // phase-attempt counter echoed in replies
-    std::map<ProcessId, TaggedValue> phase1_replies;
-    std::set<ProcessId> phase2_acks;
+    // Reply accounting is flat vectors, not node-based sets/maps: a
+    // replica group is a handful of servers, so membership checks are a
+    // short linear scan over one cache line and collection never
+    // allocates per reply.
+    std::vector<std::pair<ProcessId, TaggedValue>> phase1_replies;
+    std::vector<ProcessId> phase2_acks;
     TaggedValue to_write;
     bool write_tag_chosen = false;
     ReadCallback rcb;
     WriteCallback wcb;
     KeysCallback kcb;
     TaggedValue read_result;
-    std::set<ProcessId> keys_acks;
+    std::vector<ProcessId> keys_acks;
     std::set<RegisterKey> keys_acc;
     std::uint32_t op_restarts = 0;
     // Migration verbs (kFreeze/kCommit) only.
@@ -236,7 +241,9 @@ class AbdClient {
   void schedule_retry(OpId id, std::uint32_t seq);
   void complete(OpId id);
   bool merge_and_maybe_restart(const ChangeSetPtr& incoming);
-  bool responders_form_quorum(const std::set<ProcessId>& responders) const;
+  bool responders_form_quorum(const std::vector<ProcessId>& responders) const;
+  bool responders_form_quorum(
+      const std::vector<std::pair<ProcessId, TaggedValue>>& replies) const;
   static OpId fresh_op_id();
 
   Env& env_;
@@ -250,10 +257,12 @@ class AbdClient {
   Weight initial_total_;
 
   ChangeSet changes_;
-  /// Concurrent operation state machines, keyed by OpId.
-  std::map<OpId, Op> ops_;
+  /// Concurrent operation state machines, keyed by OpId. FlatMap keeps
+  /// in-flight state contiguous; OpIds are allocated monotonically, so
+  /// inserts land at the back.
+  FlatMap<OpId, Op> ops_;
   /// Issue-order FIFO per key; the front op is the started one.
-  std::map<RegisterKey, std::deque<OpId>> key_fifo_;
+  FlatMap<RegisterKey, std::deque<OpId>> key_fifo_;
   std::size_t started_count_ = 0;
   std::size_t max_started_ = 0;
   std::uint64_t restarts_ = 0;

@@ -45,6 +45,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/flat_map.h"
 #include "runtime/env.h"
 #include "storage/abd_messages.h"
 #include "storage/migration_messages.h"
@@ -366,8 +367,11 @@ class AbdServer {
   ShardId shard_;
   ChangesProvider changes_provider_;
   std::map<RegisterKey, TaggedValue> regs_;
-  std::map<RegisterKey, RouteMark> route_marks_;
-  std::map<RegisterKey, std::vector<Parked>> parked_;
+  /// Checked on EVERY read/write (route_check) but populated only by the
+  /// rare migration verbs: flat and contiguous, so the common probe is a
+  /// binary search over a handful of entries instead of a tree walk.
+  FlatMap<RegisterKey, RouteMark> route_marks_;
+  FlatMap<RegisterKey, std::vector<Parked>> parked_;
   std::uint64_t misrouted_ = 0;
   std::uint64_t batches_served_ = 0;
   std::uint64_t frozen_parked_ = 0;

@@ -2,8 +2,14 @@
 
 #include <gtest/gtest.h>
 
+#include <string_view>
+#include <thread>
+#include <vector>
+
+#include "common/flat_map.h"
 #include "common/rng.h"
 #include "common/types.h"
+#include "runtime/traffic_ledger.h"
 
 namespace wrs {
 namespace {
@@ -73,6 +79,103 @@ TEST(Counters, IncGetMerge) {
   a.merge(b);
   EXPECT_EQ(a.get("x"), 13);
   EXPECT_EQ(a.get("y"), 5);
+}
+
+TEST(Counters, HeterogeneousLookupByStringView) {
+  // inc/get take string_view so hot paths can count without building a
+  // std::string per call; the transparent comparator makes the lookup
+  // allocation-free too.
+  Counters c;
+  std::string_view key = "msgs.batched";
+  c.inc(key, 4);
+  c.inc(key);
+  EXPECT_EQ(c.get(key), 5);
+  EXPECT_EQ(c.get("msgs.batched"), 5);
+  EXPECT_EQ(c.map().count("msgs.batched"), 1u);
+}
+
+struct LedgerPing : MessageBase<LedgerPing> {
+  std::string type_name() const override { return "LPING"; }
+  std::size_t wire_size() const override { return kHeaderBytes; }
+};
+
+TEST(TrafficLedger, SnapshotUsesLegacyKeyNames) {
+  TrafficLedger ledger;
+  LedgerPing ping;
+  ledger.count_message(ping, 16);
+  ledger.count_message(ping, 16);
+  ledger.inc(TrafficLedger::kMsgsLost);
+  ledger.inc(TrafficLedger::kBytesIn, 128);
+  Counters snap = ledger.snapshot();
+  EXPECT_EQ(snap.get("msgs"), 2);
+  EXPECT_EQ(snap.get("bytes"), 32);
+  EXPECT_EQ(snap.get("msg.LPING"), 2);
+  EXPECT_EQ(snap.get("msgs.lost"), 1);
+  EXPECT_EQ(snap.get("bytes.in"), 128);
+  EXPECT_EQ(snap.get("msgs.dup"), 0);          // zero slots are omitted
+  EXPECT_EQ(snap.map().count("msgs.dup"), 0u);
+  EXPECT_EQ(ledger.get(TrafficLedger::kMsgs), 2);
+}
+
+TEST(TrafficLedger, ConcurrentIncrementsSumExactly) {
+  // The sharded relaxed-atomic banks must not lose counts: N threads
+  // doing K increments each always sum to N*K in the snapshot.
+  TrafficLedger ledger;
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 20'000;
+  LedgerPing ping;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < kPerThread; ++i) ledger.count_message(ping, 16);
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(ledger.get(TrafficLedger::kMsgs), kThreads * kPerThread);
+  Counters snap = ledger.snapshot();
+  EXPECT_EQ(snap.get("msgs"), kThreads * kPerThread);
+  EXPECT_EQ(snap.get("msg.LPING"), kThreads * kPerThread);
+  EXPECT_EQ(snap.get("bytes"), 16 * kThreads * kPerThread);
+}
+
+TEST(FlatMap, BasicMapSemantics) {
+  FlatMap<int, std::string> m;
+  EXPECT_TRUE(m.empty());
+  m[3] = "three";
+  m[1] = "one";
+  m[2] = "two";
+  EXPECT_EQ(m.size(), 3u);
+  EXPECT_EQ(m.at(2), "two");
+  EXPECT_EQ(m.count(1), 1u);
+  EXPECT_EQ(m.count(9), 0u);
+  EXPECT_EQ(m.find(9), m.end());
+  // Iteration is in key order, like std::map — determinism depends on it.
+  std::vector<int> keys;
+  for (const auto& [k, v] : m) keys.push_back(k);
+  EXPECT_EQ(keys, (std::vector<int>{1, 2, 3}));
+  m[2] = "TWO";  // operator[] on an existing key updates in place
+  EXPECT_EQ(m.at(2), "TWO");
+  EXPECT_EQ(m.size(), 3u);
+}
+
+TEST(FlatMap, EmplaceAndErase) {
+  FlatMap<int, int> m;
+  auto [it1, inserted1] = m.emplace(5, 50);
+  EXPECT_TRUE(inserted1);
+  EXPECT_EQ(it1->second, 50);
+  auto [it2, inserted2] = m.emplace(5, 99);
+  EXPECT_FALSE(inserted2);  // no overwrite, like std::map
+  EXPECT_EQ(it2->second, 50);
+  m.emplace(1, 10);
+  m.emplace(9, 90);
+  EXPECT_EQ(m.erase(5), 1u);
+  EXPECT_EQ(m.erase(5), 0u);
+  auto it = m.find(1);
+  ASSERT_NE(it, m.end());
+  it = m.erase(it);  // iterator erase returns the successor
+  ASSERT_NE(it, m.end());
+  EXPECT_EQ(it->first, 9);
+  EXPECT_EQ(m.size(), 1u);
 }
 
 TEST(Table, FormatsAlignedRows) {

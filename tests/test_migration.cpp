@@ -16,12 +16,16 @@
 //   * the whole path over Transport::kSocket (real loopback TCP).
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <memory>
+#include <optional>
 #include <set>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "api/cluster.h"
+#include "runtime/sync.h"
 #include "storage/history.h"
 #include "testing/nemesis.h"
 
@@ -110,10 +114,35 @@ void expect_migrate_moves_data(Runtime rt) {
   }
   EXPECT_GE(holders, 2u);  // a quorum of the 3-server group
 
-  // Every source server committed its mark (fault-free: the commit
-  // broadcast reached the whole group) — fence down, owner recorded.
+  // Every source server eventually commits its mark (fault-free: the
+  // commit broadcast reaches the whole group) — fence down, owner
+  // recorded. migrate_key() completes on a QUORUM of commit acks, so on
+  // the thread runtime the slowest server's mark can trail the future:
+  // probe it ON THAT SERVER'S OWN WORKER (serialized with the pending
+  // MigCommit apply) and poll for the settled state. On the simulator
+  // the future pumps to quiescence, so a direct read is already settled.
   for (ProcessId s : c.shard_servers(src)) {
-    auto mark = c.storage_node(s).server().route_mark(key);
+    std::optional<AbdServer::RouteMark> mark;
+    if (rt == Runtime::kSim) {
+      mark = c.storage_node(s).server().route_mark(key);
+    } else {
+      auto probe = [&] {
+        // shared_ptr: the worker's set() may still be inside notify_all
+        // when wait_for returns, so the task must co-own the Waiter.
+        auto w =
+            std::make_shared<Waiter<std::optional<AbdServer::RouteMark>>>();
+        c.env().schedule(s, 0, [&, w] {
+          w->set(c.storage_node(s).server().route_mark(key));
+        });
+        return w->wait_for(seconds(5)).value_or(std::nullopt);
+      };
+      mark = probe();
+      for (int spin = 0; spin < 2000 && !(mark && mark->committed);
+           ++spin) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        mark = probe();
+      }
+    }
     ASSERT_TRUE(mark.has_value()) << process_name(s);
     EXPECT_EQ(mark->owner, dst);
     EXPECT_TRUE(mark->committed);

@@ -5,6 +5,7 @@
 #include <atomic>
 #include <chrono>
 #include <thread>
+#include <vector>
 
 #include "runtime/sync.h"
 
@@ -164,6 +165,73 @@ TEST(ThreadEnv, StopIsIdempotentAndDestructorSafe) {
   env->stop();
   env.reset();  // destructor after stop: no crash
   SUCCEED();
+}
+
+TEST(ThreadEnv, CrashDropsInFlightDelayedDelivery) {
+  // Pins crash semantics across the lock-free send refactor: a message
+  // parked in the timer queue when the target crashes must be dropped at
+  // fire time (the crash check happens at enqueue, not only at send).
+  ThreadEnv env(std::make_shared<ConstantLatency>(ms(80)), 1);
+  CountingProcess a;
+  CountingProcess b;
+  env.register_process(0, &a);
+  env.register_process(1, &b);
+  env.start();
+  env.send(0, 1, std::make_shared<NoteMsg>(1));  // in flight for 80ms
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  env.crash(1);
+  std::this_thread::sleep_for(std::chrono::milliseconds(150));
+  env.stop();
+  EXPECT_EQ(b.count.load(), 0);
+  EXPECT_TRUE(env.is_crashed(1));
+  EXPECT_EQ(env.traffic().get("msgs"), 1);  // counted at send time
+}
+
+TEST(ThreadEnv, ScheduleToCrashedProcessDropped) {
+  ThreadEnv env;
+  CountingProcess a;
+  env.register_process(0, &a);
+  env.start();
+  std::atomic<bool> fired{false};
+  env.schedule(0, ms(30), [&] { fired.store(true); });
+  env.crash(0);
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  env.stop();
+  EXPECT_FALSE(fired.load());
+}
+
+TEST(ThreadEnv, ConcurrentSendersCountExactly) {
+  // The sharded ledger must not lose increments under contention: the
+  // final "msgs" count has to equal the number of send() calls made.
+  ThreadEnv env;
+  CountingProcess target;
+  CountingProcess s1;
+  CountingProcess s2;
+  CountingProcess s3;
+  env.register_process(0, &target);
+  env.register_process(1, &s1);
+  env.register_process(2, &s2);
+  env.register_process(3, &s3);
+  env.start();
+  constexpr int kPerSender = 400;
+  std::vector<std::thread> threads;
+  for (ProcessId from : {ProcessId{1}, ProcessId{2}, ProcessId{3}}) {
+    threads.emplace_back([&, from] {
+      for (int i = 0; i < kPerSender; ++i) {
+        env.send(from, 0, std::make_shared<NoteMsg>(1));
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  for (int spin = 0; spin < 5000 && target.count.load() < 3 * kPerSender;
+       ++spin) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  env.stop();
+  EXPECT_EQ(target.count.load(), 3 * kPerSender);
+  EXPECT_FALSE(target.overlap.load());
+  EXPECT_EQ(env.traffic().get("msgs"), 3 * kPerSender);
+  EXPECT_EQ(env.traffic().get("msg.NOTE"), 3 * kPerSender);
 }
 
 TEST(ThreadEnv, TrafficCountersAfterStop) {
