@@ -104,6 +104,16 @@ class JsonReport {
     return *this;
   }
 
+  /// Value of a numeric field on the most recently opened row (0 when
+  /// absent) — lets a sweep echo a row field into its console table.
+  double last_field(const std::string& name) const {
+    if (rows_.empty()) return 0;
+    for (const auto& [n, v] : rows_.back()) {
+      if (n == name) return std::strtod(v.c_str(), nullptr);
+    }
+    return 0;
+  }
+
   /// Appends this experiment's object to `path` (one JSON object per
   /// line, so several experiments in one binary can share a file).
   /// Returns false — and says so — when the file cannot be written, so

@@ -10,13 +10,22 @@
 //   threads/mpsc4  four sender threads -> one mailbox (contended: what
 //                  the old global-mutex send path serialized)
 //   sim/spsc       the discrete-event simulator as the reference point
+//   socket/spsc    SocketEnv with loopback_self: every message is arena-
+//                  encoded, crosses the kernel over TCP loopback, and is
+//                  pool-decoded — the full real-transport path
+//   pool/churn     make_msg<T> construct+destroy round trips (the slab
+//                  pool's thread-local cache in isolation)
+//   mpsc/push4     four producers pushing inline Tasks through one
+//                  MpscRing while the consumer drains (the raw mailbox)
 //
-// The interesting gate is allocs_per_msg == 0 on the thread runtime in
-// steady state: routing is a lock-free snapshot, traffic counters are
-// pre-interned ledger slots, the delivery closure fits in Task's inline
-// buffer, and the mailbox ring never shrinks — so after warm-up, no
-// message touches the allocator. CI enforces that plus an ns/msg
-// regression bound against the committed baseline.
+// The interesting gate is allocs_per_msg == 0 on the thread AND socket
+// runtimes in steady state: routing is a lock-free snapshot, traffic
+// counters are pre-interned ledger slots, the delivery closure fits in
+// Task's inline buffer, the mailbox ring never shrinks, messages come
+// from the slab pool, and the wire path encodes into recycled arena
+// chunks — so after warm-up, no message touches the allocator. CI
+// enforces that plus an ns/msg regression bound against the committed
+// baseline (and --gate-spsc-ns bounds threads/spsc absolutely).
 //
 // Senders pace themselves (bounded backlog, wait for the sink to catch
 // up) so queues plateau during warm-up and the measured window exercises
@@ -31,8 +40,13 @@
 #include <vector>
 
 #include "bench_util.h"
+#include "monitor/adaptive_node.h"
+#include "net/socket_addr.h"
 #include "runtime/latency_model.h"
+#include "runtime/mpsc_queue.h"
+#include "runtime/msg_pool.h"
 #include "runtime/sim_env.h"
+#include "runtime/socket_env.h"
 #include "runtime/thread_env.h"
 
 namespace {
@@ -246,11 +260,153 @@ Measurement run_sim(std::uint64_t msgs) {
   return m;
 }
 
+/// SocketEnv loopback: sends are arena-encoded, cross the kernel over a
+/// real TCP connection to our own listener, and are pool-decoded on the
+/// loop thread. Same pacing as run_threads; the gate is that the whole
+/// wire round trip — encode, enqueue, sendmsg, recv, decode, deliver —
+/// stays allocation-free once the arena chunk pool and slab pool are
+/// warm.
+Measurement run_socket(std::uint64_t msgs) {
+  SocketEnv::Options opts;
+  opts.listen = net::SocketAddr::parse("tcp:127.0.0.1:0");
+  opts.loopback_self = true;
+  SocketEnv env(opts);
+  Sink sink;
+  env.register_process(kServer, &sink);
+  env.start();
+
+  const ProcessId self = client_id(0);
+  // PingMsg instead of the bench-local Ping: the wire codec only knows
+  // protocol types. One pooled message reused for every send.
+  MsgPtr msg = make_msg<PingMsg>(0);
+
+  auto pump = [&](std::uint64_t sent_before, std::uint64_t n) {
+    std::uint64_t sent = sent_before;
+    for (std::uint64_t i = 0; i < n; ++i) {
+      while (sent - sink.delivered.load(std::memory_order_relaxed) >=
+             kMaxBacklog) {
+        std::this_thread::yield();
+      }
+      env.send(self, kServer, msg);
+      ++sent;
+    }
+    while (sink.delivered.load(std::memory_order_acquire) < sent) {
+      std::this_thread::yield();
+    }
+  };
+
+  pump(0, kWarmupMsgs);
+
+  g_allocs.store(0, std::memory_order_relaxed);
+  g_count_allocs.store(true, std::memory_order_release);
+  auto t0 = std::chrono::steady_clock::now();
+  pump(kWarmupMsgs, msgs);
+  auto t1 = std::chrono::steady_clock::now();
+  g_count_allocs.store(false, std::memory_order_release);
+
+  env.stop();
+
+  Measurement m;
+  m.msgs = msgs;
+  m.wall_ms = std::chrono::duration<double, std::milli>(t1 - t0).count();
+  m.ns_per_msg = std::chrono::duration<double, std::nano>(t1 - t0).count() /
+                 static_cast<double>(msgs);
+  m.allocs_per_msg =
+      static_cast<double>(g_allocs.load()) / static_cast<double>(msgs);
+  return m;
+}
+
+/// Slab-pool churn: make_msg construct + destroy round trips on one
+/// thread. After warm-up every block comes from (and returns to) the
+/// thread-local cache — no lock, no atomics, no allocator.
+Measurement run_pool(std::uint64_t ops) {
+  for (std::uint64_t i = 0; i < kWarmupMsgs; ++i) {
+    MsgPtr m = make_msg<PingMsg>(static_cast<TimeNs>(i));
+    (void)m;
+  }
+
+  g_allocs.store(0, std::memory_order_relaxed);
+  g_count_allocs.store(true, std::memory_order_release);
+  auto t0 = std::chrono::steady_clock::now();
+  for (std::uint64_t i = 0; i < ops; ++i) {
+    MsgPtr m = make_msg<PingMsg>(static_cast<TimeNs>(i));
+    (void)m;
+  }
+  auto t1 = std::chrono::steady_clock::now();
+  g_count_allocs.store(false, std::memory_order_release);
+
+  Measurement m;
+  m.msgs = ops;
+  m.wall_ms = std::chrono::duration<double, std::milli>(t1 - t0).count();
+  m.ns_per_msg = std::chrono::duration<double, std::nano>(t1 - t0).count() /
+                 static_cast<double>(ops);
+  m.allocs_per_msg =
+      static_cast<double>(g_allocs.load()) / static_cast<double>(ops);
+  return m;
+}
+
+/// Raw mailbox ring: `producers` threads push inline no-op Tasks through
+/// one MpscRing while the consumer drains. try_push spins on full (the
+/// ThreadEnv overflow path is measured end-to-end by threads/mpsc4; this
+/// row isolates the ring itself).
+Measurement run_mpsc(unsigned producers, std::uint64_t ops) {
+  MpscRing<Task> ring(1024);
+  const std::uint64_t quota = ops / producers;
+  const std::uint64_t total = quota * producers;
+  std::atomic<int> phase{0};
+
+  std::vector<std::thread> pumps;
+  pumps.reserve(producers);
+  for (unsigned p = 0; p < producers; ++p) {
+    pumps.emplace_back([&] {
+      while (phase.load(std::memory_order_acquire) < 1) {
+        std::this_thread::yield();
+      }
+      for (std::uint64_t i = 0; i < quota; ++i) {
+        Task t([] {});
+        while (!ring.try_push(std::move(t))) {
+          std::this_thread::yield();
+        }
+      }
+    });
+  }
+
+  g_allocs.store(0, std::memory_order_relaxed);
+  g_count_allocs.store(true, std::memory_order_release);
+  auto t0 = std::chrono::steady_clock::now();
+  phase.store(1, std::memory_order_release);
+  std::uint64_t popped = 0;
+  Task t;
+  while (popped < total) {
+    if (ring.try_pop(t)) {
+      ++popped;
+    } else {
+      std::this_thread::yield();
+    }
+  }
+  auto t1 = std::chrono::steady_clock::now();
+  g_count_allocs.store(false, std::memory_order_release);
+
+  for (std::thread& th : pumps) th.join();
+
+  Measurement m;
+  m.msgs = total;
+  m.wall_ms = std::chrono::duration<double, std::milli>(t1 - t0).count();
+  m.ns_per_msg = std::chrono::duration<double, std::nano>(t1 - t0).count() /
+                 static_cast<double>(total);
+  m.allocs_per_msg =
+      static_cast<double>(g_allocs.load()) / static_cast<double>(total);
+  return m;
+}
+
 int run(int argc, char** argv) {
   std::uint64_t msgs = 200'000;
+  double gate_spsc_ns = 0;  // 0 = no absolute bound
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--msgs") == 0 && i + 1 < argc) {
       msgs = std::strtoull(argv[++i], nullptr, 10);
+    } else if (std::strcmp(argv[i], "--gate-spsc-ns") == 0 && i + 1 < argc) {
+      gate_spsc_ns = std::strtod(argv[++i], nullptr);
     }
   }
 
@@ -268,6 +424,11 @@ int run(int argc, char** argv) {
   rows.push_back({"threads", "spsc", run_threads(1, msgs)});
   rows.push_back({"threads", "mpsc4", run_threads(4, msgs)});
   rows.push_back({"sim", "spsc", run_sim(msgs)});
+#ifdef __linux__
+  rows.push_back({"socket", "spsc", run_socket(msgs)});
+#endif
+  rows.push_back({"pool", "churn", run_pool(msgs)});
+  rows.push_back({"mpsc", "push4", run_mpsc(4, msgs)});
 
   Table table({"runtime", "mode", "msgs", "ns/msg", "allocs/msg", "wall ms"});
   for (const NamedRow& r : rows) {
@@ -294,13 +455,22 @@ int run(int argc, char** argv) {
     if (!report.write(path)) return 1;
   }
 
-  // Self-check (CI re-gates from the JSON): the thread runtime must be
-  // allocation-free per message in steady state.
+  // Self-check (CI re-gates from the JSON): the thread runtime, socket
+  // runtime, message pool, and raw mailbox must all be allocation-free
+  // per message in steady state; --gate-spsc-ns bounds threads/spsc
+  // absolutely against the committed baseline.
   bool ok = true;
   for (const NamedRow& r : rows) {
-    if (std::string(r.runtime) == "threads" && r.m.allocs_per_msg != 0.0) {
+    const std::string rt = r.runtime;
+    if (rt != "sim" && r.m.allocs_per_msg != 0.0) {
       std::cerr << "[gate] FAIL: " << r.runtime << "/" << r.mode << " made "
                 << r.m.allocs_per_msg << " allocs/msg (want 0)\n";
+      ok = false;
+    }
+    if (gate_spsc_ns > 0 && rt == "threads" &&
+        std::string(r.mode) == "spsc" && r.m.ns_per_msg > gate_spsc_ns) {
+      std::cerr << "[gate] FAIL: threads/spsc " << r.m.ns_per_msg
+                << " ns/msg exceeds bound " << gate_spsc_ns << "\n";
       ok = false;
     }
   }

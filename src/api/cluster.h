@@ -289,6 +289,15 @@ class ClusterBuilder {
   /// (including each storage node's internal refresh client). Off by
   /// default; REQUIRED for liveness when the fault plane loses messages.
   ClusterBuilder& retry(TimeNs interval) { retry_ = interval; return *this; }
+  /// One-round read fast path on every deployed client: when the phase-1
+  /// read quorum unanimously reports the maximum tag, the write-back
+  /// round is provably redundant and is skipped (counted under
+  /// "reads.fast_path"). Off by default so the classical two-round
+  /// message pattern stays byte-for-byte for pinned traffic tests.
+  ClusterBuilder& read_fast_path(bool on = true) {
+    read_fast_path_ = on;
+    return *this;
+  }
   /// Periodic server anti-entropy (<SYNC> change-set broadcast). Off by
   /// default; makes reassignment state converge under message loss.
   ClusterBuilder& anti_entropy(TimeNs period) {
@@ -372,6 +381,7 @@ class ClusterBuilder {
   std::shared_ptr<HistoryRecorder> history_;
   std::vector<std::pair<ProcessId, ProcessFactory>> extras_;
   TimeNs retry_ = 0;
+  bool read_fast_path_ = false;
   TimeNs anti_entropy_ = 0;
   std::size_t batch_ops_ = 1;  // <= 1: unbatched wire protocol
   TimeNs batch_delay_ = 0;
@@ -622,6 +632,7 @@ class Cluster {
   AbdClient::Mode mode_ = AbdClient::Mode::kDynamic;
   std::shared_ptr<HistoryRecorder> history_;
   TimeNs retry_ = 0;
+  bool read_fast_path_ = false;
   std::size_t batch_ops_ = 1;
   TimeNs batch_delay_ = 0;
 

@@ -1,6 +1,7 @@
 #include "baselines/asset_transfer.h"
 
 #include <stdexcept>
+#include "runtime/msg_pool.h"
 
 namespace wrs {
 
@@ -59,7 +60,7 @@ void AssetTransferNode::transfer(ProcessId dst, const Weight& amount,
   p.serial = serial;
   p.cb = std::move(cb);
   pending_ = std::move(p);
-  rb_.broadcast(std::make_shared<AssetMsg>(rec));
+  rb_.broadcast(make_msg<AssetMsg>(rec));
 }
 
 void AssetTransferNode::apply(const AssetTransferRecord& rec) {
@@ -68,7 +69,7 @@ void AssetTransferNode::apply(const AssetTransferRecord& rec) {
   balances_[rec.src] -= rec.amount;
   balances_[rec.dst] += rec.amount;
   if (rec.src != self_) {
-    env_.send(self_, rec.src, std::make_shared<AssetAck>(rec.src,
+    env_.send(self_, rec.src, make_msg<AssetAck>(rec.src,
                                                          rec.serial));
   }
 }

@@ -1,6 +1,7 @@
 #include "baselines/epoch_reassign.h"
 
 #include <algorithm>
+#include "runtime/msg_pool.h"
 
 namespace wrs {
 
@@ -34,7 +35,7 @@ void EpochReassignNode::request_transfer(ProcessId dst, const Weight& delta) {
   req.dst = dst;
   req.delta = delta;
   req.issued_at = env_.now();
-  rb_.broadcast(std::make_shared<EpochReqMsg>(req));
+  rb_.broadcast(make_msg<EpochReqMsg>(req));
 }
 
 void EpochReassignNode::on_epoch_boundary() {

@@ -21,6 +21,7 @@
 #include <utility>
 
 #include "runtime/env.h"
+#include "runtime/msg_pool.h"
 
 namespace wrs {
 
@@ -66,7 +67,7 @@ class ReliableBroadcast {
 
   /// R-broadcasts `payload` to the group (including self).
   void broadcast(MsgPtr payload) {
-    send_all(std::make_shared<RbMsg>(self_, next_seq_++, std::move(payload)));
+    send_all(make_msg<RbMsg>(self_, next_seq_++, std::move(payload)));
   }
 
   /// Returns true iff `msg` was an RbMsg and has been consumed.
@@ -78,7 +79,7 @@ class ReliableBroadcast {
     // Forward before delivering so Agreement holds even if the local
     // deliver callback crashes this process.
     if (rb->origin() != self_) {
-      send_all(std::make_shared<RbMsg>(rb->origin(), rb->seq(),
+      send_all(make_msg<RbMsg>(rb->origin(), rb->seq(),
                                        rb->payload()));
     }
     deliver_(rb->origin(), *rb->payload());

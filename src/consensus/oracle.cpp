@@ -3,6 +3,7 @@
 #include <memory>
 
 #include "quorum/wmqs.h"
+#include "runtime/msg_pool.h"
 
 namespace wrs {
 
@@ -32,7 +33,7 @@ void OracleReassignService::on_message(ProcessId from, const Message& msg) {
       c.delta = Weight(0);
       changes_.add(c);
     }
-    env_.send(kOracleId, from, std::make_shared<OracleComplete>(c));
+    env_.send(kOracleId, from, make_msg<OracleComplete>(c));
     return;
   }
 
@@ -44,20 +45,20 @@ void OracleReassignService::on_message(ProcessId from, const Message& msg) {
       changes_.add(neg);
       changes_.add(pos);
       ++effective_;
-      env_.send(kOracleId, from, std::make_shared<OracleComplete>(neg));
+      env_.send(kOracleId, from, make_msg<OracleComplete>(neg));
     } else {
       Change null_neg(from, req->counter(), req->src(), Weight(0));
       Change null_pos(from, req->counter(), req->dst(), Weight(0));
       changes_.add(null_neg);
       changes_.add(null_pos);
-      env_.send(kOracleId, from, std::make_shared<OracleComplete>(null_neg));
+      env_.send(kOracleId, from, make_msg<OracleComplete>(null_neg));
     }
     return;
   }
 
   if (const auto* req = msg_cast<OracleReadReq>(msg)) {
     env_.send(kOracleId, from,
-              std::make_shared<OracleReadAck>(
+              make_msg<OracleReadAck>(
                   req->op_id(), changes_.subset_for(req->target())));
     return;
   }

@@ -4,6 +4,7 @@
 
 #include "common/logging.h"
 #include "consensus/paxos_messages.h"
+#include "runtime/msg_pool.h"
 
 namespace wrs {
 
@@ -43,7 +44,7 @@ void PaxosNode::start_round(InstanceId instance) {
   p.best_value.clear();
   p.accept_phase = false;
   env_.broadcast_to_servers(self_,
-                            std::make_shared<PaxPrepare>(instance, p.ballot));
+                            make_msg<PaxPrepare>(instance, p.ballot));
   retry_later(instance);
 }
 
@@ -78,7 +79,7 @@ bool PaxosNode::handle(ProcessId from, const Message& msg) {
     bool ok = prep->ballot() > a.promised;
     if (ok) a.promised = prep->ballot();
     env_.send(self_, from,
-              std::make_shared<PaxPromise>(prep->instance(), prep->ballot(),
+              make_msg<PaxPromise>(prep->instance(), prep->ballot(),
                                            ok, a.accepted_ballot,
                                            a.accepted_value));
     return true;
@@ -104,7 +105,7 @@ bool PaxosNode::handle(ProcessId from, const Message& msg) {
       const PaxosValue& v =
           p.best_accepted.has_value() ? p.best_value : p.my_value;
       env_.broadcast_to_servers(
-          self_, std::make_shared<PaxAccept>(prom->instance(), p.ballot, v));
+          self_, make_msg<PaxAccept>(prom->instance(), p.ballot, v));
     }
     return true;
   }
@@ -118,7 +119,7 @@ bool PaxosNode::handle(ProcessId from, const Message& msg) {
       a.accepted_value = acc->value();
     }
     env_.send(self_, from,
-              std::make_shared<PaxAccepted>(acc->instance(), acc->ballot(),
+              make_msg<PaxAccepted>(acc->instance(), acc->ballot(),
                                             ok));
     return true;
   }
@@ -136,7 +137,7 @@ bool PaxosNode::handle(ProcessId from, const Message& msg) {
       // Decided: tell everyone (including self via loopback).
       PaxosValue v = p.best_accepted.has_value() ? p.best_value : p.my_value;
       env_.broadcast_to_servers(
-          self_, std::make_shared<PaxLearn>(acd->instance(), v));
+          self_, make_msg<PaxLearn>(acd->instance(), v));
     }
     return true;
   }

@@ -1,6 +1,7 @@
 #include "consensus/reduction.h"
 
 #include "common/logging.h"
+#include "runtime/msg_pool.h"
 
 namespace wrs {
 
@@ -64,7 +65,7 @@ void ReductionServerBase::poll_round() {
   for (ProcessId target : poll_targets()) {
     std::uint64_t op = next_op_id_++;
     outstanding_reads_.insert(op);
-    env_.send(self_, kOracleId, std::make_shared<OracleReadReq>(op, target));
+    env_.send(self_, kOracleId, make_msg<OracleReadReq>(op, target));
   }
 }
 
@@ -86,7 +87,7 @@ bool Alg1Server::issue_request() {
   // Lines 2-5: s_i ∈ F asks +1/2; s_i ∈ S∖F asks -1/2.
   Weight delta = self_ < config_.f ? Weight(1, 2) : Weight(-1, 2);
   env_.send(self_, kOracleId,
-            std::make_shared<OracleReassignReq>(lc_++, self_, delta));
+            make_msg<OracleReassignReq>(lc_++, self_, delta));
   return true;
 }
 
@@ -115,12 +116,12 @@ bool Alg2Server::issue_request() {
     if (config_.f < 2) return false;
     ProcessId dst = (self_ + 1) % config_.f;
     env_.send(self_, kOracleId,
-              std::make_shared<OracleTransferReq>(lc_++, self_, dst,
+              make_msg<OracleTransferReq>(lc_++, self_, dst,
                                                   Weight(1, 10)));
   } else {
     // Line 6: transfer(s_i, s_0, 0.4).
     env_.send(self_, kOracleId,
-              std::make_shared<OracleTransferReq>(lc_++, self_, ProcessId{0},
+              make_msg<OracleTransferReq>(lc_++, self_, ProcessId{0},
                                                   Weight(2, 5)));
   }
   return true;

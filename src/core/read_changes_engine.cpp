@@ -1,4 +1,5 @@
 #include "core/read_changes_engine.h"
+#include "runtime/msg_pool.h"
 
 namespace wrs {
 
@@ -8,7 +9,7 @@ void ReadChangesEngine::start(ProcessId target, Callback cb) {
   p.target = target;
   p.cb = std::move(cb);
   env_.broadcast_to_group(
-      self_, servers_, std::make_shared<RcReq>(op_id, target, config_.shard));
+      self_, servers_, make_msg<RcReq>(op_id, target, config_.shard));
 }
 
 bool ReadChangesEngine::handle(ProcessId from, const Message& msg) {
@@ -41,7 +42,7 @@ void ReadChangesEngine::maybe_finish_phase1(std::uint64_t op_id, Pending& p) {
   if (p.phase1_acks.size() < config_.f + 1) return;
   p.phase = 2;
   env_.broadcast_to_group(
-      self_, servers_, std::make_shared<WcReq>(op_id, p.acc, config_.shard));
+      self_, servers_, make_msg<WcReq>(op_id, p.acc, config_.shard));
 }
 
 }  // namespace wrs

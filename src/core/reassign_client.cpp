@@ -1,13 +1,14 @@
 #include "core/reassign_client.h"
 
 #include <memory>
+#include "runtime/msg_pool.h"
 
 namespace wrs {
 
 void ReassignClient::read_all_weights(
     const SystemConfig& config, std::function<void(const WeightMap&)> cb) {
   auto servers = config.servers();
-  auto acc = std::make_shared<ChangeSet>();
+  auto acc = make_pooled<ChangeSet>();
   auto remaining = std::make_shared<std::size_t>(servers.size());
   auto done = std::make_shared<std::function<void(const WeightMap&)>>(
       std::move(cb));

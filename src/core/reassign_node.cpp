@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "common/logging.h"
+#include "runtime/msg_pool.h"
 
 namespace wrs {
 
@@ -67,7 +68,7 @@ void ReassignNode::transfer(ProcessId to, const Weight& delta,
     p.neg = neg;
     p.cb = std::move(cb);
     pending_transfer_ = std::move(p);
-    rb_.broadcast(std::make_shared<TransferMsg>(neg, pos, config_.shard));
+    rb_.broadcast(make_msg<TransferMsg>(neg, pos, config_.shard));
     // Completion once n-f-1 other servers acked (line 15). With n-f-1 == 0
     // (n = f+1 is excluded by SystemConfig, so this cannot happen) the
     // transfer would complete immediately.
@@ -102,7 +103,7 @@ bool ReassignNode::handle(ProcessId from, const Message& msg) {
     if (misrouted(rc->shard())) return true;
     // Algorithm 3 line 12-13: reply with the changes stored for target.
     env_.send(self_, from,
-              std::make_shared<RcAck>(rc->op_id(),
+              make_msg<RcAck>(rc->op_id(),
                                       changes_.subset_for(rc->target())));
     return true;
   }
@@ -111,7 +112,7 @@ bool ReassignNode::handle(ProcessId from, const Message& msg) {
     // Algorithm 3 line 14-15: store, then acknowledge.
     std::uint64_t op_id = wc->op_id();
     write_changes(wc->changes(), [this, from, op_id] {
-      env_.send(self_, from, std::make_shared<WcAck>(op_id));
+      env_.send(self_, from, make_msg<WcAck>(op_id));
     });
     return true;
   }
@@ -125,7 +126,7 @@ bool ReassignNode::handle(ProcessId from, const Message& msg) {
       if (pending.has_value() && from != self_ &&
           changes_.count_pair(from, *pending) >= 2) {
         env_.send(self_, from,
-                  std::make_shared<TAck>(*pending, config_.shard));
+                  make_msg<TAck>(*pending, config_.shard));
       }
     });
     return true;
@@ -164,7 +165,7 @@ void ReassignNode::sync_now() {
   if (pending_transfer_.has_value()) pending = pending_transfer_->counter;
   env_.broadcast_to_group(
       self_, servers_,
-      std::make_shared<SyncMsg>(changes_, pending, config_.shard));
+      make_msg<SyncMsg>(changes_, pending, config_.shard));
 }
 
 void ReassignNode::complete_transfer() {
@@ -241,7 +242,7 @@ void ReassignNode::maybe_ack_issuer(ProcessId issuer, std::uint64_t counter) {
   if (changes_.count_pair(issuer, counter) < 2) return;  // wait for pair
   auto key = std::make_pair(issuer, counter);
   if (!acked_pairs_.insert(key).second) return;  // already acked
-  env_.send(self_, issuer, std::make_shared<TAck>(counter, config_.shard));
+  env_.send(self_, issuer, make_msg<TAck>(counter, config_.shard));
 }
 
 }  // namespace wrs

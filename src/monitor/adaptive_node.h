@@ -20,6 +20,7 @@
 
 #include "monitor/latency_monitor.h"
 #include "monitor/weight_policy.h"
+#include "runtime/msg_pool.h"
 #include "storage/dynamic_node.h"
 
 namespace wrs {
@@ -115,7 +116,7 @@ class AdaptiveNode : public Process {
 
   void on_message(ProcessId from, const Message& msg) override {
     if (const auto* ping = msg_cast<PingMsg>(msg)) {
-      env_.send(self_, from, std::make_shared<PongMsg>(ping->sent_at()));
+      env_.send(self_, from, make_msg<PongMsg>(ping->sent_at()));
       return;
     }
     if (const auto* pong = msg_cast<PongMsg>(msg)) {
@@ -133,7 +134,7 @@ class AdaptiveNode : public Process {
   void probe() {
     for (ProcessId s : servers_) {
       if (s == self_) continue;
-      env_.send(self_, s, std::make_shared<PingMsg>(env_.now()));
+      env_.send(self_, s, make_msg<PingMsg>(env_.now()));
     }
     // Gossip what we currently believe (our EWMA vector).
     if (!monitor_.estimates().empty()) {
@@ -141,7 +142,7 @@ class AdaptiveNode : public Process {
       reports_[self_] = snapshot;  // include ourselves as a reporter
       env_.broadcast_to_group(
           self_, servers_,
-          std::make_shared<RttReportMsg>(std::move(snapshot)));
+          make_msg<RttReportMsg>(std::move(snapshot)));
     }
     env_.schedule(self_, params_.probe_interval, [this] { probe(); });
   }

@@ -8,9 +8,11 @@
 #include <sys/epoll.h>
 #include <sys/eventfd.h>
 #include <sys/socket.h>
+#include <sys/uio.h>
 #include <sys/un.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <chrono>
 #include <cstring>
@@ -34,10 +36,8 @@ constexpr TimeNs kDialBackoffMax = ms(500);
 /// (the bound a real network's socket buffers would impose).
 constexpr std::size_t kMaxPendingFrames = 8192;
 
-void set_nonblocking_or_throw(int fd) {
-  // All sockets here come from socket()/accept4() with SOCK_NONBLOCK.
-  (void)fd;
-}
+/// Segments per scatter-gather sendmsg() burst.
+constexpr std::size_t kMaxIov = 64;
 
 int make_socket(const SocketAddr& addr) {
   int domain = addr.kind == SocketAddr::Kind::kUnix ? AF_UNIX : AF_INET;
@@ -142,7 +142,6 @@ void SocketTransport::listen(const SocketAddr& addr) {
   ev.events = EPOLLIN;
   ev.data.u64 = kListenId;
   ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, listen_fd_, &ev);
-  set_nonblocking_or_throw(fd);
 }
 
 std::optional<SocketAddr> SocketTransport::listen_addr() const {
@@ -167,66 +166,98 @@ void SocketTransport::stop() {
     if (conn->fd >= 0) ::close(conn->fd);
   }
   conns_.clear();
+  std::lock_guard lock(intern_mu_);
   peers_.clear();
+  peer_index_.clear();
 }
 
 // --- thread-safe entry points ----------------------------------------------
 
-void SocketTransport::send_to_peer(const std::string& key,
-                                   const SocketAddr& addr,
-                                   std::vector<std::uint8_t> frame) {
-  if (std::this_thread::get_id() == loop_thread_.get_id()) {
-    do_send_to_peer(key, addr, std::move(frame));
-    return;
+SocketTransport::PeerId SocketTransport::intern_peer(const SocketAddr& addr) {
+  std::string key = addr.str();
+  std::lock_guard lock(intern_mu_);
+  auto [it, inserted] = peer_index_.try_emplace(std::move(key), 0);
+  if (inserted) {
+    it->second = static_cast<PeerId>(peers_.size());
+    auto p = std::make_unique<Peer>();
+    p->addr = addr;
+    peers_.push_back(std::move(p));
   }
-  post([this, key, addr, frame = std::move(frame)]() mutable {
-    do_send_to_peer(key, addr, std::move(frame));
-  });
+  return it->second;
 }
 
-void SocketTransport::send_on_conn(ConnId conn,
-                                   std::vector<std::uint8_t> frame) {
-  if (std::this_thread::get_id() == loop_thread_.get_id()) {
-    do_send_on_conn(conn, std::move(frame));
-    return;
-  }
-  post([this, conn, frame = std::move(frame)]() mutable {
-    do_send_on_conn(conn, std::move(frame));
-  });
+SocketTransport::Peer* SocketTransport::peer(PeerId id) {
+  std::lock_guard lock(intern_mu_);
+  return id < peers_.size() ? peers_[id].get() : nullptr;
 }
 
-void SocketTransport::close_peer(const std::string& key) {
-  post([this, key] {
-    auto it = peers_.find(key);
-    if (it == peers_.end()) return;
-    ConnId conn = it->second.conn;
-    peers_.erase(it);
-    if (conn != kNoConn) close_conn_internal(conn, /*notify=*/true);
-  });
-}
-
-void SocketTransport::close_conn(ConnId conn) {
-  post([this, conn] { close_conn_internal(conn, /*notify=*/true); });
-}
-
-void SocketTransport::post(std::function<void()> fn) {
+void SocketTransport::post_cmd(Cmd cmd) {
   {
     std::lock_guard lock(cmd_mu_);
-    commands_.push_back(std::move(fn));
+    commands_.push(std::move(cmd));
   }
   wake();
 }
 
-void SocketTransport::schedule_after(TimeNs delay, std::function<void()> fn) {
+void SocketTransport::send_to_peer(PeerId peer_id, Segment frame) {
+  if (std::this_thread::get_id() == loop_thread_.get_id()) {
+    do_send_to_peer(peer_id, std::move(frame));
+    return;
+  }
+  Cmd cmd;
+  cmd.kind = Cmd::Kind::kSendPeer;
+  cmd.peer = peer_id;
+  cmd.seg = std::move(frame);
+  post_cmd(std::move(cmd));
+}
+
+void SocketTransport::send_on_conn(ConnId conn, Segment frame) {
+  if (std::this_thread::get_id() == loop_thread_.get_id()) {
+    do_send_on_conn(conn, std::move(frame));
+    return;
+  }
+  Cmd cmd;
+  cmd.kind = Cmd::Kind::kSendConn;
+  cmd.conn = conn;
+  cmd.seg = std::move(frame);
+  post_cmd(std::move(cmd));
+}
+
+void SocketTransport::close_peer(PeerId peer_id) {
+  Cmd cmd;
+  cmd.kind = Cmd::Kind::kClosePeer;
+  cmd.peer = peer_id;
+  post_cmd(std::move(cmd));
+}
+
+void SocketTransport::close_conn(ConnId conn) {
+  Cmd cmd;
+  cmd.kind = Cmd::Kind::kCloseConn;
+  cmd.conn = conn;
+  post_cmd(std::move(cmd));
+}
+
+void SocketTransport::post(wrs::Task fn) {
+  Cmd cmd;
+  cmd.kind = Cmd::Kind::kTask;
+  cmd.fn = std::move(fn);
+  post_cmd(std::move(cmd));
+}
+
+void SocketTransport::schedule_after(TimeNs delay, std::uint64_t token,
+                                     wrs::Task fn) {
   if (delay < 0) delay = 0;
   TimeNs at = mono_now() + delay;
   if (std::this_thread::get_id() == loop_thread_.get_id()) {
-    timers_.push(TimerItem{at, timer_seq_++, std::move(fn)});
+    timers_.push(TimerItem{at, timer_seq_++, token, std::move(fn)});
     return;
   }
-  post([this, at, fn = std::move(fn)]() mutable {
-    timers_.push(TimerItem{at, timer_seq_++, std::move(fn)});
-  });
+  Cmd cmd;
+  cmd.kind = Cmd::Kind::kTimer;
+  cmd.at = at;
+  cmd.token = token;
+  cmd.fn = std::move(fn);
+  post_cmd(std::move(cmd));
 }
 
 void SocketTransport::wake() {
@@ -308,19 +339,47 @@ void SocketTransport::loop() {
 }
 
 void SocketTransport::drain_commands() {
-  std::vector<std::function<void()>> batch;
   {
     std::lock_guard lock(cmd_mu_);
-    batch.swap(commands_);
+    commands_.swap(drain_);  // O(1); both buffers stay warm forever
   }
-  for (auto& fn : batch) fn();
+  while (!drain_.empty()) dispatch(drain_.pop());
+}
+
+void SocketTransport::dispatch(Cmd cmd) {
+  switch (cmd.kind) {
+    case Cmd::Kind::kNone:
+      break;
+    case Cmd::Kind::kTask:
+      cmd.fn();
+      break;
+    case Cmd::Kind::kTimer:
+      timers_.push(TimerItem{cmd.at, timer_seq_++, cmd.token,
+                             std::move(cmd.fn)});
+      break;
+    case Cmd::Kind::kSendPeer:
+      do_send_to_peer(cmd.peer, std::move(cmd.seg));
+      break;
+    case Cmd::Kind::kSendConn:
+      do_send_on_conn(cmd.conn, std::move(cmd.seg));
+      break;
+    case Cmd::Kind::kClosePeer:
+      do_close_peer(cmd.peer);
+      break;
+    case Cmd::Kind::kCloseConn:
+      close_conn_internal(cmd.conn, /*notify=*/true);
+      break;
+  }
 }
 
 void SocketTransport::run_due_timers(TimeNs now) {
   while (!timers_.empty() && timers_.top().at <= now) {
-    auto fn = std::move(const_cast<TimerItem&>(timers_.top()).fn);
+    TimerItem item = std::move(const_cast<TimerItem&>(timers_.top()));
     timers_.pop();
-    fn();
+    if (item.token == 0 || !events_.timer_gate ||
+        events_.timer_gate(item.token)) {
+      item.fn();
+    }
   }
 }
 
@@ -331,30 +390,29 @@ SocketTransport::Conn* SocketTransport::find_conn(ConnId id) {
 
 // --- outbound path ----------------------------------------------------------
 
-void SocketTransport::do_send_to_peer(const std::string& key,
-                                      const SocketAddr& addr,
-                                      std::vector<std::uint8_t> frame) {
-  auto [it, inserted] = peers_.try_emplace(key);
-  Peer& peer = it->second;
-  if (inserted) peer.addr = addr;
-  if (peer.conn != kNoConn) {
-    Conn* conn = find_conn(peer.conn);
+void SocketTransport::do_send_to_peer(PeerId id, Segment frame) {
+  Peer* p = peer(id);
+  if (p == nullptr) {
+    frames_dropped_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  if (p->conn != kNoConn) {
+    Conn* conn = find_conn(p->conn);
     if (conn != nullptr && !conn->connecting) {
       enqueue_frame(*conn, std::move(frame));
       return;
     }
   }
   // Not (yet) connected: queue, bounded like a real socket buffer.
-  if (peer.pending.size() >= kMaxPendingFrames) {
+  if (p->pending.size() >= kMaxPendingFrames) {
     frames_dropped_.fetch_add(1, std::memory_order_relaxed);
     return;
   }
-  peer.pending.push_back(std::move(frame));
-  if (peer.conn == kNoConn && !peer.dial_timer_armed) dial(peer, key);
+  p->pending.push(std::move(frame));
+  if (p->conn == kNoConn && !p->dial_timer_armed) dial(*p, id);
 }
 
-void SocketTransport::do_send_on_conn(ConnId conn_id,
-                                      std::vector<std::uint8_t> frame) {
+void SocketTransport::do_send_on_conn(ConnId conn_id, Segment frame) {
   Conn* conn = find_conn(conn_id);
   if (conn == nullptr || conn->connecting) {
     frames_dropped_.fetch_add(1, std::memory_order_relaxed);
@@ -363,30 +421,40 @@ void SocketTransport::do_send_on_conn(ConnId conn_id,
   enqueue_frame(*conn, std::move(frame));
 }
 
-void SocketTransport::dial(Peer& peer, const std::string& key) {
+void SocketTransport::do_close_peer(PeerId id) {
+  Peer* p = peer(id);
+  if (p == nullptr) return;
+  ConnId conn = p->conn;
+  p->conn = kNoConn;
+  p->pending.clear();
+  p->backoff = 0;
+  if (conn != kNoConn) close_conn_internal(conn, /*notify=*/true);
+}
+
+void SocketTransport::dial(Peer& p, PeerId id) {
   int fd = -1;
   try {
-    fd = make_socket(peer.addr);
+    fd = make_socket(p.addr);
   } catch (const std::exception&) {
     dials_failed_.fetch_add(1, std::memory_order_relaxed);
-    arm_redial(key);
+    arm_redial(id);
     return;
   }
   sockaddr_storage ss;
-  socklen_t len = fill_sockaddr(peer.addr, &ss);
+  socklen_t len = fill_sockaddr(p.addr, &ss);
   int rc = ::connect(fd, reinterpret_cast<sockaddr*>(&ss), len);
   if (rc != 0 && errno != EINPROGRESS) {
     ::close(fd);
     dials_failed_.fetch_add(1, std::memory_order_relaxed);
-    arm_redial(key);
+    arm_redial(id);
     return;
   }
   auto conn = std::make_unique<Conn>();
   conn->id = next_conn_id_++;
   conn->fd = fd;
   conn->connecting = (rc != 0);
-  conn->peer_key = key;
-  peer.conn = conn->id;
+  conn->peer = id;
+  p.conn = conn->id;
   epoll_event ev{};
   ev.events = EPOLLIN | EPOLLOUT;  // EPOLLOUT signals connect completion
   ev.data.u64 = conn->id;
@@ -396,21 +464,17 @@ void SocketTransport::dial(Peer& peer, const std::string& key) {
   if (!ref.connecting) on_connect_ready(ref);
 }
 
-void SocketTransport::arm_redial(const std::string& key) {
-  auto it = peers_.find(key);
-  if (it == peers_.end()) return;
-  Peer& peer = it->second;
-  if (peer.dial_timer_armed) return;
-  peer.backoff = peer.backoff == 0
-                     ? kDialBackoffMin
-                     : std::min(peer.backoff * 2, kDialBackoffMax);
-  peer.dial_timer_armed = true;
-  schedule_after(peer.backoff, [this, key] {
-    auto it2 = peers_.find(key);
-    if (it2 == peers_.end()) return;
-    Peer& p = it2->second;
-    p.dial_timer_armed = false;
-    if (p.conn == kNoConn && !p.pending.empty()) dial(p, key);
+void SocketTransport::arm_redial(PeerId id) {
+  Peer* p = peer(id);
+  if (p == nullptr || p->dial_timer_armed) return;
+  p->backoff = p->backoff == 0 ? kDialBackoffMin
+                               : std::min(p->backoff * 2, kDialBackoffMax);
+  p->dial_timer_armed = true;
+  schedule_after(p->backoff, [this, id] {
+    Peer* p2 = peer(id);
+    if (p2 == nullptr) return;
+    p2->dial_timer_armed = false;
+    if (p2->conn == kNoConn && !p2->pending.empty()) dial(*p2, id);
   });
 }
 
@@ -420,22 +484,19 @@ void SocketTransport::on_connect_ready(Conn& conn) {
   if (conn.connecting) {
     ::getsockopt(conn.fd, SOL_SOCKET, SO_ERROR, &err, &len);
   }
-  std::string key = conn.peer_key;
+  PeerId id = conn.peer;
   if (err != 0) {
     dials_failed_.fetch_add(1, std::memory_order_relaxed);
     close_conn_internal(conn.id, /*notify=*/false);
-    arm_redial(key);
+    arm_redial(id);
     return;
   }
   conn.connecting = false;
   conns_opened_.fetch_add(1, std::memory_order_relaxed);
-  auto it = peers_.find(key);
-  if (it != peers_.end()) {
-    it->second.backoff = 0;
-    while (!it->second.pending.empty()) {
-      conn.wq.push_back(std::move(it->second.pending.front()));
-      it->second.pending.pop_front();
-    }
+  Peer* p = peer(id);
+  if (p != nullptr) {
+    p->backoff = 0;
+    while (!p->pending.empty()) conn.wq.push(p->pending.pop());
   }
   if (!flush_writes(conn)) return;
   update_epoll(conn);
@@ -517,13 +578,12 @@ void SocketTransport::parse_frames(Conn& conn) {
 
 // --- write path -------------------------------------------------------------
 
-void SocketTransport::enqueue_frame(Conn& conn,
-                                    std::vector<std::uint8_t> frame) {
+void SocketTransport::enqueue_frame(Conn& conn, Segment frame) {
   if (conn.wq.size() >= kMaxPendingFrames) {
     frames_dropped_.fetch_add(1, std::memory_order_relaxed);
     return;
   }
-  conn.wq.push_back(std::move(frame));
+  conn.wq.push(std::move(frame));
   if (!flush_writes(conn)) return;
   update_epoll(conn);
 }
@@ -535,14 +595,33 @@ void SocketTransport::write_ready(Conn& conn) {
 
 bool SocketTransport::flush_writes(Conn& conn) {
   while (!conn.wq.empty()) {
-    const std::vector<std::uint8_t>& buf = conn.wq.front();
-    ssize_t n = ::send(conn.fd, buf.data() + conn.woff,
-                       buf.size() - conn.woff, MSG_NOSIGNAL);
+    // Scatter-gather straight from the queued segments: no coalescing
+    // copy, one syscall per burst of up to kMaxIov frames.
+    iovec iov[kMaxIov];
+    std::size_t nseg = std::min(conn.wq.size(), kMaxIov);
+    for (std::size_t i = 0; i < nseg; ++i) {
+      const Segment& s = conn.wq[i];
+      std::size_t skip = i == 0 ? conn.woff : 0;
+      iov[i].iov_base =
+          const_cast<std::uint8_t*>(s.data()) + skip;
+      iov[i].iov_len = s.size() - skip;
+    }
+    msghdr mh{};
+    mh.msg_iov = iov;
+    mh.msg_iovlen = nseg;
+    ssize_t n = ::sendmsg(conn.fd, &mh, MSG_NOSIGNAL);
     if (n > 0) {
-      conn.woff += static_cast<std::size_t>(n);
-      if (conn.woff == buf.size()) {
-        conn.wq.pop_front();
-        conn.woff = 0;
+      std::size_t left = static_cast<std::size_t>(n);
+      while (left > 0) {
+        std::size_t rem = conn.wq[0].size() - conn.woff;
+        if (left >= rem) {
+          left -= rem;
+          conn.wq.pop();
+          conn.woff = 0;
+        } else {
+          conn.woff += left;
+          left = 0;
+        }
       }
       continue;
     }
@@ -575,17 +654,17 @@ void SocketTransport::close_conn_internal(ConnId id, bool notify) {
   }
   ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, conn->fd, nullptr);
   ::close(conn->fd);
-  std::string key = conn->peer_key;
+  PeerId peer_id = conn->peer;
   conns_.erase(it);
   conns_closed_.fetch_add(1, std::memory_order_relaxed);
-  if (!key.empty()) {
-    auto pit = peers_.find(key);
-    if (pit != peers_.end() && pit->second.conn == id) {
-      pit->second.conn = kNoConn;
+  if (peer_id != kNoPeer) {
+    Peer* p = peer(peer_id);
+    if (p != nullptr && p->conn == id) {
+      p->conn = kNoConn;
       // Frames queued while we believed the connection healthy are lost
       // (like in-flight packets of a real dropped connection); anything
       // still pending redials with backoff.
-      if (!pit->second.pending.empty()) arm_redial(key);
+      if (!p->pending.empty()) arm_redial(peer_id);
     }
   }
   if (notify && events_.on_conn_closed) events_.on_conn_closed(id);

@@ -9,6 +9,7 @@
 #include "broadcast/reliable_broadcast.h"
 #include "core/reassign_messages.h"
 #include "monitor/adaptive_node.h"
+#include "runtime/msg_pool.h"
 #include "storage/abd_messages.h"
 #include "storage/migration_messages.h"
 
@@ -130,7 +131,8 @@ class Reader {
 
 // --- shared composite encodings --------------------------------------------
 
-void put_weight(Writer& w, const Weight& v) {
+template <typename W>
+void put_weight(W& w, const Weight& v) {
   w.i64(v.num());
   w.i64(v.den());
 }
@@ -148,7 +150,8 @@ Weight get_weight(Reader& r) {
   return v;
 }
 
-void put_change(Writer& w, const Change& c) {
+template <typename W>
+void put_change(W& w, const Change& c) {
   w.u32(c.id.issuer);
   w.u64(c.id.counter);
   w.u32(c.id.target);
@@ -165,7 +168,8 @@ Change get_change(Reader& r) {
   return Change(issuer, counter, target, std::move(delta));
 }
 
-void put_change_set(Writer& w, const ChangeSet& cs) {
+template <typename W>
+void put_change_set(W& w, const ChangeSet& cs) {
   // all() iterates the underlying ordered map — deterministic order, so
   // round trips are byte-identical.
   std::vector<Change> changes = cs.all();
@@ -184,7 +188,8 @@ ChangeSet get_change_set(Reader& r) {
   return cs;
 }
 
-void put_changes_ptr(Writer& w, const ChangeSetPtr& cs) {
+template <typename W>
+void put_changes_ptr(W& w, const ChangeSetPtr& cs) {
   w.u8(cs ? 1 : 0);
   if (cs) put_change_set(w, *cs);
 }
@@ -193,10 +198,11 @@ ChangeSetPtr get_changes_ptr(Reader& r) {
   std::uint8_t present = r.u8();
   if (present > 1) throw CodecError("wire: bad optional marker");
   if (!present) return nullptr;
-  return std::make_shared<const ChangeSet>(get_change_set(r));
+  return make_pooled<const ChangeSet>(get_change_set(r));
 }
 
-void put_tagged_value(Writer& w, const TaggedValue& tv) {
+template <typename W>
+void put_tagged_value(W& w, const TaggedValue& tv) {
   w.i64(tv.tag.ts);
   w.u32(tv.tag.pid);
   w.str(tv.value);
@@ -212,10 +218,12 @@ TaggedValue get_tagged_value(Reader& r) {
 
 // --- per-type payloads ------------------------------------------------------
 
-void put_message(Writer& w, const Message& msg, int depth);
+template <typename W>
+void put_message(W& w, const Message& msg, int depth);
 MsgPtr get_message(Reader& r, int depth);
 
-void put_frames(Writer& w, const std::vector<MsgPtr>& frames, int depth) {
+template <typename W>
+void put_frames(W& w, const std::vector<MsgPtr>& frames, int depth) {
   w.u32(static_cast<std::uint32_t>(frames.size()));
   for (const MsgPtr& f : frames) put_message(w, *f, depth);
 }
@@ -231,7 +239,8 @@ std::vector<MsgPtr> get_frames(Reader& r, int depth) {
 
 /// Writes one payload body (no tag, no length). `depth` is the nesting
 /// level already consumed; nested messages bump it.
-void put_body(Writer& w, const Message& msg, int depth) {
+template <typename W>
+void put_body(W& w, const Message& msg, int depth) {
   if (const auto* m = msg_cast<ReadReq>(msg)) {
     w.u64(m->op_id());
     w.u32(m->seq());
@@ -343,14 +352,14 @@ MsgPtr get_body(Reader& r, WireType type, int depth) {
       std::uint32_t seq = r.u32();
       ShardId shard = r.u32();
       RegisterKey key = r.str();
-      return std::make_shared<ReadReq>(op, std::move(key), seq, shard);
+      return make_msg<ReadReq>(op, std::move(key), seq, shard);
     }
     case WireType::kReadAck: {
       OpId op = r.u64();
       std::uint32_t seq = r.u32();
       TaggedValue tv = get_tagged_value(r);
       ChangeSetPtr cs = get_changes_ptr(r);
-      return std::make_shared<ReadAck>(op, std::move(tv), std::move(cs), seq);
+      return make_msg<ReadAck>(op, std::move(tv), std::move(cs), seq);
     }
     case WireType::kWriteReq: {
       OpId op = r.u64();
@@ -358,20 +367,20 @@ MsgPtr get_body(Reader& r, WireType type, int depth) {
       ShardId shard = r.u32();
       TaggedValue tv = get_tagged_value(r);
       RegisterKey key = r.str();
-      return std::make_shared<WriteReq>(op, std::move(tv), std::move(key), seq,
+      return make_msg<WriteReq>(op, std::move(tv), std::move(key), seq,
                                         shard);
     }
     case WireType::kWriteAck: {
       OpId op = r.u64();
       std::uint32_t seq = r.u32();
       ChangeSetPtr cs = get_changes_ptr(r);
-      return std::make_shared<WriteAck>(op, std::move(cs), seq);
+      return make_msg<WriteAck>(op, std::move(cs), seq);
     }
     case WireType::kKeysReq: {
       OpId op = r.u64();
       std::uint32_t seq = r.u32();
       ShardId shard = r.u32();
-      return std::make_shared<KeysReq>(op, seq, shard);
+      return make_msg<KeysReq>(op, seq, shard);
     }
     case WireType::kKeysAck: {
       OpId op = r.u64();
@@ -382,42 +391,42 @@ MsgPtr get_body(Reader& r, WireType type, int depth) {
       keys.reserve(n);
       for (std::uint32_t i = 0; i < n; ++i) keys.push_back(r.str());
       ChangeSetPtr cs = get_changes_ptr(r);
-      return std::make_shared<KeysAck>(op, std::move(keys), std::move(cs), seq);
+      return make_msg<KeysAck>(op, std::move(keys), std::move(cs), seq);
     }
     case WireType::kBatchRequest: {
       ShardId shard = r.u32();
-      return std::make_shared<BatchRequest>(shard, get_frames(r, depth));
+      return make_msg<BatchRequest>(shard, get_frames(r, depth));
     }
     case WireType::kBatchReply:
-      return std::make_shared<BatchReply>(get_frames(r, depth));
+      return make_msg<BatchReply>(get_frames(r, depth));
     case WireType::kRcReq: {
       std::uint64_t op = r.u64();
       ProcessId target = r.u32();
       ShardId shard = r.u32();
-      return std::make_shared<RcReq>(op, target, shard);
+      return make_msg<RcReq>(op, target, shard);
     }
     case WireType::kRcAck: {
       std::uint64_t op = r.u64();
-      return std::make_shared<RcAck>(op, get_change_set(r));
+      return make_msg<RcAck>(op, get_change_set(r));
     }
     case WireType::kWcReq: {
       std::uint64_t op = r.u64();
       ShardId shard = r.u32();
-      return std::make_shared<WcReq>(op, get_change_set(r), shard);
+      return make_msg<WcReq>(op, get_change_set(r), shard);
     }
     case WireType::kWcAck:
-      return std::make_shared<WcAck>(r.u64());
+      return make_msg<WcAck>(r.u64());
     case WireType::kTransfer: {
       Change neg = get_change(r);
       Change pos = get_change(r);
       ShardId shard = r.u32();
-      return std::make_shared<TransferMsg>(std::move(neg), std::move(pos),
+      return make_msg<TransferMsg>(std::move(neg), std::move(pos),
                                            shard);
     }
     case WireType::kTAck: {
       std::uint64_t counter = r.u64();
       ShardId shard = r.u32();
-      return std::make_shared<TAck>(counter, shard);
+      return make_msg<TAck>(counter, shard);
     }
     case WireType::kSync: {
       std::uint8_t present = r.u8();
@@ -425,17 +434,17 @@ MsgPtr get_body(Reader& r, WireType type, int depth) {
       std::optional<std::uint64_t> pending;
       if (present) pending = r.u64();
       ShardId shard = r.u32();
-      return std::make_shared<SyncMsg>(get_change_set(r), pending, shard);
+      return make_msg<SyncMsg>(get_change_set(r), pending, shard);
     }
     case WireType::kRb: {
       ProcessId origin = r.u32();
       std::uint64_t seq = r.u64();
-      return std::make_shared<RbMsg>(origin, seq, get_message(r, depth));
+      return make_msg<RbMsg>(origin, seq, get_message(r, depth));
     }
     case WireType::kPing:
-      return std::make_shared<PingMsg>(r.i64());
+      return make_msg<PingMsg>(r.i64());
     case WireType::kPong:
-      return std::make_shared<PongMsg>(r.i64());
+      return make_msg<PongMsg>(r.i64());
     case WireType::kRttReport: {
       std::uint32_t n = r.u32();
       r.check_count(n, 12);
@@ -447,7 +456,7 @@ MsgPtr get_body(Reader& r, WireType type, int depth) {
           throw CodecError("wire: duplicate rtt key");
         }
       }
-      return std::make_shared<RttReportMsg>(std::move(rtts));
+      return make_msg<RttReportMsg>(std::move(rtts));
     }
     case WireType::kMigFreeze: {
       OpId op = r.u64();
@@ -456,7 +465,7 @@ MsgPtr get_body(Reader& r, WireType type, int depth) {
       std::uint64_t epoch = r.u64();
       ShardId dest = r.u32();
       RegisterKey key = r.str();
-      return std::make_shared<MigFreeze>(op, std::move(key), epoch, dest, seq,
+      return make_msg<MigFreeze>(op, std::move(key), epoch, dest, seq,
                                          shard);
     }
     case WireType::kMigCommit: {
@@ -470,7 +479,7 @@ MsgPtr get_body(Reader& r, WireType type, int depth) {
       if (present > 1) throw CodecError("wire: bad optional marker");
       std::optional<TaggedValue> install;
       if (present) install = get_tagged_value(r);
-      return std::make_shared<MigCommit>(op, std::move(key), owner, epoch,
+      return make_msg<MigCommit>(op, std::move(key), owner, epoch,
                                          std::move(install), seq, shard);
     }
     case WireType::kWrongShard: {
@@ -479,7 +488,7 @@ MsgPtr get_body(Reader& r, WireType type, int depth) {
       std::uint64_t epoch = r.u64();
       ShardId owner = r.u32();
       RegisterKey key = r.str();
-      return std::make_shared<WrongShardAck>(op, std::move(key), owner, epoch,
+      return make_msg<WrongShardAck>(op, std::move(key), owner, epoch,
                                              seq);
     }
   }
@@ -513,7 +522,8 @@ std::optional<WireType> type_tag(const Message& msg) {
 }
 
 /// Nested encoding: u8 tag + u32 body length + body.
-void put_message(Writer& w, const Message& msg, int depth) {
+template <typename W>
+void put_message(W& w, const Message& msg, int depth) {
   if (depth + 1 > kMaxNestingDepth) {
     throw std::invalid_argument("WireCodec: message nesting too deep");
   }
@@ -560,6 +570,37 @@ std::vector<std::uint8_t> WireCodec::encode_frame(ProcessId from, ProcessId to,
   put_body(w, msg, /*depth=*/0);
   w.patch_u32(0, static_cast<std::uint32_t>(w.size() - 4));
   return std::move(w.out());
+}
+
+Segment WireCodec::encode_frame_arena(EncodeArena& arena, ProcessId from,
+                                      ProcessId to, const Message& msg) {
+  std::optional<WireType> type = type_tag(msg);
+  if (!type) {
+    throw std::invalid_argument("WireCodec: no wire mapping for message type " +
+                                msg.type_name());
+  }
+  // First attempt encodes into whatever the current chunk has left
+  // (plenty for any protocol frame); an overflow escalates the
+  // reservation geometrically until the frame fits. The retry re-runs
+  // the whole encode — overflows are rare enough that simplicity wins
+  // over resumable state.
+  std::size_t want = 0;
+  for (;;) {
+    std::uint8_t* base = arena.reserve(want);
+    SpanWriter w(base, arena.writable());
+    try {
+      w.u32(0);  // body length, backfilled
+      w.u8(kWireVersion);
+      w.u8(static_cast<std::uint8_t>(*type));
+      w.u32(from);
+      w.u32(to);
+      put_body(w, msg, /*depth=*/0);
+      w.patch_u32(0, static_cast<std::uint32_t>(w.size() - 4));
+      return arena.commit(w.size());
+    } catch (const ArenaFull&) {
+      want = want == 0 ? kArenaChunkBytes : want * 2;
+    }
+  }
 }
 
 std::optional<DecodedFrame> WireCodec::decode_frame(const std::uint8_t* body,

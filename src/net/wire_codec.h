@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "common/types.h"
+#include "net/encode_arena.h"
 #include "net/wire_format.h"
 #include "runtime/message.h"
 
@@ -28,6 +29,13 @@ class WireCodec {
   /// the socket runtime refuses them at send time).
   static std::vector<std::uint8_t> encode_frame(ProcessId from, ProcessId to,
                                                 const Message& msg);
+
+  /// Arena encode: byte-identical to encode_frame (pinned by test), but
+  /// written straight into `arena` — the steady-state socket send path
+  /// does zero heap allocations per frame. The returned Segment keeps
+  /// its chunk alive; copies share the encode (duplicate sends).
+  static Segment encode_frame_arena(EncodeArena& arena, ProcessId from,
+                                    ProcessId to, const Message& msg);
 
   /// Parses one frame BODY (the bytes after the u32 length prefix; the
   /// transport strips the prefix during reassembly). Returns nullopt on

@@ -1,0 +1,107 @@
+// Bounded lock-free MPSC ring (Vyukov's bounded MPMC queue specialized
+// to one consumer).
+//
+// Each cell carries a sequence number that encodes whose turn it is:
+// producers CAS the shared enqueue cursor to claim a cell, write the
+// value, then publish by bumping the cell's sequence; the single
+// consumer owns the dequeue cursor outright (a plain member — no atomic
+// RMW on the pop side at all) and recycles a cell by advancing its
+// sequence a full lap. Steady-state cost: one CAS per push, one acquire
+// load per pop, zero allocations after construction.
+//
+// try_push is total: it returns false on a full ring WITHOUT consuming
+// the value, so callers can divert to an overflow path (ThreadEnv's
+// mutex-guarded spill ring) while every in-ring message survives.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <memory>
+#include <utility>
+
+#include "common/cacheline.h"
+
+namespace wrs {
+
+template <typename T>
+class MpscRing {
+ public:
+  /// `capacity` is rounded up to a power of two (min 2). Cells are
+  /// default-constructed once; push/pop move-assign through them.
+  explicit MpscRing(std::size_t capacity) {
+    std::size_t cap = 2;
+    while (cap < capacity) cap *= 2;
+    mask_ = cap - 1;
+    cells_ = std::make_unique<Cell[]>(cap);
+    for (std::size_t i = 0; i < cap; ++i) {
+      cells_[i].seq.store(i, std::memory_order_relaxed);
+    }
+  }
+
+  MpscRing(const MpscRing&) = delete;
+  MpscRing& operator=(const MpscRing&) = delete;
+
+  std::size_t capacity() const { return mask_ + 1; }
+
+  /// Multi-producer push. False when full; `v` is untouched then.
+  bool try_push(T&& v) {
+    Cell* cell;
+    std::size_t pos = enqueue_pos_.load(std::memory_order_relaxed);
+    for (;;) {
+      cell = &cells_[pos & mask_];
+      std::size_t seq = cell->seq.load(std::memory_order_acquire);
+      std::intptr_t dif = static_cast<std::intptr_t>(seq) -
+                          static_cast<std::intptr_t>(pos);
+      if (dif == 0) {
+        if (enqueue_pos_.compare_exchange_weak(pos, pos + 1,
+                                               std::memory_order_relaxed)) {
+          break;
+        }
+      } else if (dif < 0) {
+        return false;  // the consumer has not recycled this cell: full
+      } else {
+        pos = enqueue_pos_.load(std::memory_order_relaxed);
+      }
+    }
+    cell->val = std::move(v);
+    cell->seq.store(pos + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Single-consumer pop. False when no published item is ready.
+  bool try_pop(T& out) {
+    Cell& cell = cells_[dequeue_pos_ & mask_];
+    if (cell.seq.load(std::memory_order_acquire) != dequeue_pos_ + 1) {
+      return false;
+    }
+    out = std::move(cell.val);
+    cell.val = T{};  // release captured resources now, not a lap later
+    cell.seq.store(dequeue_pos_ + mask_ + 1, std::memory_order_release);
+    ++dequeue_pos_;
+    return true;
+  }
+
+  /// Consumer-only peek: is a published item ready? (Used by the worker
+  /// park/unpark handshake; meaningless from producer threads.)
+  bool can_pop() const {
+    const Cell& cell = cells_[dequeue_pos_ & mask_];
+    return cell.seq.load(std::memory_order_acquire) == dequeue_pos_ + 1;
+  }
+
+ private:
+  // Cells are deliberately unpadded (Vyukov's layout): neighboring-cell
+  // false sharing only costs on the claim/publish instants, and padding
+  // would double the footprint of every mailbox.
+  struct Cell {
+    std::atomic<std::size_t> seq;
+    T val{};
+  };
+
+  std::unique_ptr<Cell[]> cells_;
+  std::size_t mask_ = 0;
+  alignas(kCacheLineSize) std::atomic<std::size_t> enqueue_pos_{0};
+  // Owned by the single consumer; producers never touch it.
+  alignas(kCacheLineSize) std::size_t dequeue_pos_ = 0;
+};
+
+}  // namespace wrs

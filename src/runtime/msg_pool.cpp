@@ -1,0 +1,153 @@
+#include "runtime/msg_pool.h"
+
+#include <cstring>
+
+namespace wrs {
+
+MsgPool& MsgPool::instance() {
+  // Leaky: thread-exit cache flushes and messages released during static
+  // destruction must always find a live pool.
+  static MsgPool* pool = new MsgPool();
+  return *pool;
+}
+
+int MsgPool::class_of(std::size_t bytes) {
+  for (std::size_t i = 0; i < kNumClasses; ++i) {
+    if (bytes <= kClassSizes[i]) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+MsgPool::Cache& MsgPool::cache() {
+  thread_local Cache c;
+  return c;
+}
+
+MsgPool::Cache::~Cache() {
+  MsgPool& pool = MsgPool::instance();
+  for (std::size_t cls = 0; cls < kNumClasses; ++cls) {
+    if (count[cls] > 0) {
+      pool.spill(static_cast<int>(cls), slots[cls].data(), count[cls]);
+      count[cls] = 0;
+    }
+  }
+}
+
+void* MsgPool::allocate(std::size_t bytes, std::size_t align) {
+  int cls = class_of(bytes);
+  if (cls < 0 || align > alignof(std::max_align_t)) {
+    heap_allocs_.fetch_add(1, std::memory_order_relaxed);
+    return align > alignof(std::max_align_t)
+               ? ::operator new(bytes, std::align_val_t(align))
+               : ::operator new(bytes);
+  }
+  Cache& c = cache();
+  std::size_t& n = c.count[cls];
+  if (n > 0) {
+    pool_allocs_.fetch_add(1, std::memory_order_relaxed);
+    return c.slots[cls][--n];
+  }
+  return refill_and_allocate(cls);
+}
+
+void* MsgPool::refill_and_allocate(int cls) {
+  Cache& c = cache();
+  const std::size_t block = kClassSizes[cls];
+  {
+    std::lock_guard lock(mu_);
+    // Batch-refill from the global free list first.
+    FreeNode* head = free_[cls];
+    std::size_t got = 0;
+    while (head != nullptr && got < kBatch) {
+      c.slots[cls][got++] = head;
+      head = head->next;
+    }
+    free_[cls] = head;
+    if (got > 0) {
+      c.count[cls] = got - 1;
+      pool_allocs_.fetch_add(1, std::memory_order_relaxed);
+      return c.slots[cls][got - 1];
+    }
+    // Dry: carve from the current slab (each block max_align_t-aligned
+    // because every class size is a multiple of 16 and the slab itself
+    // comes from operator new[]).
+    if (slab_cur_ == nullptr ||
+        static_cast<std::size_t>(slab_end_ - slab_cur_) < block) {
+      if (slab_limit_ == 0 ||
+          slab_count_.load(std::memory_order_relaxed) < slab_limit_) {
+        slabs_.push_back(std::make_unique<std::byte[]>(kSlabBytes));
+        slab_cur_ = slabs_.back().get();
+        slab_end_ = slab_cur_ + kSlabBytes;
+        slab_count_.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+    if (slab_cur_ != nullptr &&
+        static_cast<std::size_t>(slab_end_ - slab_cur_) >= block) {
+      // Take a whole batch while the lock is held.
+      std::size_t want = kBatch;
+      std::size_t avail = static_cast<std::size_t>(slab_end_ - slab_cur_) / block;
+      if (want > avail) want = avail;
+      for (std::size_t i = 0; i < want; ++i) {
+        c.slots[cls][i] = slab_cur_;
+        slab_cur_ += block;
+      }
+      c.count[cls] = want - 1;
+      pool_allocs_.fetch_add(1, std::memory_order_relaxed);
+      return c.slots[cls][want - 1];
+    }
+  }
+  // Slab budget exhausted (test mode): transparent heap fallback. The
+  // block is class-sized, so deallocate will adopt it into the pool's
+  // free lists — by design indistinguishable from a slab block there.
+  heap_allocs_.fetch_add(1, std::memory_order_relaxed);
+  adopted_.fetch_add(1, std::memory_order_relaxed);
+  return ::operator new(block);
+}
+
+void MsgPool::deallocate(void* p, std::size_t bytes, std::size_t align) noexcept {
+  if (p == nullptr) return;
+  int cls = class_of(bytes);
+  if (cls < 0 || align > alignof(std::max_align_t)) {
+    if (align > alignof(std::max_align_t)) {
+      ::operator delete(p, std::align_val_t(align));
+    } else {
+      ::operator delete(p);
+    }
+    return;
+  }
+  Cache& c = cache();
+  std::size_t& n = c.count[cls];
+  if (n == kCacheCap) {
+    // Spill the older half to the global list, keep the hot half local.
+    spill(cls, c.slots[cls].data(), kBatch);
+    std::memmove(c.slots[cls].data(), c.slots[cls].data() + kBatch,
+                 (kCacheCap - kBatch) * sizeof(void*));
+    n -= kBatch;
+  }
+  c.slots[cls][n++] = p;
+}
+
+void MsgPool::spill(int cls, void** blocks, std::size_t n) {
+  std::lock_guard lock(mu_);
+  for (std::size_t i = 0; i < n; ++i) {
+    FreeNode* node = static_cast<FreeNode*>(blocks[i]);
+    node->next = free_[cls];
+    free_[cls] = node;
+  }
+}
+
+MsgPool::Stats MsgPool::stats() const {
+  Stats s;
+  s.pool_allocs = pool_allocs_.load(std::memory_order_relaxed);
+  s.heap_allocs = heap_allocs_.load(std::memory_order_relaxed);
+  s.slabs = slab_count_.load(std::memory_order_relaxed);
+  s.adopted = adopted_.load(std::memory_order_relaxed);
+  return s;
+}
+
+void MsgPool::set_slab_limit(std::uint64_t n) {
+  std::lock_guard lock(mu_);
+  slab_limit_ = n;
+}
+
+}  // namespace wrs

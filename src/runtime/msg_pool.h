@@ -1,0 +1,169 @@
+// Slab pool for protocol messages — make_msg<T>(...) instead of
+// std::make_shared<T>(...).
+//
+// Every protocol message used to be one std::make_shared per
+// construction: a combined control-block+object heap allocation on the
+// send side and another on the decode side of every frame. This pool
+// recycles exactly those blocks. make_msg<T> is std::allocate_shared
+// over a stateless PoolAllocator, so the shared_ptr machinery (aliasing,
+// weak counts, msg_cast) is unchanged — only where the bytes come from
+// differs:
+//
+//   * Size classes. Control-block-wrapped messages cluster in a handful
+//     of sizes; allocations are rounded up to one of kClassSizes and
+//     served from a per-class intrusive free list (the freed block's
+//     first word is the next pointer, so lists cost no side memory).
+//   * Thread-local caches. Each thread holds up to kCacheCap free
+//     blocks per class; alloc/free in steady state touch only the
+//     cache — no atomics, no locks, no allocator. The cache refills
+//     from / spills to a mutex-guarded global list in batches of
+//     kBatch, and flushes itself on thread exit.
+//   * Slabs. When the global list is dry the pool carves fresh blocks
+//     out of kSlabBytes slabs (one allocation amortized over hundreds
+//     of messages) until an optional test-only slab budget is hit.
+//   * Heap fallback. Oversized requests — and every request past the
+//     slab budget — go straight to operator new. Fallback blocks of a
+//     class size are indistinguishable from slab blocks at free time
+//     and are simply ADOPTED into the free lists (deallocate recomputes
+//     the class from the byte count, so no per-block header is needed).
+//     The pool is a leaky singleton: everything stays reachable, so
+//     LSan sees retained pool memory, not leaks.
+//
+// make_pooled<T> is the same machinery for non-Message pooled objects
+// (the decode path's ChangeSet snapshots ride it too).
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <new>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "runtime/message.h"
+
+namespace wrs {
+
+class MsgPool {
+ public:
+  /// Rounded-up block sizes. 64..768 bytes covers every message type's
+  /// allocate_shared block (ReadAck with an inline value, BatchReply
+  /// headers, ChangeSet snapshots); bigger requests fall through to the
+  /// heap untouched.
+  static constexpr std::array<std::size_t, 8> kClassSizes = {
+      64, 96, 128, 192, 256, 384, 512, 768};
+  static constexpr std::size_t kNumClasses = kClassSizes.size();
+  static constexpr std::size_t kMaxBlockBytes = kClassSizes.back();
+  static constexpr std::size_t kSlabBytes = 256 * 1024;
+  static constexpr std::size_t kCacheCap = 64;   ///< blocks per class per thread
+  static constexpr std::size_t kBatch = 32;      ///< cache <-> global transfer
+
+  /// Leaky singleton: constructed on first use, never destroyed, so
+  /// thread-exit cache flushes and static-destruction-order message
+  /// releases always have a live pool to return blocks to.
+  static MsgPool& instance();
+
+  /// A block of at least `bytes`; pooled when a class fits, heap
+  /// otherwise. Alignment above alignof(max_align_t) is not supported
+  /// (no message needs it) and also falls through to the aligned heap.
+  void* allocate(std::size_t bytes, std::size_t align);
+  void deallocate(void* p, std::size_t bytes, std::size_t align) noexcept;
+
+  struct Stats {
+    std::uint64_t pool_allocs = 0;   ///< served from cache/free list/slab
+    std::uint64_t heap_allocs = 0;   ///< oversize or slab budget exhausted
+    std::uint64_t slabs = 0;         ///< slabs carved so far
+    std::uint64_t adopted = 0;       ///< heap-fallback blocks now pooled
+  };
+  Stats stats() const;
+
+  /// Test hook: cap the pool at `n` slabs (0 = unlimited). Exhaustion
+  /// then exercises the heap-fallback path deterministically.
+  void set_slab_limit(std::uint64_t n);
+
+ private:
+  MsgPool() = default;
+
+  struct FreeNode {
+    FreeNode* next;
+  };
+
+  /// Per-thread per-class stack of free blocks. Registered with the
+  /// pool on first use; flushes every block back on thread exit.
+  struct Cache {
+    std::array<std::array<void*, kCacheCap>, kNumClasses> slots{};
+    std::array<std::size_t, kNumClasses> count{};
+    ~Cache();
+  };
+
+  static Cache& cache();
+
+  /// -1 when no class fits.
+  static int class_of(std::size_t bytes);
+
+  void* refill_and_allocate(int cls);         // cache miss
+  void spill(int cls, void** blocks, std::size_t n);  // cache overflow / exit
+
+  mutable std::mutex mu_;
+  std::array<FreeNode*, kNumClasses> free_ = {};
+  std::vector<std::unique_ptr<std::byte[]>> slabs_;
+  std::byte* slab_cur_ = nullptr;
+  std::byte* slab_end_ = nullptr;
+  std::uint64_t slab_limit_ = 0;  ///< 0 = unlimited
+  std::atomic<std::uint64_t> pool_allocs_{0};
+  std::atomic<std::uint64_t> heap_allocs_{0};
+  std::atomic<std::uint64_t> slab_count_{0};
+  std::atomic<std::uint64_t> adopted_{0};
+
+  template <typename T>
+  friend struct PoolAllocator;
+};
+
+/// Stateless allocator routing allocate_shared's combined block through
+/// the pool. Rebind-compatible; every instance is equal.
+template <typename T>
+struct PoolAllocator {
+  using value_type = T;
+
+  PoolAllocator() noexcept = default;
+  template <typename U>
+  PoolAllocator(const PoolAllocator<U>&) noexcept {}
+
+  T* allocate(std::size_t n) {
+    return static_cast<T*>(
+        MsgPool::instance().allocate(n * sizeof(T), alignof(T)));
+  }
+  void deallocate(T* p, std::size_t n) noexcept {
+    MsgPool::instance().deallocate(p, n * sizeof(T), alignof(T));
+  }
+
+  template <typename U>
+  bool operator==(const PoolAllocator<U>&) const noexcept {
+    return true;
+  }
+};
+
+/// Pool-backed replacement for std::make_shared on any type whose
+/// lifetime is shared-ptr-managed (messages, decode-side ChangeSets).
+template <typename T, typename... Args>
+std::shared_ptr<T> make_pooled(Args&&... args) {
+  return std::allocate_shared<T>(PoolAllocator<std::remove_const_t<T>>{},
+                                 std::forward<Args>(args)...);
+}
+
+/// Protocol-message factory: the ONLY sanctioned way to construct a
+/// Message on a hot path (CI greps against raw make_shared<XxxReq/Ack>).
+/// Returns shared_ptr<T> so call sites can mutate before publishing as
+/// a MsgPtr.
+template <typename T, typename... Args>
+std::shared_ptr<T> make_msg(Args&&... args) {
+  static_assert(std::is_base_of_v<Message, std::remove_const_t<T>>,
+                "make_msg is for protocol messages; use make_pooled");
+  return make_pooled<T>(std::forward<Args>(args)...);
+}
+
+}  // namespace wrs

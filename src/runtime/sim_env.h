@@ -41,6 +41,9 @@ class SimEnv : public Env {
     traffic_export_ = ledger_.snapshot();
     return traffic_export_;
   }
+  void count_event(TrafficLedger::Slot slot, std::int64_t by = 1) override {
+    ledger_.inc(slot, by);
+  }
   std::vector<ProcessId> server_ids() const override;
   /// Faults draw from the simulator's seeded rng, so an entire chaos
   /// episode (including bounded reordering) replays bit-for-bit from the

@@ -23,7 +23,13 @@ SocketEnv::SocketEnv(Options opts)
   transport_.set_events(net::SocketTransport::Events{
       [this](net::SocketTransport::ConnId conn, const std::uint8_t* body,
              std::size_t len) { on_frame(conn, body, len); },
-      [this](net::SocketTransport::ConnId conn) { on_conn_closed(conn); }});
+      [this](net::SocketTransport::ConnId conn) { on_conn_closed(conn); },
+      // Timer gate: schedule() tags its timers with pid+1; a crashed
+      // process's pending callbacks are dropped at fire time without
+      // wrapping the Task in another closure.
+      [this](std::uint64_t token) {
+        return !is_crashed(static_cast<ProcessId>(token - 1));
+      }});
 }
 
 SocketEnv::~SocketEnv() { stop(); }
@@ -38,7 +44,7 @@ void SocketEnv::start() {
   }
   transport_.listen(opts_.listen);
   self_addr_ = *transport_.listen_addr();
-  self_key_ = self_addr_.str();
+  self_peer_ = transport_.intern_peer(self_addr_);
   transport_.start();
   transport_.post([this, to_start = std::move(to_start)] {
     for (auto& [pid, proc] : to_start) {
@@ -114,29 +120,39 @@ std::vector<ProcessId> SocketEnv::server_ids() const {
 }
 
 void SocketEnv::add_route(ProcessId pid, const net::SocketAddr& addr) {
+  net::SocketTransport::PeerId peer = transport_.intern_peer(addr);
   std::lock_guard lock(mu_);
   routes_[pid] = addr;
+  route_peers_[pid] = peer;
 }
 
 void SocketEnv::schedule(ProcessId pid, TimeNs delay, Task fn) {
-  // SocketTransport timers are std::function (copyable), so the move-only
-  // Task rides in a shared_ptr. The extra allocation is irrelevant next
-  // to the syscalls this runtime makes per message.
-  auto shared_fn = std::make_shared<Task>(std::move(fn));
-  transport_.schedule_after(delay, [this, pid, shared_fn] {
-    bool run;
-    {
-      std::lock_guard lock(mu_);
-      run = crashed_.count(pid) == 0;
-    }
-    if (run) (*shared_fn)();
-  });
+  // The Task moves into the transport's timer heap as-is (no wrapper
+  // closure, no allocation); the pid+1 token routes the crash check
+  // through the timer_gate callback at fire time (0 = ungated).
+  transport_.schedule_after(delay, static_cast<std::uint64_t>(pid) + 1,
+                            std::move(fn));
 }
+
+namespace {
+
+/// Per-sending-thread encode arena: chunks recycle through the global
+/// pool as the loop thread releases written segments, so steady-state
+/// encode+send is allocation-free end to end.
+net::EncodeArena& send_arena() {
+  thread_local net::EncodeArena arena;
+  return arena;
+}
+
+}  // namespace
 
 void SocketEnv::send(ProcessId from, ProcessId to, MsgPtr msg) {
   // Serialize first: an unencodable type is a caller bug and throws even
-  // if faults would have dropped the message anyway.
-  std::vector<std::uint8_t> frame = net::WireCodec::encode_frame(from, to, *msg);
+  // if faults would have dropped the message anyway. The encode lands in
+  // the thread-local arena; `frame` (and any duplicate copies, which
+  // just bump the chunk refcount) share that single encode.
+  net::Segment frame = net::WireCodec::encode_frame_arena(send_arena(), from,
+                                                          to, *msg);
 
   // Routing decisions happen under mu_, but every transport_ call is
   // made OUTSIDE it: on the loop thread a send can fail and close the
@@ -144,8 +160,7 @@ void SocketEnv::send(ProcessId from, ProcessId to, MsgPtr msg) {
   enum class Via { kNone, kLocal, kPeer, kConn };
   Via via = Via::kNone;
   int copies = 1;
-  std::string peer_key;
-  net::SocketAddr peer_addr;
+  net::SocketTransport::PeerId peer = net::SocketTransport::kNoPeer;
   net::SocketTransport::ConnId conn = 0;
   ledger_.count_message(*msg, static_cast<std::int64_t>(frame.size()));
   count_shard_traffic(from, to, frame.size());
@@ -166,15 +181,13 @@ void SocketEnv::send(ProcessId from, ProcessId to, MsgPtr msg) {
     if (local_.count(to) != 0) {
       if (opts_.loopback_self) {  // out through our own listener
         via = Via::kPeer;
-        peer_key = self_key_;
-        peer_addr = self_addr_;
+        peer = self_peer_;
       } else {
         via = Via::kLocal;
       }
-    } else if (auto rit = routes_.find(to); rit != routes_.end()) {
+    } else if (auto rit = route_peers_.find(to); rit != route_peers_.end()) {
       via = Via::kPeer;
-      peer_key = rit->second.str();
-      peer_addr = rit->second;
+      peer = rit->second;
     } else if (auto lit = learned_.find(to); lit != learned_.end()) {
       via = Via::kConn;
       conn = lit->second;
@@ -198,9 +211,9 @@ void SocketEnv::send(ProcessId from, ProcessId to, MsgPtr msg) {
       transport_.post(
           [this, from, to, local_msg] { deliver(from, to, local_msg); });
     } else if (via == Via::kPeer) {
-      transport_.send_to_peer(peer_key, peer_addr, frame);
+      transport_.send_to_peer(peer, net::Segment(frame));
     } else {
-      transport_.send_on_conn(conn, frame);
+      transport_.send_on_conn(conn, net::Segment(frame));
     }
   }
 }
@@ -278,7 +291,7 @@ void SocketEnv::fault_poll() {
     // Collect the remote peers whose every pid pair is cut both ways;
     // their connections get torn down for real (the redial/backoff path
     // then exercises reconnection when the partition heals).
-    std::vector<std::string> cut_peers;
+    std::vector<net::SocketTransport::PeerId> cut_peers;
     std::vector<net::SocketTransport::ConnId> cut_conns;
     {
       std::lock_guard lock(mu_);
@@ -293,17 +306,17 @@ void SocketEnv::fault_poll() {
         }
         return any;
       };
-      for (const auto& [pid, addr] : routes_) {
+      for (const auto& [pid, peer] : route_peers_) {
         if (local_.count(pid) == 0 && fully_cut(pid)) {
-          cut_peers.push_back(addr.str());
+          cut_peers.push_back(peer);
         }
       }
       for (const auto& [pid, conn] : learned_) {
         if (fully_cut(pid)) cut_conns.push_back(conn);
       }
     }
-    for (const auto& key : cut_peers) {
-      transport_.close_peer(key);
+    for (auto peer : cut_peers) {
+      transport_.close_peer(peer);
       fault_teardowns_.fetch_add(1, std::memory_order_relaxed);
     }
     for (auto conn : cut_conns) {

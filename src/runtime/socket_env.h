@@ -74,10 +74,13 @@ class SocketEnv : public Env {
 
   // --- Env interface -------------------------------------------------------
   TimeNs now() const override;
-  /// Serializes and ships `msg`. Throws std::invalid_argument for message
-  /// types outside the wire protocol (WireCodec::encodable). A message to
-  /// a pid with neither a local handler, a static route, nor a learned
-  /// connection is dropped and counted ("msgs.unroutable").
+  /// Serializes and ships `msg` — encoded once into a thread-local
+  /// arena (zero heap allocations per message in steady state; the
+  /// runtime_overhead bench gates this). Throws std::invalid_argument
+  /// for message types outside the wire protocol (WireCodec::encodable).
+  /// A message to a pid with neither a local handler, a static route,
+  /// nor a learned connection is dropped and counted
+  /// ("msgs.unroutable").
   void send(ProcessId from, ProcessId to, MsgPtr msg) override;
   void schedule(ProcessId pid, TimeNs delay, Task fn) override;
   /// Allowed before or after start(); after, on_start is delivered
@@ -90,6 +93,9 @@ class SocketEnv : public Env {
   const Counters& traffic() const override {
     traffic_export_ = ledger_.snapshot();
     return traffic_export_;
+  }
+  void count_event(TrafficLedger::Slot slot, std::int64_t by = 1) override {
+    ledger_.inc(slot, by);
   }
   std::vector<ProcessId> server_ids() const override;
   LinkFaults& faults() override { return faults_; }
@@ -125,13 +131,17 @@ class SocketEnv : public Env {
   Options opts_;
   net::SocketTransport transport_;
   std::chrono::steady_clock::time_point epoch_;
-  std::string self_key_;  // loopback_self routing key (after start)
+  net::SocketTransport::PeerId self_peer_ =
+      net::SocketTransport::kNoPeer;  // loopback_self target (after start)
   net::SocketAddr self_addr_;
 
   mutable std::mutex mu_;  // guards everything below
   std::map<ProcessId, Process*> local_;
   std::set<ProcessId> crashed_;
   std::map<ProcessId, net::SocketAddr> routes_;
+  // Route targets interned once at add_route: the per-send path looks
+  // up a dense PeerId instead of building an address string.
+  std::map<ProcessId, net::SocketTransport::PeerId> route_peers_;
   std::map<ProcessId, net::SocketTransport::ConnId> learned_;
   LinkFaults faults_;
   Rng rng_;

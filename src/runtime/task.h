@@ -112,35 +112,54 @@ class Task {
   const VTable* vt_ = nullptr;
 };
 
-/// FIFO ring of Tasks with power-of-two capacity that grows on demand
-/// and never shrinks: after warm-up, push/pop are pointer bumps.
-class TaskRing {
+/// FIFO ring with power-of-two capacity that grows on demand and never
+/// shrinks: after warm-up, push/pop are pointer bumps. T must be
+/// default-constructible and move-assignable (Task, the transport's
+/// command records).
+template <typename T>
+class GrowRing {
  public:
   bool empty() const { return head_ == tail_; }
   std::size_t size() const { return tail_ - head_; }
   std::size_t capacity() const { return buf_.size(); }
 
-  void push(Task t) {
+  void push(T t) {
     if (size() == buf_.size()) grow();
     buf_[tail_ & mask_] = std::move(t);
     ++tail_;
   }
 
-  Task pop() {
-    Task t = std::move(buf_[head_ & mask_]);
+  T pop() {
+    T t = std::move(buf_[head_ & mask_]);
+    buf_[head_ & mask_] = T{};  // release resources now, not a lap later
     ++head_;
     return t;
   }
 
+  /// i-th element from the front (0 = next pop). The transport's
+  /// scatter-gather flush peeks a span of queued segments without
+  /// popping them until the kernel accepted their bytes.
+  T& operator[](std::size_t i) { return buf_[(head_ + i) & mask_]; }
+  const T& operator[](std::size_t i) const { return buf_[(head_ + i) & mask_]; }
+
   void clear() {
     while (!empty()) pop();
+  }
+
+  /// O(1) exchange — the transport's two-ring drain (producers fill one
+  /// ring under a lock, the loop thread drains the other) hinges on it.
+  void swap(GrowRing& other) noexcept {
+    buf_.swap(other.buf_);
+    std::swap(mask_, other.mask_);
+    std::swap(head_, other.head_);
+    std::swap(tail_, other.tail_);
   }
 
  private:
   void grow() {
     const std::size_t n = size();
     const std::size_t cap = buf_.empty() ? 16 : buf_.size() * 2;
-    std::vector<Task> next(cap);
+    std::vector<T> next(cap);
     for (std::size_t i = 0; i < n; ++i) {
       next[i] = std::move(buf_[(head_ + i) & mask_]);
     }
@@ -150,10 +169,13 @@ class TaskRing {
     tail_ = n;
   }
 
-  std::vector<Task> buf_;
+  std::vector<T> buf_;
   std::size_t mask_ = 0;
   std::size_t head_ = 0;
   std::size_t tail_ = 0;
 };
+
+/// The mailbox/timer ring of small-buffer Tasks.
+using TaskRing = GrowRing<Task>;
 
 }  // namespace wrs

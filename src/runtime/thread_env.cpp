@@ -9,8 +9,12 @@ namespace wrs {
 
 using Clock = std::chrono::steady_clock;
 
-ThreadEnv::ThreadEnv(std::shared_ptr<LatencyModel> latency, std::uint64_t seed)
-    : latency_(std::move(latency)), epoch_(Clock::now()), rng_(seed) {
+ThreadEnv::ThreadEnv(std::shared_ptr<LatencyModel> latency, std::uint64_t seed,
+                     std::size_t mailbox_slots)
+    : latency_(std::move(latency)),
+      epoch_(Clock::now()),
+      mailbox_slots_(mailbox_slots < 2 ? 2 : mailbox_slots),
+      rng_(seed) {
   // Publish an empty routing table so send() never sees null.
   auto empty = std::make_unique<Routing>();
   routing_.store(empty.get(), std::memory_order_release);
@@ -51,7 +55,7 @@ void ThreadEnv::register_process(ProcessId pid, Process* process) {
     throw std::logic_error("ThreadEnv: process " + process_name(pid) +
                            " already registered");
   }
-  auto box = std::make_unique<Mailbox>();
+  auto box = std::make_unique<Mailbox>(mailbox_slots_);
   box->process = process;
   Mailbox* live = box.get();
   boxes_[pid] = std::move(box);
@@ -100,7 +104,7 @@ void ThreadEnv::stop() {
   for (Mailbox* box : boxes) {
     {
       std::lock_guard lock(box->mu);
-      box->stopped = true;
+      box->stopped.store(true, std::memory_order_release);
     }
     box->cv.notify_all();
   }
@@ -111,33 +115,80 @@ void ThreadEnv::stop() {
 
 void ThreadEnv::worker_loop(Mailbox* box) {
   for (;;) {
+    // stop() may leave tasks undelivered (it "drains nothing"); checking
+    // here — not just when idle — keeps that prompt under load.
+    if (box->stopped.load(std::memory_order_acquire)) return;
     Task task;
-    {
-      std::unique_lock lock(box->mu);
-      while (!box->stopped && box->tasks.empty()) {
-        box->waiting = true;
-        box->cv.wait(lock);
+    bool have = false;
+    if (box->ring.try_pop(task)) {
+      have = true;
+    } else if (box->overflow_active.load(std::memory_order_acquire)) {
+      // Ring empty and a spill exists: drain it under the lock. The flag
+      // clears only here, with the overflow empty, so producers keep
+      // diverting (preserving their FIFO) until every spilled task left.
+      std::lock_guard lock(box->mu);
+      if (!box->overflow.empty()) {
+        task = box->overflow.pop();
+        have = true;
       }
-      box->waiting = false;
-      if (box->stopped) return;
-      task = box->tasks.pop();
-      if (box->crashed.load(std::memory_order_relaxed)) continue;  // drain
+      if (box->overflow.empty()) {
+        box->overflow_active.store(false, std::memory_order_release);
+      }
+    } else {
+      // Park. Dekker handshake with the producers' post-push fence:
+      // advertise parked, fence, recheck — either this sees the push, or
+      // the producer's fenced load sees parked and notifies under mu.
+      box->parked.store(true, std::memory_order_relaxed);
+      std::atomic_thread_fence(std::memory_order_seq_cst);
+      if (box->ring.can_pop() ||
+          box->overflow_active.load(std::memory_order_acquire) ||
+          box->stopped.load(std::memory_order_acquire)) {
+        box->parked.store(false, std::memory_order_relaxed);
+        continue;
+      }
+      std::unique_lock lock(box->mu);
+      box->cv.wait(lock, [box] {
+        return box->stopped.load(std::memory_order_acquire) ||
+               box->overflow_active.load(std::memory_order_acquire) ||
+               box->ring.can_pop();
+      });
+      box->parked.store(false, std::memory_order_relaxed);
+      continue;
     }
-    task();
+    if (have && !box->crashed.load(std::memory_order_relaxed)) {
+      task();
+    }
+    // Crashed: the popped task is destroyed unexecuted (drain).
   }
 }
 
 void ThreadEnv::enqueue_task(Mailbox* box, Task fn) {
-  bool wake = false;
+  if (box->crashed.load(std::memory_order_acquire)) return;
+  if (!box->overflow_active.load(std::memory_order_acquire) &&
+      box->ring.try_push(std::move(fn))) {
+    // Lock-free publish succeeded. Notify only when the worker is
+    // parked; the fence pairs with the worker's park-then-recheck so a
+    // wakeup is never missed.
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+    if (box->parked.load(std::memory_order_relaxed)) {
+      { std::lock_guard lock(box->mu); }  // order notify after the wait
+      box->cv.notify_one();
+    }
+    return;
+  }
+  // Ring full (or a spill is already active): divert to the locked
+  // overflow ring. The worker drains it ring-first, so the diverted
+  // task is delivered after everything already published.
   {
     std::lock_guard lock(box->mu);
-    if (box->stopped || box->crashed.load(std::memory_order_relaxed)) return;
-    box->tasks.push(std::move(fn));
-    // Notify only when the worker is actually parked on the condvar;
-    // while it is busy draining, the push alone is enough.
-    wake = box->waiting;
+    if (box->stopped.load(std::memory_order_relaxed) ||
+        box->crashed.load(std::memory_order_relaxed)) {
+      return;
+    }
+    box->overflow_active.store(true, std::memory_order_release);
+    box->overflow.push(std::move(fn));
   }
-  if (wake) box->cv.notify_one();
+  box->cv.notify_one();
 }
 
 void ThreadEnv::send(ProcessId from, ProcessId to, MsgPtr msg) {
@@ -248,8 +299,13 @@ void ThreadEnv::crash(ProcessId pid) {
   Mailbox* box = routing()->find(pid);
   if (box == nullptr) return;
   box->crashed.store(true, std::memory_order_release);
-  std::lock_guard lock(box->mu);
-  box->tasks.clear();
+  {
+    std::lock_guard lock(box->mu);
+    box->overflow.clear();
+  }
+  // Only the worker may pop the lock-free ring: wake it so it promptly
+  // drains (and destroys, unexecuted) whatever was already published.
+  box->cv.notify_one();
 }
 
 bool ThreadEnv::is_crashed(ProcessId pid) const {

@@ -23,10 +23,16 @@
 //    sample actually needs the seeded rng; the common configuration
 //    (no faults, no latency model) takes no lock at all.
 //  * Mailboxes are cache-line-aligned (no false sharing between
-//    neighbors), hold tasks in a grow-only TaskRing of small-buffer
-//    Tasks (steady-state enqueue/deliver does zero heap allocations —
-//    bench/runtime_overhead gates this), and elide the condvar notify
-//    unless the worker is actually waiting.
+//    neighbors) and LOCK-FREE on the delivery fast path: a bounded
+//    Vyukov MPSC ring of small-buffer Tasks (steady-state
+//    enqueue/deliver does zero heap allocations and takes zero locks —
+//    bench/runtime_overhead gates the former), with the condvar notify
+//    elided unless the worker is actually parked (a seq_cst-fence
+//    Dekker handshake, not a lock, decides that). When the ring fills,
+//    ALL enqueues divert to a mutex-guarded grow-only spill ring until
+//    the worker drains it — per-sender FIFO survives the diversion —
+//    so a burst past `mailbox_slots` degrades to the old locked path
+//    instead of dropping or blocking.
 //
 // This runtime exists to demonstrate that every protocol in the library
 // is a real concurrent program, not a simulator artifact: the integration
@@ -49,6 +55,7 @@
 #include "common/rng.h"
 #include "runtime/env.h"
 #include "runtime/latency_model.h"
+#include "runtime/mpsc_queue.h"
 #include "runtime/task.h"
 #include "runtime/traffic_ledger.h"
 
@@ -56,9 +63,17 @@ namespace wrs {
 
 class ThreadEnv : public Env {
  public:
-  /// `latency` may be null (deliver as fast as possible).
+  /// Lock-free mailbox ring capacity (per process, rounded up to a
+  /// power of two). Beyond this many undelivered tasks, enqueues spill
+  /// to the locked overflow ring — correct but slower. 1024 comfortably
+  /// covers every in-flight bound in the repo's benches.
+  static constexpr std::size_t kDefaultMailboxSlots = 1024;
+
+  /// `latency` may be null (deliver as fast as possible). Tests shrink
+  /// `mailbox_slots` to force the overflow path deterministically.
   explicit ThreadEnv(std::shared_ptr<LatencyModel> latency = nullptr,
-                     std::uint64_t seed = 1);
+                     std::uint64_t seed = 1,
+                     std::size_t mailbox_slots = kDefaultMailboxSlots);
   ~ThreadEnv() override;
 
   ThreadEnv(const ThreadEnv&) = delete;
@@ -78,6 +93,9 @@ class ThreadEnv : public Env {
   /// Only meaningful after stop(): the returned snapshot is materialized
   /// per call and not synchronized against concurrent traffic() readers.
   const Counters& traffic() const override;
+  void count_event(TrafficLedger::Slot slot, std::int64_t by = 1) override {
+    ledger_.inc(slot, by);
+  }
   std::vector<ProcessId> server_ids() const override;
   /// Drop/duplicate decisions draw from the env's seeded rng under a
   /// dedicated lock; the reorder knob is ignored (reordering is the
@@ -97,12 +115,27 @@ class ThreadEnv : public Env {
  private:
   // Aligned so adjacent mailboxes (one per process, touched by different
   // worker threads) never share a cache line.
+  //
+  // Fast path: producers try_push into `ring` and (only when the worker
+  // advertised it is parked) notify the condvar. Slow path: when the
+  // ring is full, `overflow_active` flips on and EVERY enqueue goes to
+  // the locked `overflow` ring until the worker empties it — a sender
+  // that spilled message k there can only reach the lock-free ring
+  // again after k was popped, so per-sender FIFO holds across the
+  // diversion. Crash drops tasks at both enqueue (flag checked first)
+  // and pop (worker discards while crashed) — in-ring tasks of a
+  // crashed process are destroyed unexecuted, same observable behavior
+  // as the old clear-under-mutex.
   struct alignas(kCacheLineSize) Mailbox {
-    std::mutex mu;
+    explicit Mailbox(std::size_t slots) : ring(slots) {}
+
+    MpscRing<Task> ring;             // lock-free fast path
+    std::mutex mu;                   // guards overflow + park handshake
     std::condition_variable cv;
-    TaskRing tasks;      // guarded by mu
-    bool stopped = false;   // guarded by mu
-    bool waiting = false;   // guarded by mu; true while worker blocks on cv
+    TaskRing overflow;               // guarded by mu
+    std::atomic<bool> overflow_active{false};
+    std::atomic<bool> stopped{false};   // set under mu (cv sync)
+    std::atomic<bool> parked{false};    // worker blocks on cv iff true
     // Read lock-free on send/is_crashed paths; transitions false→true
     // exactly once.
     std::atomic<bool> crashed{false};
@@ -149,6 +182,7 @@ class ThreadEnv : public Env {
 
   std::shared_ptr<LatencyModel> latency_;
   std::chrono::steady_clock::time_point epoch_;
+  std::size_t mailbox_slots_;
 
   mutable std::mutex mu_;  // guards registration/lifecycle state
   std::map<ProcessId, std::unique_ptr<Mailbox>> boxes_;

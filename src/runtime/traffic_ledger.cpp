@@ -10,9 +10,10 @@ namespace wrs {
 namespace {
 
 constexpr const char* kSlotNames[TrafficLedger::kSlotCount] = {
-    "msgs",           "bytes",          "msgs.lost",
-    "msgs.dup",       "msgs.in",        "bytes.in",
+    "msgs",            "bytes",          "msgs.lost",
+    "msgs.dup",        "msgs.in",        "bytes.in",
     "msgs.unroutable", "msgs.malformed", "msgs.no_handler",
+    "reads.fast_path",
 };
 
 // Process-wide TypeId -> "msg.<type_name>" registry. Entries are

@@ -42,6 +42,10 @@ class TrafficLedger {
     kMsgsUnroutable,
     kMsgsMalformed,
     kMsgsNoHandler,
+    /// Reads completed in one round (AbdClient fast path: the phase-1
+    /// quorum unanimously reported the max tag, so the write-back was
+    /// provably redundant and skipped).
+    kReadsFastPath,
     kSlotCount,
   };
 

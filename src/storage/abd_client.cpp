@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "common/logging.h"
+#include "runtime/msg_pool.h"
 
 namespace wrs {
 
@@ -177,19 +178,19 @@ void AbdClient::start_phase2(Op& op) {
 void AbdClient::broadcast_phase(const Op& op) {
   MsgPtr req;
   if (op.kind == OpKind::kFreeze) {
-    req = std::make_shared<MigFreeze>(op.id, op.key, op.mig_epoch,
+    req = make_msg<MigFreeze>(op.id, op.key, op.mig_epoch,
                                       op.mig_owner, op.seq, config_.shard);
   } else if (op.kind == OpKind::kCommit) {
-    req = std::make_shared<MigCommit>(op.id, op.key, op.mig_owner,
+    req = make_msg<MigCommit>(op.id, op.key, op.mig_owner,
                                       op.mig_epoch, op.mig_install, op.seq,
                                       config_.shard);
   } else if (op.phase == 2) {
-    req = std::make_shared<WriteReq>(op.id, op.to_write, op.key, op.seq,
+    req = make_msg<WriteReq>(op.id, op.to_write, op.key, op.seq,
                                      config_.shard);
   } else if (op.kind == OpKind::kListKeys) {
-    req = std::make_shared<KeysReq>(op.id, op.seq, config_.shard);
+    req = make_msg<KeysReq>(op.id, op.seq, config_.shard);
   } else {
-    req = std::make_shared<ReadReq>(op.id, op.key, op.seq, config_.shard);
+    req = make_msg<ReadReq>(op.id, op.key, op.seq, config_.shard);
   }
   // Migration verbs never coalesce: servers apply them outside the
   // batched-frame path (a fence is rare control traffic, not a hot op).
@@ -245,7 +246,7 @@ void AbdClient::flush_batch() {
   batched_frames_ += frames.size();
   env_.broadcast_to_group(
       self_, servers_,
-      std::make_shared<BatchRequest>(config_.shard, std::move(frames)));
+      make_msg<BatchRequest>(config_.shard, std::move(frames)));
 }
 
 void AbdClient::schedule_retry(OpId id, std::uint32_t seq) {
@@ -383,6 +384,26 @@ bool AbdClient::handle(ProcessId from, const Message& msg) {
       return true;
     }
     if (op.kind == OpKind::kRead) {
+      if (read_fast_path_) {
+        // If EVERY quorum responder already reported the max tag, the
+        // value is provably stored at a weighted quorum and the
+        // write-back is redundant: any later read's quorum intersects
+        // this one and sees a tag >= maxreg.tag. Complete in one round.
+        bool unanimous = true;
+        for (const auto& [_, reg] : op.phase1_replies) {
+          if (reg.tag != maxreg.tag) {
+            unanimous = false;
+            break;
+          }
+        }
+        if (unanimous) {
+          ++fast_path_reads_;
+          env_.count_event(TrafficLedger::kReadsFastPath);
+          op.read_result = maxreg;
+          complete(op.id);
+          return true;
+        }
+      }
       op.read_result = maxreg;
       op.to_write = maxreg;  // write-back phase
     } else {

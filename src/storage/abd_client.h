@@ -176,6 +176,21 @@ class AbdClient {
   /// Phase broadcasts re-sent by the retry timer (observability/tests).
   std::uint64_t retransmits() const { return retransmits_; }
 
+  /// One-round read fast path (off by default). When every phase-1
+  /// quorum reply reports the max tag, that (tag, value) is already
+  /// stored at a weighted quorum — the one the replies came from — so
+  /// the write-back round re-installs what quorum intersection already
+  /// guarantees every future read will see. With the fast path on, such
+  /// reads complete after one round (halving msgs/op on read-heavy,
+  /// contention-free workloads) and are counted as "reads.fast_path" in
+  /// the env ledger. Off by default to keep the classical two-round
+  /// message pattern byte-for-byte for pinned traffic tests.
+  void set_read_fast_path(bool on) { read_fast_path_ = on; }
+  bool read_fast_path() const { return read_fast_path_; }
+
+  /// Reads completed via the one-round fast path (observability/tests).
+  std::uint64_t fast_path_reads() const { return fast_path_reads_; }
+
   /// Batched wire mode. `max_ops` <= 1 disables it (the default) — that
   /// path is byte-identical to the pre-batching client. With batching on,
   /// every phase broadcast is buffered and the buffer is flushed as ONE
@@ -269,6 +284,8 @@ class AbdClient {
   std::uint32_t max_restarts_ = 10'000;
   TimeNs retry_interval_ = 0;
   std::uint64_t retransmits_ = 0;
+  bool read_fast_path_ = false;
+  std::uint64_t fast_path_reads_ = 0;
 
   // --- batched wire mode ---------------------------------------------------
   std::size_t batch_max_ops_ = 1;  // <= 1: unbatched (byte-identical)

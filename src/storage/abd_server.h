@@ -47,6 +47,7 @@
 
 #include "common/flat_map.h"
 #include "runtime/env.h"
+#include "runtime/msg_pool.h"
 #include "storage/abd_messages.h"
 #include "storage/migration_messages.h"
 
@@ -97,7 +98,7 @@ class AbdServer {
       if (!acks.empty()) {
         TimeNs cost =
             service_time_ * static_cast<TimeNs>(acks.size());
-        reply(from, std::make_shared<BatchReply>(std::move(acks)), cost);
+        reply(from, make_msg<BatchReply>(std::move(acks)), cost);
       }
       return true;
     }
@@ -206,23 +207,23 @@ class AbdServer {
     if (const auto* r = msg_cast<ReadReq>(msg)) {
       if (misrouted(r->shard())) return nullptr;
       if (MsgPtr verdict = route_check(from, r->key(), r->op_id(), r->seq(),
-                                       std::make_shared<ReadReq>(*r))) {
+                                       make_msg<ReadReq>(*r))) {
         return verdict == kParkedSentinel() ? nullptr : verdict;
       }
       note_hit(r->key());
-      return std::make_shared<ReadAck>(r->op_id(), reg(r->key()), snapshot(),
+      return make_msg<ReadAck>(r->op_id(), reg(r->key()), snapshot(),
                                        r->seq());
     }
     if (const auto* w = msg_cast<WriteReq>(msg)) {
       if (misrouted(w->shard())) return nullptr;
       if (MsgPtr verdict = route_check(from, w->key(), w->op_id(), w->seq(),
-                                       std::make_shared<WriteReq>(*w))) {
+                                       make_msg<WriteReq>(*w))) {
         return verdict == kParkedSentinel() ? nullptr : verdict;
       }
       note_hit(w->key());
       TaggedValue& slot = regs_[w->key()];
       if (slot.tag < w->reg().tag) slot = w->reg();
-      return std::make_shared<WriteAck>(w->op_id(), snapshot(), w->seq());
+      return make_msg<WriteAck>(w->op_id(), snapshot(), w->seq());
     }
     if (const auto* k = msg_cast<KeysReq>(msg)) {
       if (misrouted(k->shard())) return nullptr;
@@ -236,7 +237,7 @@ class AbdServer {
         if (it != route_marks_.end() && it->second.owner != shard_) continue;
         keys.push_back(key);
       }
-      return std::make_shared<KeysAck>(k->op_id(), std::move(keys), snapshot(),
+      return make_msg<KeysAck>(k->op_id(), std::move(keys), snapshot(),
                                        k->seq());
     }
     return nullptr;
@@ -262,7 +263,7 @@ class AbdServer {
     }
     if (mark.owner != shard_) {
       ++redirects_sent_;
-      return std::make_shared<WrongShardAck>(op_id, key, mark.owner,
+      return make_msg<WrongShardAck>(op_id, key, mark.owner,
                                              mark.epoch, seq);
     }
     return nullptr;
@@ -271,7 +272,7 @@ class AbdServer {
   /// Distinguishes "parked" from "serve" in route_check's return channel.
   static const MsgPtr& kParkedSentinel() {
     static const MsgPtr sentinel =
-        std::make_shared<WrongShardAck>(0, "", 0, 0);
+        make_msg<WrongShardAck>(0, "", 0, 0);
     return sentinel;
   }
 
@@ -289,7 +290,7 @@ class AbdServer {
     mark.frozen = true;
     mark.committed = false;
     reply(from,
-          std::make_shared<ReadAck>(f.op_id(), reg(f.key()), snapshot(),
+          make_msg<ReadAck>(f.op_id(), reg(f.key()), snapshot(),
                                     f.seq()),
           service_time_);
   }
@@ -314,7 +315,7 @@ class AbdServer {
       TaggedValue& slot = regs_[c.key()];
       if (slot.tag < c.install()->tag) slot = *c.install();
     }
-    reply(from, std::make_shared<WriteAck>(c.op_id(), snapshot(), c.seq()),
+    reply(from, make_msg<WriteAck>(c.op_id(), snapshot(), c.seq()),
           service_time_);
     auto parked = parked_.find(c.key());
     if (parked == parked_.end()) return;

@@ -1,6 +1,7 @@
 #include "storage/dynamic_node.h"
 
 #include "common/logging.h"
+#include "runtime/msg_pool.h"
 
 namespace wrs {
 
@@ -72,7 +73,7 @@ void DynamicStorageNode::refresh_keys(std::vector<RegisterKey> keys,
 
 ChangeSetPtr DynamicStorageNode::changes_snapshot() {
   if (cached_version_ != snapshot_version_) {
-    cached_snapshot_ = std::make_shared<ChangeSet>(reassign_.changes());
+    cached_snapshot_ = make_pooled<ChangeSet>(reassign_.changes());
     cached_version_ = snapshot_version_;
   }
   return cached_snapshot_;

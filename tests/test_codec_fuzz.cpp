@@ -283,6 +283,52 @@ TEST(CodecFuzz, RoundTripByteIdenticalEveryType) {
   }
 }
 
+TEST(CodecFuzz, ArenaEncodeByteIdenticalToLegacyEveryType) {
+  // encode_frame_arena is the hot-path encoder (SocketEnv writes arena
+  // segments straight to the wire); it must produce exactly the bytes
+  // of the vector-returning encode_frame for every type — including
+  // when frames straddle a chunk boundary, which the shared arena below
+  // eventually forces.
+  Rng rng(0xA7E4A);
+  net::EncodeArena arena;
+  std::vector<net::Segment> held;  // pin chunks so offsets keep advancing
+  for (const auto& [name, make] : all_makers()) {
+    for (int i = 0; i < 100; ++i) {
+      MsgPtr msg = make(rng);
+      ProcessId from = rand_pid(rng);
+      ProcessId to = rand_pid(rng);
+      std::vector<std::uint8_t> legacy =
+          WireCodec::encode_frame(from, to, *msg);
+      net::Segment seg =
+          WireCodec::encode_frame_arena(arena, from, to, *msg);
+      ASSERT_EQ(seg.size(), legacy.size()) << name << " iteration " << i;
+      EXPECT_EQ(std::memcmp(seg.data(), legacy.data(), legacy.size()), 0)
+          << name << " iteration " << i << ": arena encode differs";
+      if (rng.below(4) == 0) held.push_back(std::move(seg));
+      if (held.size() > 64) held.clear();
+    }
+  }
+}
+
+TEST(CodecFuzz, ArenaSegmentsSurviveArenaReuse) {
+  // A retained segment (a queued write) stays valid while the arena
+  // moves on to fresh chunks; copies share the refcount.
+  net::EncodeArena arena;
+  Rng rng(0x5E6);
+  MsgPtr msg = all_makers()[0].second(rng);
+  net::Segment first = WireCodec::encode_frame_arena(arena, 1, 2, *msg);
+  std::vector<std::uint8_t> pinned(first.data(), first.data() + first.size());
+  // Churn the arena well past one chunk.
+  for (int i = 0; i < 50'000; ++i) {
+    net::Segment s = WireCodec::encode_frame_arena(arena, 1, 2, *msg);
+    (void)s;
+  }
+  net::Segment copy(first);
+  EXPECT_EQ(copy.size(), first.size());
+  EXPECT_EQ(std::memcmp(first.data(), pinned.data(), pinned.size()), 0);
+  EXPECT_EQ(std::memcmp(copy.data(), pinned.data(), pinned.size()), 0);
+}
+
 TEST(CodecFuzz, WireTypeTagsAreStable) {
   // The on-the-wire tags are a protocol contract — pin EVERY value so a
   // refactor reordering the enum (a silent wire break between versions
