@@ -33,7 +33,7 @@ ChurnResult run_churn(TimeNs transfer_interval, std::uint64_t seed) {
   wp.think_time = ms(10);
   wp.value_size = 32;
   wp.seed = seed;
-  auto client = std::make_unique<ClosedLoopClient>(
+  auto client = std::make_unique<WorkloadClient>(
       env, client_id(0), cfg, AbdClient::Mode::kDynamic, wp);
   env.register_process(client_id(0), client.get());
   env.start();

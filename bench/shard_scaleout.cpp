@@ -30,6 +30,16 @@
 // throughput, and the modeled per-frame CPU stay unchanged. CI gates on
 // the window-8/window-1 msgs-per-op ratio (<= 0.5) from these rows.
 //
+// EXP-SNAP measures cross-shard atomic snapshots at 4 shards. The quiet
+// point issues sequential ClientHandle::snapshot() cuts against a
+// written keyspace — every cut must be a clean double collect (exactly
+// 2 rounds, no fallback), which pins the per-cut message budget. The
+// mixed point races cuts against the open-loop write workload on the
+// same keys (WorkloadParams::snapshot_every_ops) and reports realized
+// rounds/cut, fenced-fallback rate, and cut latency. CI gates quiet
+// rounds == 2 / fallbacks == 0 / msgs-per-cut, and mixed liveness
+// (every issued cut resolves).
+//
 //   shard_scaleout [--json <path>] [--ops <per-client arrivals>]
 //                  [--runtime sim|threads|both] [--shards 1,2,4,8]
 //                  [--batch 1,8]
@@ -442,12 +452,149 @@ int main(int argc, char** argv) {
     rt.print();
   }
 
+  banner("EXP-SNAP",
+         "cross-shard atomic snapshots (4 shards, 8 keys/cut)");
+  note("quiet: sequential snapshot() cuts over a written keyspace — a "
+       "clean double collect is exactly 2 rounds and pins msgs/cut; "
+       "mixed: cuts race the open-loop write workload on the same keys");
+  JsonReport snapshots("EXP-SNAP atomic snapshots");
+  snapshots.seed(kSeed);
+  {
+    constexpr std::uint32_t kSnapShards = 4;
+    constexpr std::size_t kSnapKeysPerCut = 8;
+    constexpr std::size_t kSnapKeyspace = 64;
+    Table st({"mode", "cuts", "rounds/cut", "fallbacks", "msgs/cut",
+              "p50 ms", "p99 ms"});
+
+    {  // Quiet point: sequential cuts, nothing else in flight.
+      constexpr std::size_t kQuietCuts = 32;
+      ClusterBuilder b = Cluster::builder()
+                             .servers(kPerShardN)
+                             .faults(kPerShardF)
+                             .shards(kSnapShards)
+                             .clients(1)
+                             .runtime(Runtime::kSim)
+                             .seed(kSeed);
+      b.uniform_latency(us(100), us(500));
+      Cluster c = b.build();
+      std::vector<std::pair<RegisterKey, Value>> puts;
+      for (std::size_t i = 0; i < kSnapKeyspace; ++i) {
+        puts.emplace_back("k" + std::to_string(i), "v" + std::to_string(i));
+      }
+      for (auto& aw : c.client(0).write_batch(std::move(puts))) aw.get();
+
+      std::uint64_t msgs0 = c.traffic().get("msgs");
+      Histogram lat;
+      std::uint64_t rounds = 0;
+      std::size_t fallbacks = 0;
+      for (std::size_t i = 0; i < kQuietCuts; ++i) {
+        // Rotate through the keyspace so cuts cross every shard.
+        std::vector<RegisterKey> keys;
+        for (std::size_t j = 0; j < kSnapKeysPerCut; ++j) {
+          keys.push_back("k" + std::to_string((i * kSnapKeysPerCut + j) %
+                                              kSnapKeyspace));
+        }
+        TimeNs t0 = c.now();
+        ShardRouter::SnapshotResult r =
+            c.client(0).snapshot(std::move(keys)).get();
+        lat.add_time(c.now() - t0);
+        rounds += r.rounds;
+        if (r.used_fallback) ++fallbacks;
+      }
+      double msgs_per_cut =
+          static_cast<double>(c.traffic().get("msgs") - msgs0) / kQuietCuts;
+      double rounds_per_cut = static_cast<double>(rounds) / kQuietCuts;
+      snapshots.row()
+          .field("mode", std::string("quiet"))
+          .field("runtime", std::string("sim"))
+          .field("shards", static_cast<double>(kSnapShards))
+          .field("keys_per_cut", static_cast<double>(kSnapKeysPerCut))
+          .field("num_keys", static_cast<double>(kSnapKeyspace))
+          .field("snapshots_issued", static_cast<double>(kQuietCuts))
+          .field("snapshots_done", static_cast<double>(kQuietCuts))
+          .field("fallbacks", static_cast<double>(fallbacks))
+          .field("rounds_per_cut", rounds_per_cut)
+          .field("msgs_per_cut", msgs_per_cut)
+          .field("p50_ms", lat.percentile(50) / 1e6)
+          .field("p95_ms", lat.percentile(95) / 1e6)
+          .field("p99_ms", lat.percentile(99) / 1e6);
+      st.add_row({"quiet", std::to_string(kQuietCuts),
+                  Table::fmt(rounds_per_cut), std::to_string(fallbacks),
+                  Table::fmt(msgs_per_cut), Table::fmt(lat.percentile(50) / 1e6),
+                  Table::fmt(lat.percentile(99) / 1e6)});
+    }
+
+    {  // Mixed point: cuts race the open-loop write workload.
+      WorkloadParams wp;
+      wp.num_ops = ops;
+      wp.read_ratio = 0.5;
+      wp.value_size = 16;
+      wp.num_keys = kSnapKeyspace;
+      wp.target_ops_per_sec = kOfferedOpsPerSec / kClients;
+      wp.max_in_flight = 32;
+      wp.seed = kSeed;
+      wp.snapshot_every_ops = 25;
+      wp.snapshot_keys = kSnapKeysPerCut;
+      ClusterBuilder b = Cluster::builder()
+                             .servers(kPerShardN)
+                             .faults(kPerShardF)
+                             .shards(kSnapShards)
+                             .clients(kClients)
+                             .workload(wp)
+                             .service_time(kServiceTime)
+                             .runtime(Runtime::kSim)
+                             .seed(kSeed);
+      b.uniform_latency(us(100), us(500));
+      Cluster c = b.build();
+      for (std::uint32_t k = 0; k < kClients; ++k) {
+        c.workload_done(k).get();
+      }
+      c.quiesce(seconds(60));
+      std::size_t issued = 0, done = 0, fallbacks = 0, completed = 0;
+      std::uint64_t rounds = 0;
+      Histogram lat;
+      for (std::uint32_t k = 0; k < kClients; ++k) {
+        WorkloadClient& w = c.workload(k);
+        issued += w.snapshots_issued();
+        done += w.snapshots_done();
+        fallbacks += w.snapshot_fallbacks();
+        rounds += w.snapshot_rounds();
+        completed += w.completed();
+        lat.merge(w.snapshot_latency());
+      }
+      double rounds_per_cut =
+          done > 0 ? static_cast<double>(rounds) / static_cast<double>(done)
+                   : 0;
+      snapshots.row()
+          .field("mode", std::string("mixed"))
+          .field("runtime", std::string("sim"))
+          .field("shards", static_cast<double>(kSnapShards))
+          .field("keys_per_cut", static_cast<double>(kSnapKeysPerCut))
+          .field("num_keys", static_cast<double>(kSnapKeyspace))
+          .field("offered_ops_per_sec", kOfferedOpsPerSec)
+          .field("ops_completed", static_cast<double>(completed))
+          .field("snapshots_issued", static_cast<double>(issued))
+          .field("snapshots_done", static_cast<double>(done))
+          .field("fallbacks", static_cast<double>(fallbacks))
+          .field("rounds_per_cut", rounds_per_cut)
+          .field("p50_ms", lat.percentile(50) / 1e6)
+          .field("p95_ms", lat.percentile(95) / 1e6)
+          .field("p99_ms", lat.percentile(99) / 1e6);
+      st.add_row({"mixed", std::to_string(done), Table::fmt(rounds_per_cut),
+                  std::to_string(fallbacks), "-",
+                  Table::fmt(lat.percentile(50) / 1e6),
+                  Table::fmt(lat.percentile(99) / 1e6)});
+    }
+    st.print();
+  }
+
   if (!json.empty()) {
     bool ok = scaleout.write(json);
     ok = zipf.write(json) && ok;
     ok = resharded.write(json) && ok;
     ok = batched.write(json) && ok;
     ok = readheavy.write(json) && ok;
+    ok = snapshots.write(json) && ok;
     return ok ? 0 : 1;
   }
   return 0;

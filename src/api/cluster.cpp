@@ -94,7 +94,8 @@ ShardMap Cluster::build_shard_map(const ClusterBuilder& spec) {
   if (spec.shards_ == 0) {
     throw std::invalid_argument("Cluster: shards(s) needs s >= 1");
   }
-  std::uint32_t f = spec.has_f_ ? spec.f_ : (spec.n_ - 1) / 2;
+  std::uint32_t f =
+      spec.fault_.faults ? *spec.fault_.faults : (spec.n_ - 1) / 2;
   WeightMap tmpl =
       spec.weights_ ? *spec.weights_ : WeightMap::uniform(spec.n_);
   // shards(1) — and the unsharded default — is exactly one group with
@@ -111,10 +112,7 @@ Cluster::Cluster(const ClusterBuilder& spec)
       kind_(spec.kind_),
       mode_(spec.mode_),
       history_(spec.history_),
-      retry_(spec.retry_),
-      read_fast_path_(spec.read_fast_path_),
-      batch_ops_(spec.batch_ops_),
-      batch_delay_(spec.batch_delay_) {
+      tuning_(spec.tuning_) {
   if (spec.workload_.has_value() &&
       (kind_ == ClusterBuilder::Kind::kReassign ||
        kind_ == ClusterBuilder::Kind::kCustom)) {
@@ -161,7 +159,7 @@ Cluster::Cluster(const ClusterBuilder& spec)
     // the single-process deployment exercises the real wire path.
     opts.loopback_self = true;
     opts.latency = degradable_;
-    opts.seed = spec.seed_;
+    opts.seed = spec.fault_.seed;
     socket_ = std::make_shared<SocketEnv>(opts);
     socket_env_ = socket_.get();
 #else
@@ -169,10 +167,10 @@ Cluster::Cluster(const ClusterBuilder& spec)
         "Cluster: Transport::kSocket requires Linux (epoll)");
 #endif
   } else if (runtime_ == Runtime::kSim) {
-    sim_ = std::make_unique<SimEnv>(degradable_, spec.seed_);
+    sim_ = std::make_unique<SimEnv>(degradable_, spec.fault_.seed);
     pump_ = std::make_shared<SimPump>(sim_.get());
   } else {
-    thread_ = std::make_unique<ThreadEnv>(degradable_, spec.seed_);
+    thread_ = std::make_unique<ThreadEnv>(degradable_, spec.fault_.seed);
   }
   Env& e = env();
 
@@ -235,14 +233,14 @@ Cluster::Cluster(const ClusterBuilder& spec)
       }
       // Fault-tolerance hardening (defaults off: fault-free deployments
       // run byte-identically to pre-chaos builds).
-      if (retry_ > 0 && slot.storage != nullptr) {
-        slot.storage->client().set_retry_interval(retry_);
+      if (tuning_.retry > 0 && slot.storage != nullptr) {
+        slot.storage->client().set_retry_interval(tuning_.retry);
       }
       if (service_time_ > 0 && slot.storage != nullptr) {
         slot.storage->server().set_service_time(service_time_);
       }
-      if (spec.anti_entropy_ > 0 && slot.reassign != nullptr) {
-        slot.reassign->enable_sync(spec.anti_entropy_);
+      if (tuning_.anti_entropy > 0 && slot.reassign != nullptr) {
+        slot.reassign->enable_sync(tuning_.anti_entropy);
       }
       e.register_process(s, slot.process.get());
       servers_.push_back(std::move(slot));
@@ -261,7 +259,7 @@ Cluster::Cluster(const ClusterBuilder& spec)
       kind_ == ClusterBuilder::Kind::kStorage) {
     engine_ = std::make_unique<MigrationEngine>(e, kMigrationEnginePid,
                                                 shard_map_, mode_);
-    if (retry_ > 0) engine_->set_retry_interval(retry_);
+    if (tuning_.retry > 0) engine_->set_retry_interval(tuning_.retry);
     e.register_process(engine_->pid(), engine_.get());
     if (spec.rebalance_.has_value()) {
       std::vector<std::vector<AbdServer*>> shard_servers(
@@ -371,9 +369,13 @@ std::size_t Cluster::make_client_slot(const WorkloadParams* wp) {
     slot.router = &c->router();
     slot.process = std::move(c);
   }
-  if (retry_ > 0) slot.router->set_retry_interval(retry_);
-  if (read_fast_path_) slot.router->set_read_fast_path(true);
-  if (batch_ops_ > 1) slot.router->set_batching(batch_ops_, batch_delay_);
+  if (tuning_.retry > 0) slot.router->set_retry_interval(tuning_.retry);
+  if (tuning_.read_fast_path) slot.router->set_read_fast_path(true);
+  if (tuning_.batch_ops > 1) {
+    slot.router->set_batching(tuning_.batch_ops, tuning_.batch_delay);
+  }
+  slot.router->set_snapshot_max_collect_rounds(
+      tuning_.snapshot_max_collect_rounds);
   e.register_process(pid, slot.process.get());
   clients_.push_back(std::move(slot));
   return clients_.size() - 1;
@@ -776,6 +778,19 @@ std::vector<Await<Tag>> ClientHandle::write_batch(
     }
   });
   return awaits;
+}
+
+Await<ShardRouter::SnapshotResult> ClientHandle::snapshot(
+    std::vector<RegisterKey> keys) const {
+  auto aw = cluster_->make_await<ShardRouter::SnapshotResult>();
+  ShardRouter* router = router_;
+  cluster_->post(id_, [router, keys = std::move(keys), aw]() mutable {
+    router->snapshot(std::move(keys),
+                     [aw](const ShardRouter::SnapshotResult& r) {
+                       aw.fulfill(r);
+                     });
+  });
+  return aw;
 }
 
 Await<std::vector<RegisterKey>> ClientHandle::list_keys() const {

@@ -12,6 +12,7 @@
 #include "runtime/msg_pool.h"
 #include "storage/abd_messages.h"
 #include "storage/migration_messages.h"
+#include "storage/snapshot_messages.h"
 
 namespace wrs::net {
 namespace {
@@ -216,6 +217,53 @@ TaggedValue get_tagged_value(Reader& r) {
   return tv;
 }
 
+template <typename W>
+void put_snap_entries(W& w, const std::vector<SnapEntry>& entries) {
+  w.u32(static_cast<std::uint32_t>(entries.size()));
+  for (const SnapEntry& e : entries) {
+    w.str(e.key);
+    put_tagged_value(w, e.reg);
+    w.u8(e.flag);
+    w.u32(e.owner);
+    w.u64(e.epoch);
+  }
+}
+
+std::vector<SnapEntry> get_snap_entries(Reader& r) {
+  std::uint32_t n = r.u32();
+  // Minimum entry: empty key (4) + tag (12) + empty value (4) + flag/
+  // owner/epoch (13).
+  r.check_count(n, 33);
+  std::vector<SnapEntry> entries;
+  entries.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    SnapEntry e;
+    e.key = r.str();
+    e.reg = get_tagged_value(r);
+    e.flag = r.u8();
+    if (e.flag > SnapEntry::kMoved) throw CodecError("wire: bad snap flag");
+    e.owner = r.u32();
+    e.epoch = r.u64();
+    entries.push_back(std::move(e));
+  }
+  return entries;
+}
+
+template <typename W>
+void put_key_list(W& w, const std::vector<RegisterKey>& keys) {
+  w.u32(static_cast<std::uint32_t>(keys.size()));
+  for (const RegisterKey& k : keys) w.str(k);
+}
+
+std::vector<RegisterKey> get_key_list(Reader& r) {
+  std::uint32_t n = r.u32();
+  r.check_count(n, 4);
+  std::vector<RegisterKey> keys;
+  keys.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) keys.push_back(r.str());
+  return keys;
+}
+
 // --- per-type payloads ------------------------------------------------------
 
 template <typename W>
@@ -337,6 +385,29 @@ void put_body(W& w, const Message& msg, int depth) {
     w.u64(m->epoch());
     w.u32(m->owner());
     w.str(m->key());
+  } else if (const auto* m = msg_cast<SnapReq>(msg)) {
+    w.u64(m->op_id());
+    w.u32(m->seq());
+    w.u32(m->shard());
+    put_key_list(w, m->keys());
+  } else if (const auto* m = msg_cast<SnapAck>(msg)) {
+    w.u64(m->op_id());
+    w.u32(m->seq());
+    w.u8(m->held() ? 1 : 0);
+    put_snap_entries(w, m->entries());
+    put_changes_ptr(w, m->changes());
+  } else if (const auto* m = msg_cast<SnapFreeze>(msg)) {
+    w.u64(m->op_id());
+    w.u32(m->seq());
+    w.u32(m->shard());
+    w.u64(m->snap_id());
+    put_key_list(w, m->keys());
+  } else if (const auto* m = msg_cast<SnapRelease>(msg)) {
+    w.u64(m->op_id());
+    w.u32(m->seq());
+    w.u32(m->shard());
+    w.u64(m->snap_id());
+    put_snap_entries(w, m->installs());
   } else {
     throw std::invalid_argument("WireCodec: no wire mapping for message type " +
                                 msg.type_name());
@@ -491,6 +562,36 @@ MsgPtr get_body(Reader& r, WireType type, int depth) {
       return make_msg<WrongShardAck>(op, std::move(key), owner, epoch,
                                              seq);
     }
+    case WireType::kSnapReq: {
+      OpId op = r.u64();
+      std::uint32_t seq = r.u32();
+      ShardId shard = r.u32();
+      return make_msg<SnapReq>(op, get_key_list(r), seq, shard);
+    }
+    case WireType::kSnapAck: {
+      OpId op = r.u64();
+      std::uint32_t seq = r.u32();
+      std::uint8_t held = r.u8();
+      if (held > 1) throw CodecError("wire: bad held marker");
+      std::vector<SnapEntry> entries = get_snap_entries(r);
+      ChangeSetPtr cs = get_changes_ptr(r);
+      return make_msg<SnapAck>(op, std::move(entries), std::move(cs), seq,
+                               held == 1);
+    }
+    case WireType::kSnapFreeze: {
+      OpId op = r.u64();
+      std::uint32_t seq = r.u32();
+      ShardId shard = r.u32();
+      SnapId snap = r.u64();
+      return make_msg<SnapFreeze>(op, snap, get_key_list(r), seq, shard);
+    }
+    case WireType::kSnapRelease: {
+      OpId op = r.u64();
+      std::uint32_t seq = r.u32();
+      ShardId shard = r.u32();
+      SnapId snap = r.u64();
+      return make_msg<SnapRelease>(op, snap, get_snap_entries(r), seq, shard);
+    }
   }
   throw CodecError("wire: unknown type tag");
 }
@@ -518,6 +619,10 @@ std::optional<WireType> type_tag(const Message& msg) {
   if (msg_cast<MigFreeze>(msg)) return WireType::kMigFreeze;
   if (msg_cast<MigCommit>(msg)) return WireType::kMigCommit;
   if (msg_cast<WrongShardAck>(msg)) return WireType::kWrongShard;
+  if (msg_cast<SnapReq>(msg)) return WireType::kSnapReq;
+  if (msg_cast<SnapAck>(msg)) return WireType::kSnapAck;
+  if (msg_cast<SnapFreeze>(msg)) return WireType::kSnapFreeze;
+  if (msg_cast<SnapRelease>(msg)) return WireType::kSnapRelease;
   return std::nullopt;
 }
 

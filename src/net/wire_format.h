@@ -113,6 +113,14 @@ enum class WireType : std::uint8_t {
   kMigFreeze = 20,
   kMigCommit = 21,
   kWrongShard = 22,
+  // Cross-shard atomic snapshots (storage/snapshot_messages.h). The
+  // double-collect fast path and the fenced fallback share one ack type
+  // (SnapAck carries per-key entries + flags + the `held` bit), so four
+  // new wire entries cover collect, freeze, release, and their replies.
+  kSnapReq = 23,
+  kSnapAck = 24,
+  kSnapFreeze = 25,
+  kSnapRelease = 26,
 };
 
 // Compile-time pin of every tag value shipped so far. A new message type
@@ -141,5 +149,9 @@ static_assert(static_cast<std::uint8_t>(WireType::kRttReport) == 19);
 static_assert(static_cast<std::uint8_t>(WireType::kMigFreeze) == 20);
 static_assert(static_cast<std::uint8_t>(WireType::kMigCommit) == 21);
 static_assert(static_cast<std::uint8_t>(WireType::kWrongShard) == 22);
+static_assert(static_cast<std::uint8_t>(WireType::kSnapReq) == 23);
+static_assert(static_cast<std::uint8_t>(WireType::kSnapAck) == 24);
+static_assert(static_cast<std::uint8_t>(WireType::kSnapFreeze) == 25);
+static_assert(static_cast<std::uint8_t>(WireType::kSnapRelease) == 26);
 
 }  // namespace wrs::net

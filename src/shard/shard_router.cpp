@@ -8,7 +8,10 @@ namespace wrs {
 
 ShardRouter::ShardRouter(Env& env, ProcessId self, ShardMap map,
                          AbdClient::Mode mode)
-    : map_(std::move(map)) {
+    : map_(std::move(map)),
+      env_(env),
+      self_(self),
+      snap_rng_(0x9E3779B97F4A7C15ull ^ self) {
   clients_.reserve(map_.num_shards());
   for (ShardId g = 0; g < map_.num_shards(); ++g) {
     clients_.push_back(
@@ -98,6 +101,220 @@ OpId ShardRouter::list_keys(AbdClient::KeysCallback cb) {
     if (g == 0) first = id;
   }
   return first;
+}
+
+void ShardRouter::set_snapshot_max_collect_rounds(std::uint32_t n) {
+  snap_max_collect_rounds_ = std::max<std::uint32_t>(2, n);
+}
+
+OpId ShardRouter::snapshot(std::vector<RegisterKey> keys, SnapshotCallback cb) {
+  // Collapse duplicates, keeping first-occurrence order (the cut echoes
+  // this order back).
+  std::vector<RegisterKey> uniq;
+  uniq.reserve(keys.size());
+  std::set<RegisterKey> seen;
+  for (auto& key : keys) {
+    if (seen.insert(key).second) uniq.push_back(std::move(key));
+  }
+  auto st = std::make_shared<SnapState>();
+  st->keys = std::move(uniq);
+  st->cb = std::move(cb);
+  if (st->keys.empty()) {
+    st->cb(SnapshotResult{});
+    return 0;
+  }
+  st->acc.resize(st->keys.size());
+  return snap_collect_round(std::move(st));
+}
+
+std::vector<std::pair<ShardId, std::vector<std::size_t>>>
+ShardRouter::snap_partition(const SnapState& st) const {
+  // Group key indices by their CURRENT shard (a retried round re-reads
+  // the map, so overrides learned from moved flags take effect). The
+  // handful of involved shards makes the linear scan cheaper than a map.
+  std::vector<std::pair<ShardId, std::vector<std::size_t>>> parts;
+  for (std::size_t i = 0; i < st.keys.size(); ++i) {
+    ShardId g = map_.shard_of(st.keys[i]);
+    auto it = std::find_if(parts.begin(), parts.end(),
+                           [g](const auto& p) { return p.first == g; });
+    if (it == parts.end()) {
+      parts.emplace_back(g, std::vector<std::size_t>{i});
+    } else {
+      it->second.push_back(i);
+    }
+  }
+  return parts;
+}
+
+OpId ShardRouter::snap_collect_round(SnapPtr st) {
+  ++st->rounds;
+  ++snapshot_rounds_;
+  auto parts = snap_partition(*st);
+  st->pending = parts.size();
+  OpId first = 0;
+  for (auto& part : parts) {
+    const std::vector<std::size_t>& idxs = part.second;
+    std::vector<RegisterKey> ks;
+    ks.reserve(idxs.size());
+    for (std::size_t i : idxs) ks.push_back(st->keys[i]);
+    OpId id = clients_[part.first]->collect(
+        std::move(ks),
+        [this, st, idxs](const std::vector<AbdClient::CollectEntry>& es) {
+          for (std::size_t j = 0; j < idxs.size(); ++j) {
+            st->acc[idxs[j]] = es[j];
+          }
+          if (--st->pending == 0) snap_collect_done(st);
+        });
+    if (first == 0) first = id;
+  }
+  return first;
+}
+
+void ShardRouter::snap_collect_done(SnapPtr st) {
+  bool flagged = false;
+  for (const AbdClient::CollectEntry& ce : st->acc) {
+    if (ce.flag == SnapEntry::kMoved) {
+      map_.apply_override(ce.key, ce.owner, ce.epoch);
+      flagged = true;
+    } else if (ce.flag != SnapEntry::kOk) {
+      flagged = true;
+    }
+  }
+  if (flagged) {
+    // A fenced or mid-migration key poisons the round: tags observed
+    // around a fence prove nothing. Start the double collect over.
+    st->have_prev = false;
+    if (st->rounds >= snap_max_collect_rounds_) return snap_fallback(st);
+    snap_collect_round(std::move(st));
+    return;
+  }
+  if (st->have_prev) {
+    bool same = true;
+    for (std::size_t i = 0; i < st->acc.size(); ++i) {
+      if (st->acc[i].reg.tag != st->prev_tags[i]) {
+        same = false;
+        break;
+      }
+    }
+    // Two consecutive clean rounds with identical tag vectors: no write
+    // to any key completed in between, so the vector is a consistent
+    // cut. (Quorum intersection makes a completed write visible to the
+    // confirming round's quorum — it would have bumped that key's tag.)
+    if (same) return snap_install_and_finish(std::move(st));
+  }
+  st->prev_tags.resize(st->acc.size());
+  for (std::size_t i = 0; i < st->acc.size(); ++i) {
+    st->prev_tags[i] = st->acc[i].reg.tag;
+  }
+  st->have_prev = true;
+  if (st->rounds >= snap_max_collect_rounds_) return snap_fallback(st);
+  snap_collect_round(std::move(st));
+}
+
+void ShardRouter::snap_install_and_finish(SnapPtr st) {
+  // A unanimous key's (tag, value) is already committed at a weighted
+  // quorum (the one that answered); a non-unanimous key needs the ABD
+  // write-back before its tag may appear in the cut, or a crashed
+  // writer's value could be visible here yet lost to later reads.
+  std::vector<std::size_t> need;
+  for (std::size_t i = 0; i < st->acc.size(); ++i) {
+    if (!st->acc[i].unanimous) need.push_back(i);
+  }
+  if (need.empty()) return snap_finish(std::move(st));
+  st->pending = need.size();
+  for (std::size_t i : need) {
+    const AbdClient::CollectEntry& ce = st->acc[i];
+    clients_[map_.shard_of(ce.key)]->install(
+        ce.key, ce.reg, [this, st](const Tag&) {
+          if (--st->pending == 0) snap_finish(st);
+        });
+  }
+}
+
+void ShardRouter::snap_fallback(SnapPtr st) {
+  st->used_fallback = true;
+  ++snapshot_fallbacks_;
+  // Fresh instance id per attempt: a retry must never be confused with
+  // stale fences of its own previous attempt.
+  st->snap_id = (static_cast<SnapId>(self_) << 32) | ++snap_seq_;
+  st->frozen_parts = snap_partition(*st);
+  st->pending = st->frozen_parts.size();
+  for (auto& part : st->frozen_parts) {
+    const std::vector<std::size_t>& idxs = part.second;
+    std::vector<RegisterKey> ks;
+    ks.reserve(idxs.size());
+    for (std::size_t i : idxs) ks.push_back(st->keys[i]);
+    clients_[part.first]->snap_freeze(
+        st->snap_id, std::move(ks),
+        [this, st, idxs](const std::vector<AbdClient::CollectEntry>& es) {
+          for (std::size_t j = 0; j < idxs.size(); ++j) {
+            st->acc[idxs[j]] = es[j];
+          }
+          if (--st->pending == 0) snap_freeze_done(st);
+        });
+  }
+}
+
+void ShardRouter::snap_freeze_done(SnapPtr st) {
+  // Adopt only a fully clean freeze: any migration fence, moved key, or
+  // foreign snapshot aborts (never hold our fences while waiting on
+  // someone else's — that is how distributed deadlocks are built).
+  bool adopt = true;
+  for (const AbdClient::CollectEntry& ce : st->acc) {
+    if (ce.flag == SnapEntry::kMoved) {
+      map_.apply_override(ce.key, ce.owner, ce.epoch);
+      adopt = false;
+    } else if (ce.flag != SnapEntry::kOk) {
+      adopt = false;
+    }
+  }
+  st->all_held = true;
+  st->pending = st->frozen_parts.size();
+  for (const auto& part : st->frozen_parts) {
+    const std::vector<std::size_t>& idxs = part.second;
+    std::vector<SnapEntry> installs;
+    installs.reserve(idxs.size());
+    for (std::size_t i : idxs) {
+      SnapEntry e;
+      e.key = st->keys[i];
+      if (adopt) {
+        e.reg = st->acc[i].reg;  // the scan embedded in our own update
+      } else {
+        e.flag = SnapEntry::kFrozen;  // lift-only: abort this attempt
+      }
+      installs.push_back(std::move(e));
+    }
+    clients_[part.first]->snap_release(
+        st->snap_id, std::move(installs), [this, st, adopt](bool held) {
+          if (!held) st->all_held = false;
+          if (--st->pending != 0) return;
+          if (adopt && st->all_held) return snap_finish(st);
+          // Aborted, or a fence TTL-expired before we released it (a
+          // write may have slipped past the cut): retry with a fresh
+          // instance id. Moved keys already taught the map, so the next
+          // attempt freezes at the current owners. The retry is DELAYED
+          // by seeded jittered exponential backoff: clients whose
+          // snapshots overlap abort on each other's fences, and bare
+          // re-freezing keeps them aborting in lockstep forever.
+          std::uint32_t shift = std::min<std::uint32_t>(st->backoffs++, 5);
+          auto delay = static_cast<TimeNs>(
+              snap_rng_.uniform(0.5, 1.5) *
+              static_cast<double>(ms(1) << shift));
+          env_.schedule(self_, delay, [this, st] { snap_fallback(st); });
+        });
+  }
+}
+
+void ShardRouter::snap_finish(SnapPtr st) {
+  ++snapshots_taken_;
+  SnapshotResult r;
+  r.rounds = st->rounds;
+  r.used_fallback = st->used_fallback;
+  r.cut.reserve(st->keys.size());
+  for (std::size_t i = 0; i < st->keys.size(); ++i) {
+    r.cut.emplace_back(st->keys[i], st->acc[i].reg);
+  }
+  st->cb(r);
 }
 
 bool ShardRouter::handle(ProcessId from, const Message& msg) {

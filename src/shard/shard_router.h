@@ -20,6 +20,24 @@
 // all groups answered — the sharded analogue of the single weighted
 // quorum's key discovery.
 //
+// snapshot(keys) returns a CONSISTENT CUT across keys on any shards: a
+// set of (key, register) pairs that all coexisted at one linearization
+// point. Fast path: repeated pipelined collect rounds (one SnapReq per
+// involved shard) until two consecutive rounds observe the same tag for
+// every key (double collect — the ABD tag is the modification counter);
+// keys whose confirming tag was not quorum-unanimous get a write-back
+// install before the cut returns. Under sustained write pressure the
+// double collect may never confirm, so after a bounded number of rounds
+// the router switches to the fenced fallback (scan embedded in update):
+// SnapFreeze parks writers behind per-key fences at every involved
+// shard, SnapRelease installs the frozen maxima and lifts the fences —
+// two rounds per shard, wait-free regardless of contention. A round that
+// observes a migration fence, a moved key, or a foreign snapshot aborts
+// (lift-only release) and retries under seeded jittered exponential
+// backoff — contending snapshotters that abort each other's fences in
+// lockstep would otherwise livelock; moved keys teach the router's map
+// the same way WrongShardAck redirects do.
+//
 // Replies route back by SENDER: a server's global id names its shard, so
 // handle() dispatches to exactly one inner client (no per-client probing
 // on the reply hot path).
@@ -31,6 +49,7 @@
 #include <set>
 #include <vector>
 
+#include "common/rng.h"
 #include "shard/shard_map.h"
 #include "storage/abd_client.h"
 
@@ -47,6 +66,24 @@ class ShardRouter {
   /// Key discovery across every shard; cb fires once with the sorted
   /// union after all groups answered.
   OpId list_keys(AbdClient::KeysCallback cb);
+
+  /// The consistent cut a snapshot() resolved with.
+  struct SnapshotResult {
+    /// One (key, register) per requested key, in first-occurrence
+    /// request order (duplicates collapsed). All pairs coexisted at a
+    /// single linearization point between the snapshot's invocation and
+    /// its response.
+    std::vector<std::pair<RegisterKey, TaggedValue>> cut;
+    std::uint32_t rounds = 0;    ///< collect rounds run (fast path >= 2)
+    bool used_fallback = false;  ///< the fenced fallback produced the cut
+  };
+  using SnapshotCallback = std::function<void(const SnapshotResult&)>;
+
+  /// Atomic snapshot of `keys` (any shards); cb fires once with the cut.
+  /// Never queued behind keyed traffic — snapshots multiplex freely with
+  /// reads and writes, like list_keys(). An empty key set resolves
+  /// immediately with an empty cut.
+  OpId snapshot(std::vector<RegisterKey> keys, SnapshotCallback cb);
 
   /// Routes a server reply to the inner client of the sender's shard;
   /// true iff consumed. Messages from non-servers are not the router's.
@@ -85,6 +122,14 @@ class ShardRouter {
   std::uint64_t batched_frames() const;
   /// Operations reissued at another shard after a WrongShardAck.
   std::uint64_t redirects() const { return redirects_; }
+  /// Snapshots resolved / collect rounds run / fenced-fallback attempts.
+  std::uint64_t snapshots_taken() const { return snapshots_taken_; }
+  std::uint64_t snapshot_rounds() const { return snapshot_rounds_; }
+  std::uint64_t snapshot_fallbacks() const { return snapshot_fallbacks_; }
+
+  /// Collect rounds a snapshot tries before engaging the fenced
+  /// fallback (clamped to >= 2: a double collect needs two rounds).
+  void set_snapshot_max_collect_rounds(std::uint32_t n);
 
   void set_retry_interval(TimeNs interval);
   void set_max_restarts(std::uint32_t m);
@@ -108,6 +153,38 @@ class ShardRouter {
     AbdClient::WriteCallback wcb;
   };
 
+  /// One in-flight snapshot's state machine, shared by the per-shard
+  /// fan-out callbacks of its current round.
+  struct SnapState {
+    std::vector<RegisterKey> keys;  ///< deduped, first-occurrence order
+    SnapshotCallback cb;
+    std::uint32_t rounds = 0;
+    bool used_fallback = false;
+    /// Double-collect memory: the previous clean round's tag vector.
+    bool have_prev = false;
+    std::vector<Tag> prev_tags;
+    /// Current round's per-key aggregates, index-aligned with `keys`.
+    std::vector<AbdClient::CollectEntry> acc;
+    std::size_t pending = 0;  ///< shards (or installs) still outstanding
+    bool all_held = true;
+    SnapId snap_id = 0;
+    std::uint32_t backoffs = 0;  ///< aborted fallback attempts so far
+    /// Fallback freeze partition (shard, key indices): the release round
+    /// targets the SAME groups that were frozen, even if the map learns
+    /// new overrides in between.
+    std::vector<std::pair<ShardId, std::vector<std::size_t>>> frozen_parts;
+  };
+  using SnapPtr = std::shared_ptr<SnapState>;
+
+  std::vector<std::pair<ShardId, std::vector<std::size_t>>> snap_partition(
+      const SnapState& st) const;
+  OpId snap_collect_round(SnapPtr st);
+  void snap_collect_done(SnapPtr st);
+  void snap_install_and_finish(SnapPtr st);
+  void snap_fallback(SnapPtr st);
+  void snap_freeze_done(SnapPtr st);
+  void snap_finish(SnapPtr st);
+
   OpId submit(QueuedOp op);
   OpId dispatch(QueuedOp op);
   void next_for(const RegisterKey& key);
@@ -115,8 +192,16 @@ class ShardRouter {
   /// Learned routing state: starts as the static hash map, accumulates
   /// overrides from WrongShardAck redirects.
   ShardMap map_;
+  Env& env_;
+  ProcessId self_ = 0;
+  Rng snap_rng_;  ///< fallback-retry jitter (seeded by self_)
   std::vector<std::unique_ptr<AbdClient>> clients_;
   std::uint64_t redirects_ = 0;
+  std::uint64_t snapshots_taken_ = 0;
+  std::uint64_t snapshot_rounds_ = 0;
+  std::uint64_t snapshot_fallbacks_ = 0;
+  std::uint32_t snap_max_collect_rounds_ = 6;
+  std::uint32_t snap_seq_ = 0;  ///< per-client snapshot instance counter
   /// Cross-shard per-key FIFO (multi-shard maps): keys with a dispatched
   /// operation, and the issue-order queue behind each.
   std::set<RegisterKey> keyed_busy_;

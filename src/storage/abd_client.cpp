@@ -84,11 +84,50 @@ OpId AbdClient::commit_mark(RegisterKey key, ShardId owner,
   return enqueue(std::move(op));
 }
 
+OpId AbdClient::collect(std::vector<RegisterKey> keys, CollectCallback cb) {
+  Op op;
+  op.kind = OpKind::kCollect;
+  op.snap_keys = std::move(keys);
+  op.ccb = std::move(cb);
+  return enqueue(std::move(op));
+}
+
+OpId AbdClient::snap_freeze(SnapId snap_id, std::vector<RegisterKey> keys,
+                            CollectCallback cb) {
+  Op op;
+  op.kind = OpKind::kSnapFreeze;
+  op.snap_id = snap_id;
+  op.snap_keys = std::move(keys);
+  op.ccb = std::move(cb);
+  return enqueue(std::move(op));
+}
+
+OpId AbdClient::snap_release(SnapId snap_id, std::vector<SnapEntry> installs,
+                             ReleaseCallback cb) {
+  Op op;
+  op.kind = OpKind::kSnapRelease;
+  op.snap_id = snap_id;
+  op.snap_installs = std::move(installs);
+  op.relcb = std::move(cb);
+  return enqueue(std::move(op));
+}
+
+OpId AbdClient::install(RegisterKey key, TaggedValue reg, WriteCallback cb) {
+  Op op;
+  op.kind = OpKind::kInstall;
+  op.key = std::move(key);
+  op.to_write = std::move(reg);
+  op.write_tag_chosen = true;  // the tag is preset: never re-minted
+  op.wcb = std::move(cb);
+  return enqueue(std::move(op));
+}
+
 std::optional<AbdClient::EjectedOp> AbdClient::eject(OpId id) {
   auto it = ops_.find(id);
   if (it == ops_.end()) return std::nullopt;
   Op& op = it->second;
-  if (op.kind != OpKind::kRead && op.kind != OpKind::kWrite) {
+  if (op.kind != OpKind::kRead && op.kind != OpKind::kWrite &&
+      op.kind != OpKind::kInstall) {
     return std::nullopt;
   }
   EjectedOp out;
@@ -102,6 +141,7 @@ std::optional<AbdClient::EjectedOp> AbdClient::eject(OpId id) {
   bool was_started = op.started;
   ops_.erase(it);
   if (was_started) --started_count_;
+  if (keyless(out.kind)) return out;  // kInstall: no FIFO entry to fix up
   auto fit = key_fifo_.find(out.key);
   auto& fifo = fit->second;
   bool was_front = fifo.front() == id;
@@ -134,8 +174,9 @@ OpId AbdClient::enqueue(Op op) {
   OpKind kind = op.kind;
   RegisterKey key = op.key;
   Op& slot = ops_.emplace(id, std::move(op)).first->second;
-  if (kind == OpKind::kListKeys) {
-    // Keyless discovery op: never serialized behind keyed traffic.
+  if (keyless(kind)) {
+    // Keyless ops (discovery, snapshot verbs, installs) are never
+    // serialized behind keyed traffic.
     start_phase1(slot);
     return id;
   }
@@ -151,9 +192,10 @@ void AbdClient::start_phase1(Op& op) {
     ++started_count_;
     max_started_ = std::max(max_started_, started_count_);
   }
-  if (op.kind == OpKind::kCommit) {
-    // One-round verb: commits only collect WriteAcks, so every (re)start
-    // — including change-set restarts — re-runs the ack phase directly.
+  if (op.kind == OpKind::kCommit || op.kind == OpKind::kInstall) {
+    // One-round verbs that only collect WriteAcks (a commit's mark round,
+    // a snapshot install of a preset tag): every (re)start — including
+    // change-set restarts — re-runs the ack phase directly.
     start_phase2(op);
     return;
   }
@@ -163,6 +205,8 @@ void AbdClient::start_phase1(Op& op) {
   op.phase2_acks.clear();
   op.keys_acks.clear();
   op.keys_acc.clear();
+  op.snap_replies.clear();
+  op.snap_all_held = true;
   broadcast_phase(op);
   schedule_retry(op.id, op.seq);
 }
@@ -184,6 +228,14 @@ void AbdClient::broadcast_phase(const Op& op) {
     req = make_msg<MigCommit>(op.id, op.key, op.mig_owner,
                                       op.mig_epoch, op.mig_install, op.seq,
                                       config_.shard);
+  } else if (op.kind == OpKind::kCollect) {
+    req = make_msg<SnapReq>(op.id, op.snap_keys, op.seq, config_.shard);
+  } else if (op.kind == OpKind::kSnapFreeze) {
+    req = make_msg<SnapFreeze>(op.id, op.snap_id, op.snap_keys, op.seq,
+                               config_.shard);
+  } else if (op.kind == OpKind::kSnapRelease) {
+    req = make_msg<SnapRelease>(op.id, op.snap_id, op.snap_installs, op.seq,
+                                config_.shard);
   } else if (op.phase == 2) {
     req = make_msg<WriteReq>(op.id, op.to_write, op.key, op.seq,
                                      config_.shard);
@@ -192,10 +244,12 @@ void AbdClient::broadcast_phase(const Op& op) {
   } else {
     req = make_msg<ReadReq>(op.id, op.key, op.seq, config_.shard);
   }
-  // Migration verbs never coalesce: servers apply them outside the
-  // batched-frame path (a fence is rare control traffic, not a hot op).
+  // Migration and snapshot verbs never coalesce: servers apply them
+  // outside the batched-frame path (fences and collects are rare control
+  // traffic, not hot ops). Installs are plain WriteReqs and batch freely.
   if (!batching() || op.kind == OpKind::kFreeze ||
-      op.kind == OpKind::kCommit) {
+      op.kind == OpKind::kCommit || op.kind == OpKind::kCollect ||
+      op.kind == OpKind::kSnapFreeze || op.kind == OpKind::kSnapRelease) {
     env_.broadcast_to_group(self_, servers_, req);
     return;
   }
@@ -269,7 +323,7 @@ void AbdClient::complete(OpId id) {
   Op finished = std::move(it->second);
   ops_.erase(it);
   --started_count_;  // only started ops complete
-  if (finished.kind != OpKind::kListKeys) {
+  if (!keyless(finished.kind)) {
     // Release the key FIFO and start the successor, if any, BEFORE the
     // callback runs: the callback may issue new operations on this key.
     auto fit = key_fifo_.find(finished.key);
@@ -287,6 +341,7 @@ void AbdClient::complete(OpId id) {
       break;
     case OpKind::kWrite:
     case OpKind::kCommit:
+    case OpKind::kInstall:
       finished.wcb(finished.to_write.tag);
       break;
     case OpKind::kListKeys: {
@@ -295,7 +350,50 @@ void AbdClient::complete(OpId id) {
       finished.kcb(keys);
       break;
     }
+    case OpKind::kCollect:
+    case OpKind::kSnapFreeze:
+      finished.ccb(aggregate_snap(finished));
+      break;
+    case OpKind::kSnapRelease:
+      finished.relcb(finished.snap_all_held);
+      break;
   }
+}
+
+std::vector<AbdClient::CollectEntry> AbdClient::aggregate_snap(
+    const Op& op) const {
+  // Per-key fold over the quorum's SnapAck entry vectors: max tag over
+  // kOk entries, unanimity of that tag, and any raised routing flag
+  // (kMoved wins over kFrozen — it carries the override the router
+  // needs; either one fails the round).
+  std::vector<CollectEntry> out(op.snap_keys.size());
+  for (std::size_t i = 0; i < op.snap_keys.size(); ++i) {
+    CollectEntry& ce = out[i];
+    ce.key = op.snap_keys[i];
+    bool first = true;
+    for (const auto& [pid, entries] : op.snap_replies) {
+      if (entries.size() != op.snap_keys.size()) continue;  // malformed
+      const SnapEntry& e = entries[i];
+      if (e.flag != SnapEntry::kOk) {
+        if (ce.flag == SnapEntry::kOk || e.flag == SnapEntry::kMoved) {
+          ce.flag = e.flag;
+          ce.owner = e.owner;
+          ce.epoch = e.epoch;
+        }
+        continue;
+      }
+      if (first) {
+        ce.reg = e.reg;
+        ce.unanimous = true;
+        first = false;
+      } else {
+        if (e.reg.tag != ce.reg.tag) ce.unanimous = false;
+        if (ce.reg.tag < e.reg.tag) ce.reg = e.reg;
+      }
+    }
+    if (ce.flag != SnapEntry::kOk) ce.unanimous = false;
+  }
+  return out;
 }
 
 bool AbdClient::merge_and_maybe_restart(const ChangeSetPtr& incoming) {
@@ -436,6 +534,41 @@ bool AbdClient::handle(ProcessId from, const Message& msg) {
       op.phase2_acks.push_back(from);
     }
     if (!responders_form_quorum(op.phase2_acks)) return true;
+    complete(op.id);
+    return true;
+  }
+
+  if (const auto* ack = msg_cast<SnapAck>(msg)) {
+    auto it = ops_.find(ack->op_id());
+    if (it == ops_.end()) return false;  // not mine (or long completed)
+    Op& op = it->second;
+    bool snap_kind = op.kind == OpKind::kCollect ||
+                     op.kind == OpKind::kSnapFreeze ||
+                     op.kind == OpKind::kSnapRelease;
+    if (!snap_kind || ack->seq() != op.seq) {
+      return true;  // stale reply (from a restarted attempt): consumed
+    }
+    if (merge_and_maybe_restart(ack->changes())) return true;
+    if (std::find(op.keys_acks.begin(), op.keys_acks.end(), from) ==
+        op.keys_acks.end()) {
+      op.keys_acks.push_back(from);
+    }
+    if (op.kind == OpKind::kSnapRelease) {
+      // One false `held` poisons the round: some fence TTL-expired (or a
+      // retransmit raced the first release) and writes may have slipped
+      // past the cut — the caller discards and retries.
+      if (!ack->held()) op.snap_all_held = false;
+    } else {
+      auto slot = std::find_if(
+          op.snap_replies.begin(), op.snap_replies.end(),
+          [from](const auto& reply) { return reply.first == from; });
+      if (slot == op.snap_replies.end()) {
+        op.snap_replies.emplace_back(from, ack->entries());
+      } else {
+        slot->second = ack->entries();  // duplicate reply: last one wins
+      }
+    }
+    if (!responders_form_quorum(op.keys_acks)) return true;
     complete(op.id);
     return true;
   }

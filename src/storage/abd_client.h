@@ -62,6 +62,7 @@
 #include "runtime/env.h"
 #include "storage/abd_messages.h"
 #include "storage/migration_messages.h"
+#include "storage/snapshot_messages.h"
 
 namespace wrs {
 
@@ -73,8 +74,33 @@ class AbdClient {
   using WriteCallback = std::function<void(const Tag&)>;
   using KeysCallback = std::function<void(const std::vector<RegisterKey>&)>;
 
+  /// One key's aggregate over a weighted quorum of SnapAcks: the max-tag
+  /// replica, whether every quorum responder reported that same tag
+  /// (unanimous => the tag is already committed at this quorum), and any
+  /// routing flag a responder raised (frozen / moved).
+  struct CollectEntry {
+    RegisterKey key;
+    TaggedValue reg;
+    std::uint8_t flag = SnapEntry::kOk;
+    ShardId owner = 0;        ///< valid when flag == SnapEntry::kMoved
+    std::uint64_t epoch = 0;  ///< valid when flag == SnapEntry::kMoved
+    bool unanimous = false;
+  };
+  using CollectCallback = std::function<void(const std::vector<CollectEntry>&)>;
+  using ReleaseCallback = std::function<void(bool all_held)>;
+
   /// What an operation is doing (public so EjectedOp can carry it).
-  enum class OpKind { kRead, kWrite, kListKeys, kFreeze, kCommit };
+  enum class OpKind {
+    kRead,
+    kWrite,
+    kListKeys,
+    kFreeze,
+    kCommit,
+    kCollect,      ///< snapshot collect round (SnapReq)
+    kInstall,      ///< snapshot write-back: phase-2 write with a preset tag
+    kSnapFreeze,   ///< fenced-fallback round 1 (SnapFreeze)
+    kSnapRelease,  ///< fenced-fallback round 2 (SnapRelease)
+  };
 
   AbdClient(Env& env, ProcessId self, const SystemConfig& config, Mode mode);
 
@@ -108,6 +134,37 @@ class AbdClient {
   /// fires once a weighted quorum acked. One-round (ack collection only).
   OpId commit_mark(RegisterKey key, ShardId owner, std::uint64_t epoch,
                    std::optional<TaggedValue> install, WriteCallback cb);
+
+  // --- cross-shard snapshots (ShardRouter::snapshot verbs) -----------------
+
+  /// One snapshot collect round: reads the (tag, value) of every listed
+  /// key from a weighted quorum in a single round trip; cb fires with
+  /// one CollectEntry per key (same order). Never queued behind keyed
+  /// operations, never batched.
+  OpId collect(std::vector<RegisterKey> keys, CollectCallback cb);
+
+  /// Fenced-fallback round 1: fence `keys` under `snap_id` at a weighted
+  /// quorum and return their replicas (same aggregate as collect()). A
+  /// key a responder could not fence (migration fence, foreign snapshot,
+  /// moved) comes back flagged — the caller must abort via
+  /// snap_release() with lift-only entries.
+  OpId snap_freeze(SnapId snap_id, std::vector<RegisterKey> keys,
+                   CollectCallback cb);
+
+  /// Fenced-fallback round 2: installs entries flagged kOk
+  /// tag-monotonically, lifts the named fences, drains parked requests.
+  /// cb fires with all_held = true iff every quorum responder still held
+  /// every named fence under `snap_id` (false => a fence TTL-expired and
+  /// the round must be discarded).
+  OpId snap_release(SnapId snap_id, std::vector<SnapEntry> installs,
+                    ReleaseCallback cb);
+
+  /// Snapshot write-back: a phase-2-only write of a PRESET (tag, value)
+  /// (the double-collect confirmation writes back non-unanimous keys).
+  /// Tag-monotone and idempotent, like any ABD write-back. Bypasses the
+  /// per-key FIFO: it races no tag choice (its tag is fixed) and must
+  /// not deadlock behind requests parked at a fenced server.
+  OpId install(RegisterKey key, TaggedValue reg, WriteCallback cb);
 
   /// A started operation extracted for reissue at another shard after a
   /// WrongShardAck redirect (ShardRouter). Carries exactly the state the
@@ -236,6 +293,16 @@ class AbdClient {
     std::uint64_t mig_epoch = 0;
     ShardId mig_owner = 0;  ///< freeze: advisory dest; commit: new owner
     std::optional<TaggedValue> mig_install;
+    // Snapshot verbs (kCollect/kSnapFreeze/kSnapRelease) only.
+    std::vector<RegisterKey> snap_keys;
+    SnapId snap_id = 0;
+    std::vector<SnapEntry> snap_installs;
+    /// Last SnapAck entry vector per responder (dedupe by pid, last
+    /// wins — mirrors phase1_replies); keys_acks tracks the pids.
+    std::vector<std::pair<ProcessId, std::vector<SnapEntry>>> snap_replies;
+    bool snap_all_held = true;
+    CollectCallback ccb;
+    ReleaseCallback relcb;
   };
 
   /// One buffered phase broadcast awaiting the next envelope flush. The
@@ -247,7 +314,17 @@ class AbdClient {
     MsgPtr msg;
   };
 
+  /// Kinds that have no register key: they bypass the per-key FIFO
+  /// entirely (enqueue, eject, complete all skip FIFO bookkeeping).
+  /// kInstall HAS a key but is still keyless-by-policy (see install()).
+  static bool keyless(OpKind kind) {
+    return kind == OpKind::kListKeys || kind == OpKind::kCollect ||
+           kind == OpKind::kInstall || kind == OpKind::kSnapFreeze ||
+           kind == OpKind::kSnapRelease;
+  }
+
   OpId enqueue(Op op);
+  std::vector<CollectEntry> aggregate_snap(const Op& op) const;
   void start_phase1(Op& op);
   void start_phase2(Op& op);
   void broadcast_phase(const Op& op);

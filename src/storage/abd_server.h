@@ -34,6 +34,16 @@
 // final read is definitive; a key whose mark names another owner is
 // answered with a WrongShardAck redirect carrying the owner and epoch.
 // Marks apply with "newest epoch wins", mirroring ShardMap overrides.
+//
+// Atomic snapshots (PR 10): SnapReq answers a whole key list in one
+// round (the collect of the double-collect snapshot). The fenced
+// fallback adds per-key SNAP FENCES, separate from migration route
+// marks: SnapFreeze parks client requests AND MigFreeze rounds for the
+// named keys behind the snapshot's id, SnapRelease installs the adopted
+// replicas tag-monotonically and drains the parked queue. Fences are
+// leases — a TTL timer auto-releases them so a dead snapshot client
+// cannot park a key forever; the release ack's `held` bit tells the
+// client when its fence expired underneath it.
 #pragma once
 
 #include <algorithm>
@@ -50,6 +60,7 @@
 #include "runtime/msg_pool.h"
 #include "storage/abd_messages.h"
 #include "storage/migration_messages.h"
+#include "storage/snapshot_messages.h"
 
 namespace wrs {
 
@@ -112,6 +123,21 @@ class AbdServer {
       handle_commit(from, *c);
       return true;
     }
+    if (const auto* s = msg_cast<SnapReq>(msg)) {
+      if (misrouted(s->shard())) return true;
+      handle_snap_collect(from, *s);
+      return true;
+    }
+    if (const auto* s = msg_cast<SnapFreeze>(msg)) {
+      if (misrouted(s->shard())) return true;
+      handle_snap_freeze(from, *s);
+      return true;
+    }
+    if (const auto* s = msg_cast<SnapRelease>(msg)) {
+      if (misrouted(s->shard())) return true;
+      handle_snap_release(from, *s);
+      return true;
+    }
     if (!msg_cast<ReadReq>(msg) && !msg_cast<WriteReq>(msg) &&
         !msg_cast<KeysReq>(msg)) {
       return false;
@@ -172,6 +198,24 @@ class AbdServer {
   std::uint64_t redirects_sent() const { return redirects_sent_; }
   /// MigCommit rounds applied (either side of a handoff).
   std::uint64_t migration_commits() const { return migration_commits_; }
+
+  // --- atomic snapshots ----------------------------------------------------
+
+  /// Snap fences currently up (test observability; call only from this
+  /// server's execution context or when the deployment is quiescent).
+  std::size_t snap_fences_up() const { return snap_fences_.size(); }
+  /// Snap fences installed by SnapFreeze rounds (cumulative).
+  std::uint64_t snap_fences_installed() const { return snap_fences_installed_; }
+  /// Snap fences auto-released by the TTL lease instead of a SnapRelease.
+  std::uint64_t snap_fences_expired() const { return snap_fences_expired_; }
+  /// SnapReq collect rounds served.
+  std::uint64_t snap_collects_served() const { return snap_collects_served_; }
+
+  /// Lease on a snap fence: a SnapRelease normally lifts it, the TTL
+  /// covers a crashed snapshot client. Default spans hundreds of quorum
+  /// round trips — long enough that a live client never loses its fence
+  /// mid-snapshot, short enough that chaos episodes drain.
+  void set_snap_fence_ttl(TimeNs ttl) { snap_fence_ttl_ = ttl; }
 
   /// Served read/write requests per key since the last drain, and clears
   /// the window. Thread-safe (the Rebalancer reads it from another
@@ -243,30 +287,41 @@ class AbdServer {
     return nullptr;
   }
 
-  /// Shared read/write admission against the key's route mark: null means
-  /// "serve it", the park sentinel means "parked, answer later", anything
-  /// else is the WrongShardAck to send instead.
+  /// Shared read/write admission against the key's route mark and snap
+  /// fence: null means "serve it", the park sentinel means "parked,
+  /// answer later", anything else is the WrongShardAck to send instead.
+  /// The snap-fence check precedes the moved check so that requests a
+  /// concurrent migration drains early re-park until the snapshot's
+  /// release — the cut must not observe writes completing mid-fence.
   MsgPtr route_check(ProcessId from, const RegisterKey& key, OpId op_id,
                      std::uint32_t seq, MsgPtr req) {
     auto it = route_marks_.find(key);
-    if (it == route_marks_.end()) return nullptr;
-    const RouteMark& mark = it->second;
-    if (mark.frozen) {
-      auto& queue = parked_[key];
-      if (queue.size() >= kMaxParkedPerKey) {
-        ++parked_dropped_;  // client retry covers it
-      } else {
-        queue.push_back(Parked{from, std::move(req)});
-        ++frozen_parked_;
-      }
+    if (it != route_marks_.end() && it->second.frozen) {
+      park(from, key, std::move(req));
       return kParkedSentinel();
     }
-    if (mark.owner != shard_) {
+    if (snap_fences_.count(key)) {
+      park(from, key, std::move(req));
+      return kParkedSentinel();
+    }
+    if (it != route_marks_.end() && it->second.owner != shard_) {
       ++redirects_sent_;
-      return make_msg<WrongShardAck>(op_id, key, mark.owner,
-                                             mark.epoch, seq);
+      return make_msg<WrongShardAck>(op_id, key, it->second.owner,
+                                             it->second.epoch, seq);
     }
     return nullptr;
+  }
+
+  /// Parks one request behind a (migration or snap) fence, bounded per
+  /// key — overflow is shed to client retries.
+  void park(ProcessId from, const RegisterKey& key, MsgPtr req) {
+    auto& queue = parked_[key];
+    if (queue.size() >= kMaxParkedPerKey) {
+      ++parked_dropped_;  // client retry covers it
+    } else {
+      queue.push_back(Parked{from, std::move(req)});
+      ++frozen_parked_;
+    }
   }
 
   /// Distinguishes "parked" from "serve" in route_check's return channel.
@@ -281,6 +336,14 @@ class AbdServer {
   /// or a duplicate of an epoch already committed) are dropped so a
   /// delayed/duplicated freeze can never re-fence a finished migration.
   void handle_freeze(ProcessId from, const MigFreeze& f) {
+    // A snap fence parks the migration fence itself: the snapshot's
+    // freeze quorum intersects the migration's, so either the snapshot
+    // aborts on a frozen flag or the migration waits for the release —
+    // never a missed ownership move inside a cut.
+    if (snap_fences_.count(f.key())) {
+      park(from, f.key(), make_msg<MigFreeze>(f));
+      return;
+    }
     RouteMark& mark = route_marks_[f.key()];
     bool fresh = f.epoch() > mark.epoch;
     bool retry = f.epoch() == mark.epoch && !mark.committed;
@@ -317,15 +380,139 @@ class AbdServer {
     }
     reply(from, make_msg<WriteAck>(c.op_id(), snapshot(), c.seq()),
           service_time_);
-    auto parked = parked_.find(c.key());
+    drain_parked(c.key());
+  }
+
+  /// Replays the key's parked queue: MigFreeze rounds re-enter
+  /// handle_freeze (they may re-park under a snap fence), client
+  /// requests go through the ordinary apply path (re-parking or
+  /// redirecting as the current marks dictate).
+  void drain_parked(const RegisterKey& key) {
+    auto parked = parked_.find(key);
     if (parked == parked_.end()) return;
     std::vector<Parked> queue = std::move(parked->second);
     parked_.erase(parked);
     for (Parked& p : queue) {
+      if (const auto* f = msg_cast<MigFreeze>(*p.req)) {
+        handle_freeze(p.from, *f);
+        continue;
+      }
       if (MsgPtr ack = apply(p.from, *p.req)) {
         reply(p.from, std::move(ack), service_time_);
       }
     }
+  }
+
+  // --- atomic snapshots ----------------------------------------------------
+
+  /// One key's slice of a collect/freeze ack: the replica when the key
+  /// is serveable, else the flag the client routes around. `requester`
+  /// is the asking snapshot's id (its own fence does not block it); 0
+  /// for collects, which any fence blocks.
+  SnapEntry snap_entry_for(const RegisterKey& key, SnapId requester) {
+    SnapEntry e;
+    e.key = key;
+    auto mark = route_marks_.find(key);
+    if (mark != route_marks_.end()) {
+      if (mark->second.frozen) {
+        e.flag = SnapEntry::kFrozen;
+        return e;
+      }
+      if (mark->second.owner != shard_) {
+        e.flag = SnapEntry::kMoved;
+        e.owner = mark->second.owner;
+        e.epoch = mark->second.epoch;
+        return e;
+      }
+    }
+    auto fence = snap_fences_.find(key);
+    if (fence != snap_fences_.end() && fence->second.snap_id != requester) {
+      e.flag = SnapEntry::kFrozen;
+      return e;
+    }
+    note_hit(key);
+    e.reg = reg(key);
+    return e;
+  }
+
+  /// SnapReq: the collect round — every requested key's replica (or its
+  /// blocking flag) in one reply. Costs one service_time per key: a
+  /// collect reads as many registers as the individual reads it
+  /// replaces, so it amortizes messages, never modeled CPU.
+  void handle_snap_collect(ProcessId from, const SnapReq& s) {
+    ++snap_collects_served_;
+    std::vector<SnapEntry> entries;
+    entries.reserve(s.keys().size());
+    for (const RegisterKey& key : s.keys()) {
+      entries.push_back(snap_entry_for(key, /*requester=*/0));
+    }
+    TimeNs cost = service_time_ * static_cast<TimeNs>(s.keys().size());
+    reply(from,
+          make_msg<SnapAck>(s.op_id(), std::move(entries), snapshot(),
+                            s.seq()),
+          cost);
+  }
+
+  /// SnapFreeze: fence every serveable key under the snapshot's id and
+  /// reply with the replicas (the freeze doubles as the fallback's
+  /// read). Keys blocked by a migration fence, a foreign snapshot, or a
+  /// moved mark are flagged instead of fenced — the client aborts and
+  /// retries on any non-ok flag. Re-fencing under the same snap_id
+  /// refreshes the TTL lease (idempotent under retransmits).
+  void handle_snap_freeze(ProcessId from, const SnapFreeze& f) {
+    std::vector<SnapEntry> entries;
+    entries.reserve(f.keys().size());
+    for (const RegisterKey& key : f.keys()) {
+      SnapEntry e = snap_entry_for(key, f.snap_id());
+      if (e.flag == SnapEntry::kOk) {
+        SnapFence& fence = snap_fences_[key];
+        if (fence.snap_id != f.snap_id()) ++snap_fences_installed_;
+        fence.snap_id = f.snap_id();
+        std::uint64_t gen = ++snap_fence_gen_;
+        fence.gen = gen;
+        env_.schedule(self_, snap_fence_ttl_, [this, key, gen] {
+          auto it = snap_fences_.find(key);
+          if (it == snap_fences_.end() || it->second.gen != gen) return;
+          snap_fences_.erase(it);
+          ++snap_fences_expired_;
+          drain_parked(key);
+        });
+      }
+      entries.push_back(std::move(e));
+    }
+    TimeNs cost = service_time_ * static_cast<TimeNs>(f.keys().size());
+    reply(from,
+          make_msg<SnapAck>(f.op_id(), std::move(entries), snapshot(),
+                            f.seq()),
+          cost);
+  }
+
+  /// SnapRelease: adopt kOk installs tag-monotonically (the scanner's
+  /// scan-embedded-in-update — the cut's values land before any parked
+  /// writer resumes), lift this snapshot's fences, and drain the parked
+  /// queues. `held` reports whether every named fence was still up under
+  /// the releasing snap_id; a TTL-expired fence turns it false and the
+  /// client discards the round.
+  void handle_snap_release(ProcessId from, const SnapRelease& rel) {
+    bool held = true;
+    for (const SnapEntry& e : rel.installs()) {
+      auto it = snap_fences_.find(e.key);
+      bool mine =
+          it != snap_fences_.end() && it->second.snap_id == rel.snap_id();
+      if (!mine) held = false;
+      if (e.flag == SnapEntry::kOk) {
+        TaggedValue& slot = regs_[e.key];
+        if (slot.tag < e.reg.tag) slot = e.reg;
+      }
+      if (mine) {
+        snap_fences_.erase(it);
+        drain_parked(e.key);
+      }
+    }
+    reply(from,
+          make_msg<SnapAck>(rel.op_id(), std::vector<SnapEntry>{}, snapshot(),
+                            rel.seq(), held),
+          service_time_);
   }
 
   void note_hit(const RegisterKey& key) {
@@ -373,6 +560,19 @@ class AbdServer {
   /// binary search over a handful of entries instead of a tree walk.
   FlatMap<RegisterKey, RouteMark> route_marks_;
   FlatMap<RegisterKey, std::vector<Parked>> parked_;
+  /// One fence per snap-frozen key. `gen` invalidates stale TTL timers:
+  /// every install/refresh bumps it, and an expiry callback fires only
+  /// when its captured gen still matches.
+  struct SnapFence {
+    SnapId snap_id = 0;
+    std::uint64_t gen = 0;
+  };
+  FlatMap<RegisterKey, SnapFence> snap_fences_;
+  std::uint64_t snap_fence_gen_ = 0;
+  TimeNs snap_fence_ttl_ = ms(1000);
+  std::uint64_t snap_fences_installed_ = 0;
+  std::uint64_t snap_fences_expired_ = 0;
+  std::uint64_t snap_collects_served_ = 0;
   std::uint64_t misrouted_ = 0;
   std::uint64_t batches_served_ = 0;
   std::uint64_t frozen_parked_ = 0;

@@ -1,6 +1,7 @@
 #include "storage/history.h"
 
 #include <algorithm>
+#include <limits>
 #include <map>
 #include <set>
 #include <sstream>
@@ -39,6 +40,37 @@ void HistoryRecorder::end_write(std::size_t token, TimeNs end, const Tag& tag,
   s.done = true;
 }
 
+std::size_t HistoryRecorder::begin_snapshot(ProcessId process, TimeNs start) {
+  std::lock_guard lock(mu_);
+  // The placeholder slot carries the snapshot's identity and start; it
+  // stays !done forever (end_snapshot appends one completed record per
+  // cut key instead), so completed() never surfaces it.
+  Slot slot;
+  slot.rec.kind = OpRecord::Kind::kRead;
+  slot.rec.process = process;
+  slot.rec.start = start;
+  slot.rec.snap_id = ++next_snap_id_;
+  slots_.push_back(std::move(slot));
+  return slots_.size() - 1;
+}
+
+void HistoryRecorder::end_snapshot(
+    std::size_t token, TimeNs end,
+    const std::vector<std::pair<RegisterKey, TaggedValue>>& cut) {
+  std::lock_guard lock(mu_);
+  OpRecord tmpl = slots_.at(token).rec;  // copied: push_back may realloc
+  for (const auto& [key, reg] : cut) {
+    Slot slot;
+    slot.rec = tmpl;
+    slot.rec.key = key;
+    slot.rec.end = end;
+    slot.rec.tag = reg.tag;
+    slot.rec.value = reg.value;
+    slot.done = true;
+    slots_.push_back(std::move(slot));
+  }
+}
+
 std::vector<OpRecord> HistoryRecorder::completed() const {
   std::lock_guard lock(mu_);
   std::vector<OpRecord> out;
@@ -56,8 +88,12 @@ namespace {
 
 std::string describe(const OpRecord& op) {
   std::ostringstream os;
-  os << (op.kind == OpRecord::Kind::kRead ? "read" : "write") << " by "
-     << process_name(op.process);
+  if (op.snap_id != 0) {
+    os << "snapshot#" << op.snap_id << " entry";
+  } else {
+    os << (op.kind == OpRecord::Kind::kRead ? "read" : "write");
+  }
+  os << " by " << process_name(op.process);
   if (!op.key.empty()) os << " key=\"" << op.key << "\"";
   os << " [" << op.start << "," << op.end << "] tag=" << op.tag.str()
      << " value=\"" << op.value << "\"";
@@ -170,11 +206,49 @@ std::optional<std::string> check_single_key(
   return std::nullopt;
 }
 
+/// (S1): the cut's entries must share an instant T — for every entry,
+/// T >= the start of the write producing its (non-initial) tag, and T <
+/// the end of every op on its key carrying a strictly higher tag (that
+/// op proves the higher tag was committed by then). The check folds the
+/// per-entry constraints into one [lower, upper] window and reports the
+/// two operations that squeeze it shut.
+std::optional<std::string> check_cut_consistency(
+    const std::vector<const OpRecord*>& entries,
+    const std::map<RegisterKey, std::vector<const OpRecord*>>& by_key) {
+  TimeNs lower = std::numeric_limits<TimeNs>::min();
+  TimeNs upper = std::numeric_limits<TimeNs>::max();
+  const OpRecord* lower_op = nullptr;
+  const OpRecord* upper_op = nullptr;
+  for (const OpRecord* e : entries) {
+    for (const OpRecord* op : by_key.at(e->key)) {
+      if (op->kind == OpRecord::Kind::kWrite && op->tag == e->tag &&
+          op->start > lower) {
+        lower = op->start;
+        lower_op = op;
+      }
+      if (e->tag < op->tag && op->end < upper) {
+        upper = op->end;
+        upper_op = op;
+      }
+    }
+  }
+  if (upper >= lower || lower_op == nullptr || upper_op == nullptr) {
+    return std::nullopt;
+  }
+  std::string err = "inconsistent snapshot cut: entry tags cannot coexist — ";
+  err += describe(*upper_op);
+  err += " proves its key moved on before ";
+  err += describe(*lower_op);
+  err += " even began";
+  return err;
+}
+
 }  // namespace
 
 std::optional<std::string> check_atomicity(const std::vector<OpRecord>& ops) {
   // Each named register is an independent atomic object: partition by key
-  // and check every per-key projection on its own.
+  // and check every per-key projection on its own (snapshot entries
+  // participate as ordinary reads).
   std::map<RegisterKey, std::vector<const OpRecord*>> by_key;
   for (const auto& op : ops) by_key[op.key].push_back(&op);
   for (const auto& [key, key_ops] : by_key) {
@@ -187,6 +261,50 @@ std::optional<std::string> check_atomicity(const std::vector<OpRecord>& ops) {
       prefixed += "\"] ";
       prefixed += *err;
       return prefixed;
+    }
+  }
+
+  // Cross-key snapshot checks.
+  std::map<std::uint64_t, std::vector<const OpRecord*>> cuts;
+  for (const auto& op : ops) {
+    if (op.snap_id != 0) cuts[op.snap_id].push_back(&op);
+  }
+  if (cuts.empty()) return std::nullopt;
+
+  // (S1) every cut is a consistent instant.
+  for (const auto& [sid, entries] : cuts) {
+    if (auto err = check_cut_consistency(entries, by_key)) return err;
+  }
+
+  // (S2) cuts sharing keys are pairwise comparable: one dominates the
+  // other on every shared key. Snapshot counts are small (tens), so the
+  // pairwise scan over per-cut key indexes is cheap.
+  std::vector<std::map<RegisterKey, const OpRecord*>> indexed;
+  indexed.reserve(cuts.size());
+  for (const auto& [sid, entries] : cuts) {
+    std::map<RegisterKey, const OpRecord*> m;
+    for (const OpRecord* e : entries) m[e->key] = e;
+    indexed.push_back(std::move(m));
+  }
+  for (std::size_t a = 0; a < indexed.size(); ++a) {
+    for (std::size_t b = a + 1; b < indexed.size(); ++b) {
+      const OpRecord* a_newer = nullptr;  // a key where cut a leads
+      const OpRecord* b_newer = nullptr;  // a key where cut b leads
+      for (const auto& [key, ea] : indexed[a]) {
+        auto it = indexed[b].find(key);
+        if (it == indexed[b].end()) continue;
+        const OpRecord* eb = it->second;
+        if (eb->tag < ea->tag) a_newer = ea;
+        if (ea->tag < eb->tag) b_newer = eb;
+      }
+      if (a_newer != nullptr && b_newer != nullptr) {
+        std::string err = "crossing snapshot cuts: ";
+        err += describe(*a_newer);
+        err += " is newer on its key while ";
+        err += describe(*b_newer);
+        err += " is newer on another shared key";
+        return err;
+      }
     }
   }
   return std::nullopt;

@@ -13,6 +13,21 @@
 //
 // These conditions are exactly atomicity for tag-ordered registers where
 // phase-2 write-backs ensure reads are linearized at tag order.
+//
+// Snapshots (ShardRouter::snapshot) record one read-like entry per cut
+// key, all sharing the snapshot's [start, end] interval and a unique
+// snap_id. Each entry participates in the per-key checks above as an
+// ordinary read, and the cut as a whole must be CONSISTENT across keys:
+//
+//  (S1) cut consistency — some instant T exists at which every entry's
+//       tag was current: T >= the start of the write producing each
+//       non-initial entry tag, and T < the end of every operation that
+//       returned/wrote a HIGHER tag on an entry's key (such an operation
+//       proves the higher tag was committed by its end);
+//  (S2) cut comparability — two cuts sharing keys are ordered: one
+//       dominates the other (per-key tag comparison) on EVERY shared
+//       key. Crossing cuts (j newer here, k newer there) cannot both be
+//       instants of the same linearization.
 #pragma once
 
 #include <mutex>
@@ -34,6 +49,10 @@ struct OpRecord {
   TimeNs end = 0;
   Tag tag;      // tag read / tag written
   Value value;  // value read / value written
+  /// 0 = a plain operation. Non-zero groups the entries of one atomic
+  /// snapshot: every record with the same snap_id is one key of that
+  /// snapshot's cut (kind kRead, shared [start, end]).
+  std::uint64_t snap_id = 0;
 };
 
 /// Internally synchronized: on the thread runtime the recording clients
@@ -46,6 +65,16 @@ class HistoryRecorder {
   void end_read(std::size_t token, TimeNs end, const TaggedValue& result);
   void end_write(std::size_t token, TimeNs end, const Tag& tag,
                  const Value& value);
+
+  /// Begins an atomic snapshot; returns a token to close it with. The
+  /// snapshot is assigned a recorder-unique snap_id.
+  std::size_t begin_snapshot(ProcessId process, TimeNs start);
+  /// Completes a snapshot: records one read-like entry per cut pair, all
+  /// sharing the snapshot's interval and snap_id. A snapshot never
+  /// closed (crashed client) leaves no completed records, like any
+  /// unfinished op.
+  void end_snapshot(std::size_t token, TimeNs end,
+                    const std::vector<std::pair<RegisterKey, TaggedValue>>& cut);
 
   /// Completed records only (unfinished ops are ignored by the checker —
   /// crashes may legitimately leave them open).
@@ -60,6 +89,7 @@ class HistoryRecorder {
   };
   mutable std::mutex mu_;
   std::vector<Slot> slots_;
+  std::uint64_t next_snap_id_ = 0;
 };
 
 /// Returns nullopt when the history is atomic; otherwise a description of
@@ -74,6 +104,11 @@ class HistoryRecorder {
 /// (A3) read-vs-read checks are per-key sort + sweep with a running
 /// maximum tag — O(n log n) overall, not the previous O(n^2) pairwise
 /// scan.
+///
+/// Records with a snap_id additionally run the cross-key cut checks
+/// (S1)/(S2) described above — a history with snapshots is atomic iff
+/// every per-key projection is atomic AND every cut is a consistent,
+/// pairwise-comparable instant.
 std::optional<std::string> check_atomicity(const std::vector<OpRecord>& ops);
 
 }  // namespace wrs

@@ -1,6 +1,7 @@
 #include "testing/nemesis.h"
 
 #include <algorithm>
+#include <set>
 #include <sstream>
 
 namespace wrs::testing {
@@ -372,6 +373,86 @@ std::size_t MigrationStorm::moved() const {
 std::size_t MigrationStorm::refused() const {
   std::lock_guard lock(mu_);
   return completed_ - moved_;
+}
+
+// --- SnapshotStorm ----------------------------------------------------------
+
+SnapshotStorm::SnapshotStorm(Cluster& cluster, std::uint64_t seed,
+                             SnapshotStormParams params,
+                             std::shared_ptr<HistoryRecorder> history)
+    : cluster_(cluster),
+      rng_(seed),
+      params_(params),
+      history_(std::move(history)) {}
+
+void SnapshotStorm::unleash() {
+  if (unleashed_) {
+    throw std::logic_error("SnapshotStorm: unleash() called twice");
+  }
+  unleashed_ = true;
+  std::size_t clients = cluster_.num_clients();
+  if (clients == 0) {
+    throw std::logic_error("SnapshotStorm: deployment has no clients");
+  }
+  std::size_t want = std::min(std::max<std::size_t>(params_.keys_per_snapshot,
+                                                    1),
+                              std::max<std::size_t>(params_.num_keys, 1));
+  for (std::size_t i = 0; i < params_.attempts; ++i) {
+    TimeNs at = params_.start +
+                static_cast<TimeNs>(rng_.below(static_cast<std::uint64_t>(
+                    params_.horizon - params_.start)));
+    std::size_t k = i % clients;  // round-robin issuing client
+    // Distinct keys: seeded draws, then a sequential fill if the draws
+    // collide too often (bounded attempts keeps unleash O(attempts)).
+    std::set<RegisterKey> picked;
+    for (int tries = 0; tries < 64 && picked.size() < want; ++tries) {
+      picked.insert("k" + std::to_string(rng_.below(params_.num_keys)));
+    }
+    for (std::size_t r = 0; picked.size() < want; ++r) {
+      picked.insert("k" + std::to_string(r));
+    }
+    std::vector<RegisterKey> keys(picked.begin(), picked.end());
+    ShardRouter* router = &cluster_.client(k).router();
+    ProcessId pid = cluster_.client(k).id();
+    SnapshotStorm* self = this;
+    // Posted into the issuing client's context: snapshot() must run
+    // there, and its callback fires there once the cut is taken.
+    cluster_.env().schedule(pid, at, [self, router, pid,
+                                      keys = std::move(keys)] {
+      std::size_t token = 0;
+      if (self->history_) {
+        token = self->history_->begin_snapshot(pid, self->cluster_.now());
+      }
+      router->snapshot(keys, [self, token](
+                                 const ShardRouter::SnapshotResult& res) {
+        if (self->history_) {
+          self->history_->end_snapshot(token, self->cluster_.now(), res.cut);
+        }
+        std::lock_guard lock(self->mu_);
+        ++self->completed_;
+        if (res.used_fallback) ++self->fallbacks_;
+        self->rounds_ += res.rounds;
+      });
+    });
+    ++scheduled_;
+  }
+}
+
+std::size_t SnapshotStorm::attempts_scheduled() const { return scheduled_; }
+
+std::size_t SnapshotStorm::completed() const {
+  std::lock_guard lock(mu_);
+  return completed_;
+}
+
+std::size_t SnapshotStorm::fallbacks() const {
+  std::lock_guard lock(mu_);
+  return fallbacks_;
+}
+
+std::uint64_t SnapshotStorm::rounds() const {
+  std::lock_guard lock(mu_);
+  return rounds_;
 }
 
 }  // namespace wrs::testing

@@ -209,4 +209,51 @@ class MigrationStorm {
   std::size_t moved_ = 0;
 };
 
+struct SnapshotStormParams {
+  TimeNs start = ms(10);
+  TimeNs horizon = ms(300);
+  /// Seeded snapshot() calls posted across [start, horizon).
+  std::size_t attempts = 20;
+  /// Keys are drawn from "k0".."k<num_keys-1>" — the WorkloadClient's
+  /// keyspace, so storms race a concurrent workload on the same keys.
+  std::size_t num_keys = 16;
+  /// Distinct keys per snapshot (clamped to num_keys).
+  std::size_t keys_per_snapshot = 4;
+};
+
+/// Seeded atomic-snapshot chaos driver: posts random multi-key
+/// snapshot() calls into round-robin client contexts across the horizon
+/// — racing writers, key migrations, and the fault plane. When a
+/// HistoryRecorder is given, every cut is recorded (begin_snapshot /
+/// end_snapshot), so check_atomicity validates cut consistency (S1) and
+/// pairwise comparability (S2) once the episode drains.
+class SnapshotStorm {
+ public:
+  SnapshotStorm(Cluster& cluster, std::uint64_t seed,
+                SnapshotStormParams params = {},
+                std::shared_ptr<HistoryRecorder> history = nullptr);
+
+  /// Draws and schedules all snapshot attempts. Call at most once.
+  void unleash();
+
+  // Outcome counters (thread-safe snapshots).
+  std::size_t attempts_scheduled() const;
+  std::size_t completed() const;   // snapshot callbacks fired
+  std::size_t fallbacks() const;   // cuts that needed the fenced fallback
+  std::uint64_t rounds() const;    // total collect rounds across all cuts
+
+ private:
+  Cluster& cluster_;
+  Rng rng_;
+  SnapshotStormParams params_;
+  std::shared_ptr<HistoryRecorder> history_;
+  bool unleashed_ = false;
+  std::size_t scheduled_ = 0;
+
+  mutable std::mutex mu_;
+  std::size_t completed_ = 0;
+  std::size_t fallbacks_ = 0;
+  std::uint64_t rounds_ = 0;
+};
+
 }  // namespace wrs::testing

@@ -18,6 +18,7 @@
 #include <cmath>
 #include <functional>
 #include <memory>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -53,6 +54,15 @@ struct WorkloadParams {
   /// shed (counted, not executed) so a stalled quorum cannot queue
   /// unbounded work.
   std::size_t max_in_flight = 64;
+  /// > 0 mixes a cross-shard atomic snapshot (ShardRouter::snapshot)
+  /// into the stream after every N completed read/write ops. Snapshots
+  /// ride alongside the op budget (not counted in num_ops) over a
+  /// deterministic sample of up to `snapshot_keys` distinct keys, and
+  /// are recorded into the history (when attached) for the cross-key
+  /// cut checks. 0 (the default) issues none.
+  std::size_t snapshot_every_ops = 0;
+  /// Distinct keys per snapshot (clamped to num_keys).
+  std::size_t snapshot_keys = 4;
 };
 
 /// A client process generating read/write load against the register(s),
@@ -114,6 +124,14 @@ class WorkloadClient : public Process {
   std::size_t completed() const { return completed_; }
   /// Open loop: arrivals shed because the in-flight window was full.
   std::size_t shed() const { return shed_; }
+  /// Snapshots issued / resolved (params_.snapshot_every_ops > 0 only).
+  std::size_t snapshots_issued() const { return snapshots_issued_; }
+  std::size_t snapshots_done() const { return snapshots_done_; }
+  /// Total collect rounds / fenced-fallback cuts across the resolved
+  /// snapshots (a quiet cut is 2 rounds; more means restarted collects).
+  std::uint64_t snapshot_rounds() const { return snapshot_rounds_; }
+  std::size_t snapshot_fallbacks() const { return snapshot_fallbacks_; }
+  const Histogram& snapshot_latency() const { return snapshot_latency_; }
 
   const Histogram& read_latency() const { return read_latency_; }
   const Histogram& write_latency() const { return write_latency_; }
@@ -166,7 +184,9 @@ class WorkloadClient : public Process {
   // --- closed loop ---------------------------------------------------------
   void next_op() {
     if (issued_ >= params_.num_ops) {
-      finish();
+      // maybe_finish, not finish: a mixed-in snapshot may still be in
+      // flight alongside the closed loop's last op.
+      maybe_finish();
       return;
     }
     ++issued_;
@@ -256,11 +276,52 @@ class WorkloadClient : public Process {
     ++completed_;
     ++shard_completed_[g];
     --in_flight_;
+    if (params_.snapshot_every_ops > 0 &&
+        ++ops_since_snapshot_ >= params_.snapshot_every_ops) {
+      ops_since_snapshot_ = 0;
+      issue_snapshot();
+    }
     if (open_loop()) {
       maybe_finish();
     } else {
       after_closed_op();
     }
+  }
+
+  void issue_snapshot() {
+    // Deterministic sample of distinct keys from the workload's own key
+    // picker (so a Zipfian run snapshots hot keys more often). Bounded
+    // draw attempts: a badly skewed distribution falls back to filling
+    // with the first unused ranks.
+    std::size_t want = std::min<std::size_t>(
+        std::max<std::size_t>(params_.snapshot_keys, 1),
+        std::max<std::size_t>(params_.num_keys, 1));
+    std::set<RegisterKey> uniq;
+    for (int attempt = 0; attempt < 64 && uniq.size() < want; ++attempt) {
+      uniq.insert(pick_key());
+    }
+    for (std::size_t r = 0; uniq.size() < want && r < params_.num_keys; ++r) {
+      RegisterKey key = "k";
+      key += std::to_string(r);
+      uniq.insert(std::move(key));
+    }
+    std::vector<RegisterKey> keys(uniq.begin(), uniq.end());
+    TimeNs start = env_.now();
+    std::size_t token =
+        history_ ? history_->begin_snapshot(self_, start) : 0;
+    ++snapshots_issued_;
+    ++in_flight_;  // holds finish() until the cut resolves
+    router_.snapshot(
+        std::move(keys),
+        [this, token, start](const ShardRouter::SnapshotResult& r) {
+          if (history_) history_->end_snapshot(token, env_.now(), r.cut);
+          ++snapshots_done_;
+          snapshot_rounds_ += r.rounds;
+          if (r.used_fallback) ++snapshot_fallbacks_;
+          snapshot_latency_.add_time(env_.now() - start);
+          --in_flight_;
+          maybe_finish();
+        });
   }
 
   void maybe_finish() {
@@ -313,6 +374,12 @@ class WorkloadClient : public Process {
   std::size_t completed_ = 0;
   std::size_t shed_ = 0;
   std::size_t in_flight_ = 0;
+  std::size_t ops_since_snapshot_ = 0;
+  std::size_t snapshots_issued_ = 0;
+  std::size_t snapshots_done_ = 0;
+  std::uint64_t snapshot_rounds_ = 0;
+  std::size_t snapshot_fallbacks_ = 0;
+  Histogram snapshot_latency_;
   bool finished_ = false;
   TimeNs started_at_ = 0;
   TimeNs finished_at_ = 0;
@@ -326,7 +393,9 @@ class WorkloadClient : public Process {
   std::function<void()> on_done_;
 };
 
-/// Historical name, kept for drivers written against the closed loop.
-using ClosedLoopClient = WorkloadClient;
+/// Historical name from when the closed loop was the only mode; kept so
+/// old drivers compile, deprecated since the class has driven every loop
+/// shape (closed, open, snapshot-mixed) for a while. Use WorkloadClient.
+using ClosedLoopClient [[deprecated("use WorkloadClient")]] = WorkloadClient;
 
 }  // namespace wrs

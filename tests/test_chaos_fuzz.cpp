@@ -81,6 +81,10 @@ EpisodeOutcome run_episode(Runtime rt, std::uint64_t seed) {
   wp.num_keys = 3;
   wp.target_ops_per_sec = 250;  // arrivals span ~160ms of the fault window
   wp.max_in_flight = 8;
+  // Mix atomic snapshots into the stream: every cut is recorded and must
+  // pass the checker's S1/S2 cut conditions alongside plain atomicity.
+  wp.snapshot_every_ops = 10;
+  wp.snapshot_keys = 3;
   wp.seed = rng();
 
   auto history = std::make_shared<HistoryRecorder>();
@@ -197,6 +201,10 @@ EpisodeOutcome run_episode(Runtime rt, std::uint64_t seed) {
                                " never finished (liveness)");
     } else {
       out.completed_ops += c.workload(k).completed();
+      if (c.workload(k).snapshots_done() != c.workload(k).snapshots_issued()) {
+        out.violations.push_back("workload client #" + std::to_string(k) +
+                                 " lost a snapshot (liveness)");
+      }
     }
   }
   out.transfers_completed = storm.completed();
@@ -245,7 +253,9 @@ EpisodeOutcome run_episode(Runtime rt, std::uint64_t seed) {
   for (const OpRecord& op : ops) {
     fp << (op.kind == OpRecord::Kind::kRead ? "R" : "W") << " "
        << process_name(op.process) << " k=" << op.key << " [" << op.start
-       << "," << op.end << "] " << op.tag.str() << " v=" << op.value << "\n";
+       << "," << op.end << "] " << op.tag.str() << " v=" << op.value;
+    if (op.snap_id != 0) fp << " snap=" << op.snap_id;
+    fp << "\n";
   }
   for (std::size_t i = 0; i < final_sets.size() && i < live.size(); ++i) {
     fp << process_name(live[i]) << ": " << final_sets[i].str() << "\n";

@@ -28,6 +28,7 @@
 #include "net/wire_codec.h"
 #include "storage/abd_messages.h"
 #include "storage/migration_messages.h"
+#include "storage/snapshot_messages.h"
 
 namespace wrs::net {
 namespace {
@@ -188,6 +189,58 @@ MsgPtr rand_wrong_shard(Rng& rng) {
       static_cast<std::uint32_t>(rng.below(100)));
 }
 
+std::vector<RegisterKey> rand_key_list(Rng& rng) {
+  std::vector<RegisterKey> keys;
+  std::size_t n = rng.below(6);
+  keys.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) keys.push_back(rand_string(rng));
+  return keys;
+}
+
+SnapEntry rand_snap_entry(Rng& rng) {
+  SnapEntry e;
+  e.key = rand_string(rng);
+  e.reg = rand_tagged_value(rng);
+  e.flag = static_cast<std::uint8_t>(rng.below(3));
+  e.owner = static_cast<ShardId>(rng.below(4));
+  e.epoch = rng();
+  return e;
+}
+
+std::vector<SnapEntry> rand_snap_entries(Rng& rng) {
+  std::vector<SnapEntry> entries;
+  std::size_t n = rng.below(5);
+  entries.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) entries.push_back(rand_snap_entry(rng));
+  return entries;
+}
+
+MsgPtr rand_snap_req(Rng& rng) {
+  return std::make_shared<SnapReq>(rng(), rand_key_list(rng),
+                                   static_cast<std::uint32_t>(rng.below(100)),
+                                   static_cast<ShardId>(rng.below(4)));
+}
+
+MsgPtr rand_snap_ack(Rng& rng) {
+  return std::make_shared<SnapAck>(rng(), rand_snap_entries(rng),
+                                   rand_changes_ptr(rng),
+                                   static_cast<std::uint32_t>(rng.below(100)),
+                                   rng.below(2) == 0);
+}
+
+MsgPtr rand_snap_freeze(Rng& rng) {
+  return std::make_shared<SnapFreeze>(rng(), rng(), rand_key_list(rng),
+                                      static_cast<std::uint32_t>(rng.below(100)),
+                                      static_cast<ShardId>(rng.below(4)));
+}
+
+MsgPtr rand_snap_release(Rng& rng) {
+  return std::make_shared<SnapRelease>(
+      rng(), rng(), rand_snap_entries(rng),
+      static_cast<std::uint32_t>(rng.below(100)),
+      static_cast<ShardId>(rng.below(4)));
+}
+
 MsgPtr rand_rtt_report(Rng& rng) {
   std::map<ProcessId, double> rtts;
   std::size_t n = rng.below(6);
@@ -247,6 +300,10 @@ const std::vector<std::pair<const char*, Maker>>& all_makers() {
       {"MigFreeze", rand_mig_freeze},
       {"MigCommit", rand_mig_commit},
       {"WrongShard", rand_wrong_shard},
+      {"SnapReq", rand_snap_req},
+      {"SnapAck", rand_snap_ack},
+      {"SnapFreeze", rand_snap_freeze},
+      {"SnapRelease", rand_snap_release},
   };
   return makers;
 }
@@ -357,6 +414,10 @@ TEST(CodecFuzz, WireTypeTagsAreStable) {
   EXPECT_EQ(static_cast<int>(WireType::kMigFreeze), 20);
   EXPECT_EQ(static_cast<int>(WireType::kMigCommit), 21);
   EXPECT_EQ(static_cast<int>(WireType::kWrongShard), 22);
+  EXPECT_EQ(static_cast<int>(WireType::kSnapReq), 23);
+  EXPECT_EQ(static_cast<int>(WireType::kSnapAck), 24);
+  EXPECT_EQ(static_cast<int>(WireType::kSnapFreeze), 25);
+  EXPECT_EQ(static_cast<int>(WireType::kSnapRelease), 26);
   EXPECT_TRUE(WireCodec::encodable(ReadReq(1)));
   EXPECT_EQ(WireCodec::wire_type_of(MigFreeze(1, "k", 1, 0)),
             WireType::kMigFreeze);
@@ -364,6 +425,13 @@ TEST(CodecFuzz, WireTypeTagsAreStable) {
             WireType::kMigCommit);
   EXPECT_EQ(WireCodec::wire_type_of(WrongShardAck(1, "k", 0, 1)),
             WireType::kWrongShard);
+  EXPECT_EQ(WireCodec::wire_type_of(SnapReq(1, {"k"})), WireType::kSnapReq);
+  EXPECT_EQ(WireCodec::wire_type_of(SnapAck(1, {}, nullptr)),
+            WireType::kSnapAck);
+  EXPECT_EQ(WireCodec::wire_type_of(SnapFreeze(1, 2, {"k"})),
+            WireType::kSnapFreeze);
+  EXPECT_EQ(WireCodec::wire_type_of(SnapRelease(1, 2, {})),
+            WireType::kSnapRelease);
 }
 
 // --- malformed input --------------------------------------------------------

@@ -246,10 +246,10 @@ TEST_P(StorageAtomicityTest, HistoryIsAtomic) {
   wp.value_size = 8;
   wp.seed = p.seed;
 
-  std::vector<std::unique_ptr<ClosedLoopClient>> clients;
+  std::vector<std::unique_ptr<WorkloadClient>> clients;
   const std::uint32_t kClients = 3;
   for (std::uint32_t k = 0; k < kClients; ++k) {
-    clients.push_back(std::make_unique<ClosedLoopClient>(
+    clients.push_back(std::make_unique<WorkloadClient>(
         *c.env, client_id(k), c.config, AbdClient::Mode::kDynamic, wp,
         history));
     c.env->register_process(client_id(k), clients.back().get());
